@@ -1,0 +1,60 @@
+package dlinfma
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the dlinfma binary and drives the full
+// generate -> infer -> eval flow on the tiny profile.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dlinfma")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dlinfma")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	data := filepath.Join(dir, "data.json.gz")
+	out, err := exec.Command(bin, "generate", "-profile", "tiny", "-out", data).CombinedOutput()
+	if err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "waybills") {
+		t.Errorf("generate output: %s", out)
+	}
+	if fi, err := os.Stat(data); err != nil || fi.Size() == 0 {
+		t.Fatalf("dataset not written: %v", err)
+	}
+
+	locs := filepath.Join(dir, "locations.json")
+	out, err = exec.Command(bin, "infer", "-data", data, "-out", locs).CombinedOutput()
+	if err != nil {
+		t.Fatalf("infer: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(locs); err != nil || fi.Size() == 0 {
+		t.Fatalf("locations not written: %v", err)
+	}
+
+	out, err = exec.Command(bin, "eval", "-data", data).CombinedOutput()
+	if err != nil {
+		t.Fatalf("eval: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "MAE=") {
+		t.Errorf("eval output: %s", out)
+	}
+
+	// Unknown subcommand and bad profile fail fast.
+	if _, err := exec.Command(bin, "bogus").CombinedOutput(); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if _, err := exec.Command(bin, "generate", "-profile", "mars").CombinedOutput(); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}

@@ -1,0 +1,198 @@
+// Command dlinfma is the end-to-end CLI for the delivery-location inference
+// system: generate a synthetic dataset, run the DLInfMA pipeline (train
+// LocMatcher, infer every address), evaluate against ground truth, and serve
+// the inferred locations over the deployed query API.
+//
+// Usage:
+//
+//	dlinfma generate -profile dowbj -out data.json.gz
+//	dlinfma infer    -data data.json.gz -out locations.json
+//	dlinfma eval     -data data.json.gz
+//	dlinfma serve    -data data.json.gz -listen :8080
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/eval"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/synth"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlinfma:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dlinfma <generate|infer|eval|serve> [flags]")
+	os.Exit(2)
+}
+
+func profileByName(name string) (synth.Profile, error) {
+	switch name {
+	case "dowbj":
+		return synth.DowBJ(), nil
+	case "subbj":
+		return synth.SubBJ(), nil
+	case "tiny":
+		return synth.Tiny(), nil
+	default:
+		return synth.Profile{}, fmt.Errorf("unknown profile %q (dowbj|subbj|tiny)", name)
+	}
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	profile := fs.String("profile", "dowbj", "dataset profile: dowbj|subbj|tiny")
+	out := fs.String("out", "data.json.gz", "output path (.gz for compression)")
+	pd := fs.Float64("pd", -1, "override batch-delay probability (default: profile's)")
+	fs.Parse(args)
+	p, err := profileByName(*profile)
+	if err != nil {
+		return err
+	}
+	if *pd >= 0 {
+		p.DelayProb = *pd
+	}
+	ds, _, err := synth.Generate(p)
+	if err != nil {
+		return err
+	}
+	if err := ds.SaveFile(*out); err != nil {
+		return err
+	}
+	st := synth.MeasureDelays(ds)
+	fmt.Printf("wrote %s: %d trips, %d waybills, %d addresses, %d GPS points, %.0f%% batch-delayed\n",
+		*out, len(ds.Trips), ds.Deliveries(), len(ds.Addresses), ds.TrajectoryPoints(),
+		100*float64(st.Delayed)/float64(st.Waybills))
+	return nil
+}
+
+// trainAndInfer runs the full pipeline and returns the inferred location of
+// every address with at least one candidate.
+func trainAndInfer(ds *model.Dataset) (map[model.AddressID]geo.Point, error) {
+	pipe := core.NewPipeline(ds, core.DefaultConfig())
+	ids := make([]model.AddressID, len(ds.Addresses))
+	for i, a := range ds.Addresses {
+		ids[i] = a.ID
+	}
+	samples := pipe.BuildSamples(ids, core.DefaultSampleOptions())
+	core.LabelSamples(samples, ds.Truth)
+	var labelled []*core.Sample
+	for _, s := range samples {
+		if s.Label >= 0 {
+			labelled = append(labelled, s)
+		}
+	}
+	nVal := len(labelled) / 5
+	m := core.NewLocMatcher(eval.ExperimentLocMatcherConfig())
+	if _, err := m.Fit(labelled[nVal:], labelled[:nVal]); err != nil {
+		return nil, err
+	}
+	out := make(map[model.AddressID]geo.Point, len(samples))
+	for _, s := range samples {
+		out[s.Addr] = s.PredictedLocation(m.Predict(s))
+	}
+	return out, nil
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	data := fs.String("data", "data.json.gz", "dataset path")
+	out := fs.String("out", "locations.json", "output path for inferred locations")
+	fs.Parse(args)
+	ds, err := model.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	locs, err := trainAndInfer(ds)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	table := make(map[string][2]float64, len(locs))
+	for id, p := range locs {
+		table[fmt.Sprint(id)] = [2]float64{p.X, p.Y}
+	}
+	if err := json.NewEncoder(f).Encode(table); err != nil {
+		return err
+	}
+	fmt.Printf("inferred %d delivery locations -> %s\n", len(locs), *out)
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	data := fs.String("data", "data.json.gz", "dataset path")
+	fs.Parse(args)
+	ds, err := model.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	locs, err := trainAndInfer(ds)
+	if err != nil {
+		return err
+	}
+	var errs []float64
+	for id, truth := range ds.Truth {
+		if pred, ok := locs[id]; ok {
+			errs = append(errs, geo.Dist(pred, truth))
+		}
+	}
+	m := eval.Compute(errs)
+	fmt.Printf("DLInfMA on %s (all addresses, including training regions):\n", ds.Name)
+	fmt.Printf("  MAE=%.1f m  P95=%.1f m  beta50=%.1f%%  n=%d\n", m.MAE, m.P95, m.Beta50, m.N)
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	data := fs.String("data", "data.json.gz", "dataset path")
+	listen := fs.String("listen", ":8080", "HTTP listen address")
+	fs.Parse(args)
+	ds, err := model.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	locs, err := trainAndInfer(ds)
+	if err != nil {
+		return err
+	}
+	store := deploy.NewStore()
+	store.LoadDataset(ds)
+	for id, p := range locs {
+		store.Put(id, p)
+	}
+	fmt.Printf("serving %d inferred locations on %s (GET /location?addr=N)\n", store.Len(), *listen)
+	return http.ListenAndServe(*listen, deploy.Handler(store))
+}

@@ -1,0 +1,13 @@
+// Package dlinfma is a from-scratch Go reproduction of "Discovering Actual
+// Delivery Locations from Mis-Annotated Couriers' Trajectories" (Ruan et
+// al., ICDE 2022): the DLInfMA pipeline, the LocMatcher attention model, all
+// baselines of the paper's evaluation, a synthetic delivery-world generator
+// standing in for the proprietary JD Logistics datasets, and the deployed
+// system of Section VI.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and the
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section; the cmd/experiments binary prints them in one
+// run.
+package dlinfma

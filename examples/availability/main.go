@@ -1,0 +1,95 @@
+// Customer availability inference (Application 2, Section VI-C): recover the
+// actual delivery hour of each waybill from the stay point nearest the
+// inferred delivery location, and compare the learned availability windows
+// against windows learned from the (possibly batch-delayed) recorded times.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/eval"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/synth"
+	"dlinfma/internal/traj"
+)
+
+func main() {
+	// Generate with heavy batch delays and long trips (many orders per
+	// courier-day) so recorded hours are skewed across hour boundaries.
+	p := synth.Tiny()
+	p.DelayProb = 0.9
+	p.MinOrders, p.MaxOrders = 35, 45
+	p.Days = 20
+	ds, _, err := synth.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Infer delivery locations with DLInfMA.
+	pipe := core.NewPipeline(ds, core.DefaultConfig())
+	ids := make([]model.AddressID, len(ds.Addresses))
+	for i, a := range ds.Addresses {
+		ids[i] = a.ID
+	}
+	samples := pipe.BuildSamples(ids, core.DefaultSampleOptions())
+	core.LabelSamples(samples, ds.Truth)
+	matcher := core.NewLocMatcher(eval.ExperimentLocMatcherConfig())
+	if _, err := matcher.Fit(samples, nil); err != nil {
+		log.Fatal(err)
+	}
+	inferred := make(map[model.AddressID]geo.Point)
+	for _, s := range samples {
+		inferred[s.Addr] = s.PredictedLocation(matcher.Predict(s))
+	}
+
+	// Availability from recorded times vs from recovered actual times.
+	recorded := deploy.NewAvailabilityModel()
+	recorded.ObserveDataset(ds, nil, traj.DefaultNoiseFilter(), traj.DefaultStayPointConfig(), 50)
+	actual := deploy.NewAvailabilityModel()
+	actual.ObserveDataset(ds, inferred, traj.DefaultNoiseFilter(), traj.DefaultStayPointConfig(), 50)
+
+	// Pick the busiest addresses and show their weekday windows.
+	type busy struct {
+		addr model.AddressID
+		n    float64
+	}
+	var top []busy
+	for _, a := range ds.Addresses {
+		if n := actual.Deliveries(a.ID); n >= 6 {
+			top = append(top, busy{a.ID, n})
+		}
+	}
+	fmt.Println("weekday availability windows (threshold: p >= 0.08)")
+	fmt.Println("addr  deliveries  from recorded times     from recovered actual times")
+	shown := 0
+	for _, b := range top {
+		if shown >= 6 {
+			break
+		}
+		shown++
+		fmt.Printf("%4d  %10.0f  %-22s  %s\n", b.addr, b.n,
+			windows(recorded, b.addr), windows(actual, b.addr))
+	}
+	fmt.Println("\nBatch confirmations pile recorded times onto late batch stops, smearing")
+	fmt.Println("windows toward the end of the trip; recovered actual times restore the")
+	fmt.Println("true morning delivery pattern.")
+}
+
+func windows(m *deploy.AvailabilityModel, addr model.AddressID) string {
+	var parts []string
+	for _, w := range m.Windows(addr, 0.08) {
+		if w.Weekend {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%02d-%02dh", w.StartHour, w.EndHour))
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, ",")
+}

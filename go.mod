@@ -1,0 +1,3 @@
+module dlinfma
+
+go 1.22

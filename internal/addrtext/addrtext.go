@@ -1,0 +1,158 @@
+// Package addrtext models the textual side of shipping addresses: a
+// generator of community/building/unit address strings for the synthetic
+// world, and the address segmentation + gazetteer resolution that the paper
+// obtains from a commercial tool (footnote 3). It reproduces the paper's
+// Figure 12(a) failure mode mechanically: communities with near-identical
+// names ("Sanyi Li" vs "Sanyi Xili") resolve to the wrong gazetteer entry
+// when the parser falls back to fuzzy matching.
+package addrtext
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Address is a parsed shipping address.
+type Address struct {
+	Community string
+	Building  int
+	Unit      int
+}
+
+// String renders the address in the generator's canonical format.
+func (a Address) String() string {
+	return fmt.Sprintf("%s %d-hao Lou, Unit %d", a.Community, a.Building, a.Unit)
+}
+
+// communityRoots are pinyin-style community base names; suffixes multiply
+// them into a district's worth of names, some deliberately confusable.
+var communityRoots = []string{
+	"Sanyi", "Huaqing", "Anzhen", "Wangjing", "Taiyang", "Jinsong",
+	"Fangzhuang", "Shuangjing", "Ganlu", "Liulitun", "Dongba", "Caoyang",
+}
+
+var communitySuffixes = []string{"Li", "Xili", "Dongli", "Beili", "Yuan", "Jiayuan"}
+
+// CommunityName returns a deterministic name for community index i. Indexes
+// that share a root but differ in suffix ("Sanyi Li" vs "Sanyi Xili") are
+// the confusable siblings of the paper's case study.
+func CommunityName(i int) string {
+	root := communityRoots[i%len(communityRoots)]
+	suffix := communitySuffixes[(i/len(communityRoots))%len(communitySuffixes)]
+	gen := i / (len(communityRoots) * len(communitySuffixes))
+	if gen == 0 {
+		return root + " " + suffix
+	}
+	return fmt.Sprintf("%s %s %d-qu", root, suffix, gen+1)
+}
+
+// Format renders a full address string for a community index, building
+// number and unit number.
+func Format(communityIdx, building, unit int) string {
+	return Address{Community: CommunityName(communityIdx), Building: building, Unit: unit}.String()
+}
+
+// addressRE captures "<community> <building>-hao Lou, Unit <unit>".
+var addressRE = regexp.MustCompile(`^(.+?)\s+(\d+)-hao Lou, Unit\s+(\d+)$`)
+
+// Segment splits a raw address string into its components without resolving
+// the community against a gazetteer. It is tolerant of case and surrounding
+// whitespace.
+func Segment(raw string) (Address, error) {
+	m := addressRE.FindStringSubmatch(strings.TrimSpace(raw))
+	if m == nil {
+		return Address{}, fmt.Errorf("addrtext: unparseable address %q", raw)
+	}
+	b, err := strconv.Atoi(m[2])
+	if err != nil {
+		return Address{}, err
+	}
+	u, err := strconv.Atoi(m[3])
+	if err != nil {
+		return Address{}, err
+	}
+	return Address{Community: strings.TrimSpace(m[1]), Building: b, Unit: u}, nil
+}
+
+// Gazetteer resolves community names to ids, with fuzzy fallback.
+type Gazetteer struct {
+	exact map[string]int
+	names []string
+}
+
+// NewGazetteer indexes the given community names; the id of a name is its
+// slice index.
+func NewGazetteer(names []string) *Gazetteer {
+	g := &Gazetteer{exact: make(map[string]int, len(names)), names: append([]string(nil), names...)}
+	for i, n := range names {
+		g.exact[normalize(n)] = i
+	}
+	return g
+}
+
+func normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// Resolve returns the community id for name. Exact (normalized) matches win;
+// otherwise the entry with minimum edit distance is returned — the fuzzy
+// fallback that makes similarly named communities confusable, exactly the
+// behaviour the paper's case study attributes to the commercial geocoder.
+// ok is false when the gazetteer is empty.
+func (g *Gazetteer) Resolve(name string) (id int, exact, ok bool) {
+	if len(g.names) == 0 {
+		return 0, false, false
+	}
+	n := normalize(name)
+	if id, found := g.exact[n]; found {
+		return id, true, true
+	}
+	best, bestD := 0, 1<<30
+	for i, cand := range g.names {
+		if d := editDistance(n, normalize(cand)); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, false, true
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// Parse segments raw and resolves its community against the gazetteer,
+// returning the address with the resolved community id.
+func Parse(raw string, g *Gazetteer) (Address, int, error) {
+	a, err := Segment(raw)
+	if err != nil {
+		return Address{}, -1, err
+	}
+	id, _, ok := g.Resolve(a.Community)
+	if !ok {
+		return a, -1, fmt.Errorf("addrtext: empty gazetteer")
+	}
+	return a, id, nil
+}

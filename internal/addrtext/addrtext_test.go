@@ -1,0 +1,145 @@
+package addrtext
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommunityNamesDistinct(t *testing.T) {
+	seen := map[string]int{}
+	for i := 0; i < 200; i++ {
+		n := CommunityName(i)
+		if prev, ok := seen[n]; ok {
+			t.Fatalf("names %d and %d collide: %q", prev, i, n)
+		}
+		seen[n] = i
+	}
+}
+
+func TestConfusableSiblingsExist(t *testing.T) {
+	// Indexes i and i+len(roots) share a root with different suffixes.
+	a := CommunityName(0)  // Sanyi Li
+	b := CommunityName(12) // Sanyi Xili
+	if !strings.HasPrefix(a, "Sanyi") || !strings.HasPrefix(b, "Sanyi") {
+		t.Fatalf("expected shared root: %q vs %q", a, b)
+	}
+	if a == b {
+		t.Fatal("siblings must differ")
+	}
+	if editDistance(normalize(a), normalize(b)) > 3 {
+		t.Errorf("siblings %q and %q should be near-identical", a, b)
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	f := func(ci uint8, bld, unit uint8) bool {
+		raw := Format(int(ci)%100, int(bld)%50+1, int(unit)%30+1)
+		a, err := Segment(raw)
+		if err != nil {
+			return false
+		}
+		return a.String() == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentTolerance(t *testing.T) {
+	a, err := Segment("  Sanyi Li 3-hao Lou, Unit   12  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Community != "Sanyi Li" || a.Building != 3 || a.Unit != 12 {
+		t.Errorf("parsed %+v", a)
+	}
+	for _, bad := range []string{"", "gibberish", "Sanyi Li Lou Unit 3", "X y-hao Lou, Unit z"} {
+		if _, err := Segment(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestGazetteerExactResolution(t *testing.T) {
+	names := []string{CommunityName(0), CommunityName(1), CommunityName(12)}
+	g := NewGazetteer(names)
+	id, exact, ok := g.Resolve("sanyi  li") // case/space-insensitive
+	if !ok || !exact || id != 0 {
+		t.Errorf("Resolve = (%d, %v, %v)", id, exact, ok)
+	}
+}
+
+func TestGazetteerFuzzyConfusion(t *testing.T) {
+	// A gazetteer that lacks the exact community falls back to the nearest
+	// name — confusing "Sanyi Li" with "Sanyi Xili", the Figure 12(a) case.
+	g := NewGazetteer([]string{"Sanyi Xili", "Wangjing Yuan"})
+	id, exact, ok := g.Resolve("Sanyi Li")
+	if !ok || exact {
+		t.Fatalf("expected fuzzy resolution, got exact=%v ok=%v", exact, ok)
+	}
+	if id != 0 {
+		t.Errorf("resolved to %d (%q), want the confusable sibling", id, "Sanyi Xili")
+	}
+}
+
+func TestGazetteerEmpty(t *testing.T) {
+	g := NewGazetteer(nil)
+	if _, _, ok := g.Resolve("anything"); ok {
+		t.Error("empty gazetteer should not resolve")
+	}
+	if _, _, err := Parse("Sanyi Li 1-hao Lou, Unit 1", g); err == nil {
+		t.Error("Parse against empty gazetteer should error")
+	}
+}
+
+func TestParse(t *testing.T) {
+	g := NewGazetteer([]string{CommunityName(0), CommunityName(1)})
+	a, id, err := Parse(Format(1, 7, 3), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || a.Building != 7 || a.Unit != 3 {
+		t.Errorf("Parse = %+v id=%d", a, id)
+	}
+	if _, _, err := Parse("not an address", g); err == nil {
+		t.Error("unparseable input accepted")
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "ab", 2},
+		{"kitten", "sitting", 3},
+		{"sanyi li", "sanyi xili", 2},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 || len(b) > 40 {
+			return true
+		}
+		d := editDistance(a, b)
+		if d != editDistance(b, a) {
+			return false
+		}
+		if (d == 0) != (a == b) {
+			return false
+		}
+		return d <= max(len([]rune(a)), len([]rune(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+
+	"dlinfma/internal/cluster"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/tree"
+)
+
+// GeoRank (paper ref [6]) treats the address's annotated locations as
+// delivery-location candidates and trains a pairwise ranking model with a
+// decision tree base learner (1024 leaves); at inference the candidate
+// winning the most pairwise comparisons is selected. Because its candidates
+// come only from annotations, delayed confirmations poison its candidate set
+// — the weakness DLInfMA's trajectory-based candidates fix.
+type GeoRank struct {
+	// ClusterD merges nearby annotations into candidates (40 m default).
+	ClusterD float64
+	model    *tree.Tree
+}
+
+// Name implements Method.
+func (g *GeoRank) Name() string { return "GeoRank" }
+
+// annCandidate is one annotation-derived candidate.
+type annCandidate struct {
+	loc   geo.Point
+	feats []float64
+}
+
+// annCandidates clusters an address's annotations and featurizes each
+// cluster: support fraction, distance to the geocode, mean distance to all
+// annotations, and absolute support.
+func (g *GeoRank) annCandidates(env *Env, addr model.AddressID) []annCandidate {
+	pts := env.annotationPoints(addr)
+	if len(pts) == 0 {
+		return nil
+	}
+	d := g.ClusterD
+	if d <= 0 {
+		d = 40
+	}
+	info, _ := env.Info(addr)
+	var out []annCandidate
+	for _, c := range cluster.Hierarchical(pts, d) {
+		var meanD float64
+		for _, p := range pts {
+			meanD += geo.Dist(c.Centroid, p)
+		}
+		meanD /= float64(len(pts))
+		out = append(out, annCandidate{
+			loc: c.Centroid,
+			feats: []float64{
+				float64(len(c.Members)) / float64(len(pts)),
+				geo.Dist(c.Centroid, info.Geocode) / 100,
+				meanD / 100,
+				float64(len(c.Members)),
+			},
+		})
+	}
+	return out
+}
+
+func diffFeats(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Fit implements Method: pairwise examples (positive minus negative labelled
+// 1, the reverse labelled 0) train the decision tree.
+func (g *GeoRank) Fit(env *Env, train, _ []model.AddressID) error {
+	var x [][]float64
+	var y []float64
+	for _, addr := range train {
+		truth, ok := env.DS.Truth[addr]
+		if !ok {
+			continue
+		}
+		cands := g.annCandidates(env, addr)
+		if len(cands) < 2 {
+			continue
+		}
+		pos, posD := -1, math.Inf(1)
+		for i, c := range cands {
+			if d := geo.Dist(c.loc, truth); d < posD {
+				pos, posD = i, d
+			}
+		}
+		for i, c := range cands {
+			if i == pos {
+				continue
+			}
+			x = append(x, diffFeats(cands[pos].feats, c.feats))
+			y = append(y, 1)
+			x = append(x, diffFeats(c.feats, cands[pos].feats))
+			y = append(y, 0)
+		}
+	}
+	if len(x) == 0 {
+		return errors.New("baselines: GeoRank has no training pairs")
+	}
+	g.model = tree.Fit(x, y, nil, tree.Config{MaxLeafNodes: 1024})
+	return nil
+}
+
+// Predict implements Method: round-robin voting among candidates.
+func (g *GeoRank) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
+	cands := g.annCandidates(env, addr)
+	switch {
+	case len(cands) == 0:
+		return geo.Point{}, false
+	case len(cands) == 1:
+		return cands[0].loc, true
+	case g.model == nil:
+		return cands[0].loc, true
+	}
+	wins := make([]int, len(cands))
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			if g.model.Predict(diffFeats(cands[i].feats, cands[j].feats)) > 0.5 {
+				wins[i]++
+			} else {
+				wins[j]++
+			}
+		}
+	}
+	best := 0
+	for i, w := range wins {
+		if w > wins[best] {
+			best = i
+		}
+	}
+	return cands[best].loc, true
+}

@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"math"
+
+	"dlinfma/internal/cluster"
+	"dlinfma/internal/core"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// Geocoding predicts the geocoded waybill location — the industry default
+// the paper improves upon.
+type Geocoding struct{}
+
+// Name implements Method.
+func (Geocoding) Name() string { return "Geocoding" }
+
+// Fit implements Method (no training).
+func (Geocoding) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+
+// Predict implements Method.
+func (Geocoding) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
+	info, ok := env.Info(addr)
+	return info.Geocode, ok
+}
+
+// Annotation (paper ref [5]) predicts the spatial centroid of the address's
+// annotated locations.
+type Annotation struct{}
+
+// Name implements Method.
+func (Annotation) Name() string { return "Annotation" }
+
+// Fit implements Method (no training).
+func (Annotation) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+
+// Predict implements Method.
+func (Annotation) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
+	pts := env.annotationPoints(addr)
+	if len(pts) == 0 {
+		return geo.Point{}, false
+	}
+	return geo.Centroid(pts), true
+}
+
+// GeoCloud (paper ref [19]) runs DBSCAN over the annotated locations and
+// predicts the centroid of the largest cluster, filtering mis-annotations
+// when they are a minority. The paper sets min points to 1 so that rarely
+// delivered addresses still produce a cluster.
+type GeoCloud struct {
+	// Eps is the DBSCAN radius in meters (30 m default).
+	Eps float64
+}
+
+// Name implements Method.
+func (GeoCloud) Name() string { return "GeoCloud" }
+
+// Fit implements Method (no training).
+func (GeoCloud) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+
+// Predict implements Method.
+func (g GeoCloud) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
+	pts := env.annotationPoints(addr)
+	if len(pts) == 0 {
+		return geo.Point{}, false
+	}
+	eps := g.Eps
+	if eps <= 0 {
+		eps = 30
+	}
+	c, _ := cluster.LargestDBSCANCluster(pts, eps, 1)
+	return c, true
+}
+
+// MinDist predicts the DLInfMA location candidate nearest the geocoded
+// waybill location.
+type MinDist struct{}
+
+// Name implements Method.
+func (MinDist) Name() string { return "MinDist" }
+
+// Fit implements Method (no training).
+func (MinDist) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+
+// Predict implements Method.
+func (MinDist) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
+	s := env.Samples(core.DefaultSampleOptions(), false)[addr]
+	if s == nil || len(s.Cands) == 0 {
+		return geo.Point{}, false
+	}
+	best, bestD := 0, math.Inf(1)
+	for i, c := range s.Cands {
+		if c.Dist < bestD {
+			best, bestD = i, c.Dist
+		}
+	}
+	return s.Cands[best].Loc, true
+}
+
+// MaxTC predicts the candidate with maximum trip coverage; ties break toward
+// the candidate closer to the geocode.
+type MaxTC struct{}
+
+// Name implements Method.
+func (MaxTC) Name() string { return "MaxTC" }
+
+// Fit implements Method (no training).
+func (MaxTC) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+
+// Predict implements Method.
+func (MaxTC) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
+	s := env.Samples(core.DefaultSampleOptions(), false)[addr]
+	if s == nil || len(s.Cands) == 0 {
+		return geo.Point{}, false
+	}
+	best := 0
+	for i, c := range s.Cands {
+		// First-max tie-break: the paper's MaxTC knows nothing but TC.
+		if c.TC > s.Cands[best].TC {
+			best = i
+		}
+	}
+	return s.Cands[best].Loc, true
+}
+
+// MaxTCILC predicts the candidate maximizing TC-ILC (Equation (5)), the
+// TF-IDF-inspired score TC x 1/LC. A small epsilon keeps zero-LC candidates
+// finite while still dominating.
+type MaxTCILC struct{}
+
+// Name implements Method.
+func (MaxTCILC) Name() string { return "MaxTC-ILC" }
+
+// Fit implements Method (no training).
+func (MaxTCILC) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+
+// Predict implements Method.
+func (MaxTCILC) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
+	s := env.Samples(core.DefaultSampleOptions(), false)[addr]
+	if s == nil || len(s.Cands) == 0 {
+		return geo.Point{}, false
+	}
+	// Equation (5) with add-one smoothing: the literal TC x 1/LC diverges at
+	// LC = 0 and lets rarely visited locations that happen to co-occur only
+	// with this building outscore the true location. TC/(1+LC) keeps the
+	// intended monotone LC penalty (the station with LC near 1 loses half
+	// its score) while staying finite.
+	best, bestScore := 0, -1.0
+	for i, c := range s.Cands {
+		score := c.TC / (1 + c.LC)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return s.Cands[best].Loc, true
+}

@@ -1,0 +1,273 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/nn"
+)
+
+// UNet-based baseline (paper ref [20], customer-location input removed for
+// fairness as in Section V-B): rasterize the address's annotated locations
+// onto a 9x9 grid of GeoHash-8-sized cells (~32 m x 19 m) centered at the
+// cell with the most annotations, then train a small UNet to segment the
+// delivery-location pixel. The predicted location is the center of the
+// argmax pixel — which caps accuracy at half a cell and fails entirely when
+// noisy annotations push the truth outside the 9x9 window, exactly the
+// failure modes the paper reports for this baseline.
+type UNetBased struct {
+	// Cell sizes in meters; defaults approximate GeoHash-8 at Beijing.
+	CellW, CellH float64
+	// Training hyper-parameters.
+	LR       float64
+	Epochs   int
+	Batch    int
+	Patience int
+	Seed     int64
+
+	net *unetModel
+}
+
+const unetGrid = 9 // 9x9 pixels, as in the paper
+
+// Name implements Method.
+func (u *UNetBased) Name() string { return "UNet-based" }
+
+func (u *UNetBased) defaults() {
+	if u.CellW == 0 {
+		u.CellW = 32
+	}
+	if u.CellH == 0 {
+		u.CellH = 19
+	}
+	if u.LR == 0 {
+		u.LR = 1e-3
+	}
+	if u.Epochs == 0 {
+		u.Epochs = 25
+	}
+	if u.Batch == 0 {
+		u.Batch = 8
+	}
+	if u.Patience == 0 {
+		u.Patience = 4
+	}
+}
+
+// raster is one address's input image and geometry.
+type raster struct {
+	img     []float64 // 1 x 9 x 9 annotation density
+	originX float64   // world coordinates of pixel (0,0)'s corner
+	originY float64
+}
+
+// rasterize builds the 9x9 annotation-density image for an address.
+func (u *UNetBased) rasterize(env *Env, addr model.AddressID) (raster, bool) {
+	u.defaults()
+	pts := env.annotationPoints(addr)
+	if len(pts) == 0 {
+		return raster{}, false
+	}
+	// Mode cell in global grid coordinates.
+	counts := make(map[[2]int]int)
+	for _, p := range pts {
+		counts[[2]int{int(math.Floor(p.X / u.CellW)), int(math.Floor(p.Y / u.CellH))}]++
+	}
+	var mode [2]int
+	best := -1
+	for c, n := range counts {
+		if n > best || (n == best && (c[0] < mode[0] || (c[0] == mode[0] && c[1] < mode[1]))) {
+			mode, best = c, n
+		}
+	}
+	r := raster{
+		img:     make([]float64, unetGrid*unetGrid),
+		originX: float64(mode[0]-unetGrid/2) * u.CellW,
+		originY: float64(mode[1]-unetGrid/2) * u.CellH,
+	}
+	maxV := 0.0
+	for _, p := range pts {
+		px := int(math.Floor((p.X - r.originX) / u.CellW))
+		py := int(math.Floor((p.Y - r.originY) / u.CellH))
+		if px < 0 || px >= unetGrid || py < 0 || py >= unetGrid {
+			continue
+		}
+		r.img[py*unetGrid+px]++
+		if r.img[py*unetGrid+px] > maxV {
+			maxV = r.img[py*unetGrid+px]
+		}
+	}
+	if maxV > 0 {
+		for i := range r.img {
+			r.img[i] /= maxV
+		}
+	}
+	return r, true
+}
+
+// pixelOf returns the flat pixel index of a world point, or -1 if outside.
+func (u *UNetBased) pixelOf(r raster, p geo.Point) int {
+	px := int(math.Floor((p.X - r.originX) / u.CellW))
+	py := int(math.Floor((p.Y - r.originY) / u.CellH))
+	if px < 0 || px >= unetGrid || py < 0 || py >= unetGrid {
+		return -1
+	}
+	return py*unetGrid + px
+}
+
+// pixelCenter returns the world coordinates of a pixel's center.
+func (u *UNetBased) pixelCenter(r raster, idx int) geo.Point {
+	px, py := idx%unetGrid, idx/unetGrid
+	return geo.Point{
+		X: r.originX + (float64(px)+0.5)*u.CellW,
+		Y: r.originY + (float64(py)+0.5)*u.CellH,
+	}
+}
+
+// unetModel is a compact UNet: two down levels, a bottleneck, two up levels
+// with skip connections, and a 1x1 head.
+type unetModel struct {
+	enc1, enc2, mid, dec2, dec1, head *nn.ConvLayer
+	rng                               *rand.Rand
+}
+
+func newUNet(seed int64) *unetModel {
+	rng := rand.New(rand.NewSource(seed))
+	return &unetModel{
+		enc1: nn.NewConvLayer(rng, 1, 8, 3),
+		enc2: nn.NewConvLayer(rng, 8, 16, 3),
+		mid:  nn.NewConvLayer(rng, 16, 16, 3),
+		dec2: nn.NewConvLayer(rng, 32, 16, 3), // mid-up ++ enc2 skip
+		dec1: nn.NewConvLayer(rng, 24, 8, 3),  // dec2-up ++ enc1 skip
+		head: nn.NewConvLayer(rng, 8, 1, 1),
+		rng:  rng,
+	}
+}
+
+func (m *unetModel) params() []*nn.Tensor {
+	var ps []*nn.Tensor
+	for _, l := range []*nn.ConvLayer{m.enc1, m.enc2, m.mid, m.dec2, m.dec1, m.head} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// forward maps a [1,9,9] image to [1,9,9] logits.
+func (m *unetModel) forward(img *nn.Tensor) *nn.Tensor {
+	e1 := nn.ReLU(m.enc1.Forward(img))                       // [8,9,9]
+	p1 := nn.MaxPool2D(e1)                                   // [8,5,5]
+	e2 := nn.ReLU(m.enc2.Forward(p1))                        // [16,5,5]
+	p2 := nn.MaxPool2D(e2)                                   // [16,3,3]
+	mid := nn.ReLU(m.mid.Forward(p2))                        // [16,3,3]
+	u2 := nn.UpsampleNearest(mid, 5, 5)                      // [16,5,5]
+	d2 := nn.ReLU(m.dec2.Forward(nn.ConcatChannels(u2, e2))) // [16,5,5]
+	u1 := nn.UpsampleNearest(d2, 9, 9)                       // [16,9,9]
+	d1 := nn.ReLU(m.dec1.Forward(nn.ConcatChannels(u1, e1))) // [8,9,9]
+	return m.head.Forward(d1)                                // [1,9,9]
+}
+
+// Fit implements Method: cross-entropy over the 81 pixels against the
+// ground-truth pixel, for train addresses whose truth lies inside the
+// window.
+func (u *UNetBased) Fit(env *Env, train, val []model.AddressID) error {
+	u.defaults()
+	type ex struct {
+		r      raster
+		target int
+	}
+	build := func(ids []model.AddressID) []ex {
+		var out []ex
+		for _, addr := range ids {
+			truth, ok := env.DS.Truth[addr]
+			if !ok {
+				continue
+			}
+			r, ok := u.rasterize(env, addr)
+			if !ok {
+				continue
+			}
+			if t := u.pixelOf(r, truth); t >= 0 {
+				out = append(out, ex{r, t})
+			}
+		}
+		return out
+	}
+	trainEx, valEx := build(train), build(val)
+	if len(trainEx) == 0 {
+		return errors.New("baselines: UNet has no in-window training examples")
+	}
+	m := newUNet(u.Seed + 1)
+	params := m.params()
+	opt := nn.NewAdam(u.LR)
+	stopper := nn.NewEarlyStopper(u.Patience)
+	best := nn.CloneParams(params)
+	rng := rand.New(rand.NewSource(u.Seed + 2))
+	idx := make([]int, len(trainEx))
+	for i := range idx {
+		idx[i] = i
+	}
+	meanLoss := func(exs []ex) float64 {
+		if len(exs) == 0 {
+			return math.Inf(1)
+		}
+		var s float64
+		for _, e := range exs {
+			logits := m.forward(nn.NewTensor(e.r.img, 1, unetGrid, unetGrid))
+			s += nn.PixelCrossEntropy(nn.Reshape(logits, unetGrid*unetGrid), e.target).Value()
+		}
+		return s / float64(len(exs))
+	}
+	for epoch := 0; epoch < u.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nn.ZeroGrads(params)
+		inBatch := 0
+		for _, i := range idx {
+			e := trainEx[i]
+			logits := m.forward(nn.NewTensor(e.r.img, 1, unetGrid, unetGrid))
+			loss := nn.PixelCrossEntropy(nn.Reshape(logits, unetGrid*unetGrid), e.target)
+			nn.Backward(loss)
+			if inBatch++; inBatch == u.Batch {
+				opt.Step(params, float64(inBatch))
+				nn.ZeroGrads(params)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(params, float64(inBatch))
+			nn.ZeroGrads(params)
+		}
+		vl := meanLoss(valEx)
+		if len(valEx) == 0 {
+			vl = meanLoss(trainEx)
+		}
+		stop, improved := stopper.Observe(vl)
+		if improved {
+			nn.CopyParams(best, params)
+		}
+		if stop {
+			break
+		}
+	}
+	nn.CopyParams(params, best)
+	u.net = m
+	return nil
+}
+
+// Predict implements Method: the center of the argmax pixel.
+func (u *UNetBased) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
+	r, ok := u.rasterize(env, addr)
+	if !ok || u.net == nil {
+		return geo.Point{}, false
+	}
+	logits := u.net.forward(nn.NewTensor(r.img, 1, unetGrid, unetGrid))
+	best := 0
+	for i, v := range logits.Data {
+		if v > logits.Data[best] {
+			best = i
+		}
+	}
+	return u.pixelCenter(r, best), true
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import "dlinfma/internal/geo"
+
+// DBSCANNoise marks points not assigned to any cluster by DBSCAN.
+const DBSCANNoise = -1
+
+// DBSCAN clusters pts with the classic density-based algorithm (paper
+// ref [10]). It returns a label per point (DBSCANNoise for noise) and the
+// number of clusters. The GeoCloud baseline runs DBSCAN over annotated
+// delivery locations with minPts = 1 so that sparsely delivered addresses
+// still form clusters.
+func DBSCAN(pts []geo.Point, eps float64, minPts int) (labels []int, nClusters int) {
+	n := len(pts)
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = DBSCANNoise
+	}
+	if n == 0 || eps <= 0 {
+		return labels, 0
+	}
+	if minPts < 1 {
+		minPts = 1
+	}
+	idx := geo.NewIndex(pts, eps)
+	visited := make([]bool, n)
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		neigh := idx.Within(pts[i], eps)
+		if len(neigh) < minPts {
+			continue // noise (may be claimed as a border point later)
+		}
+		// Expand a new cluster from the core point i.
+		labels[i] = cluster
+		queue := append([]int(nil), neigh...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == DBSCANNoise {
+				labels[j] = cluster // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = cluster
+			jn := idx.Within(pts[j], eps)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+		cluster++
+	}
+	return labels, cluster
+}
+
+// LargestDBSCANCluster runs DBSCAN and returns the centroid and size of the
+// biggest cluster. When every point is noise it falls back to the overall
+// centroid with size 0, matching GeoCloud's behaviour of always producing a
+// location.
+func LargestDBSCANCluster(pts []geo.Point, eps float64, minPts int) (geo.Point, int) {
+	labels, k := DBSCAN(pts, eps, minPts)
+	if k == 0 {
+		return geo.Centroid(pts), 0
+	}
+	counts := make([]int, k)
+	for _, l := range labels {
+		if l >= 0 {
+			counts[l]++
+		}
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	var members []geo.Point
+	for i, l := range labels {
+		if l == best {
+			members = append(members, pts[i])
+		}
+	}
+	return geo.Centroid(members), counts[best]
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlinfma/internal/geo"
+)
+
+func TestDBSCANTwoBlobsAndNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var pts []geo.Point
+	for i := 0; i < 30; i++ {
+		pts = append(pts, geo.Point{X: r.NormFloat64() * 3, Y: r.NormFloat64() * 3})
+	}
+	for i := 0; i < 30; i++ {
+		pts = append(pts, geo.Point{X: 200 + r.NormFloat64()*3, Y: r.NormFloat64() * 3})
+	}
+	pts = append(pts, geo.Point{X: 100, Y: 100}) // isolated noise point
+
+	labels, k := DBSCAN(pts, 15, 3)
+	if k != 2 {
+		t.Fatalf("got %d clusters, want 2", k)
+	}
+	if labels[len(labels)-1] != DBSCANNoise {
+		t.Errorf("isolated point labeled %d, want noise", labels[len(labels)-1])
+	}
+	// Points within one blob share a label.
+	for i := 1; i < 30; i++ {
+		if labels[i] != labels[0] {
+			t.Errorf("blob 1 split: labels[%d]=%d labels[0]=%d", i, labels[i], labels[0])
+		}
+	}
+}
+
+func TestDBSCANMinPtsOne(t *testing.T) {
+	// With minPts=1 (GeoCloud's setting) every point becomes a core point,
+	// so there is no noise.
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1000, Y: 1000}}
+	labels, k := DBSCAN(pts, 10, 1)
+	if k != 2 {
+		t.Fatalf("got %d clusters, want 2", k)
+	}
+	for i, l := range labels {
+		if l == DBSCANNoise {
+			t.Errorf("point %d is noise; minPts=1 should prevent that", i)
+		}
+	}
+}
+
+func TestDBSCANEmptyAndInvalid(t *testing.T) {
+	labels, k := DBSCAN(nil, 10, 3)
+	if len(labels) != 0 || k != 0 {
+		t.Errorf("empty input: labels=%v k=%d", labels, k)
+	}
+	labels, k = DBSCAN([]geo.Point{{X: 0, Y: 0}}, 0, 3)
+	if k != 0 || labels[0] != DBSCANNoise {
+		t.Errorf("eps=0: labels=%v k=%d, want all noise", labels, k)
+	}
+}
+
+func TestDBSCANChainConnectivity(t *testing.T) {
+	// Density-connected chain: consecutive points within eps must end up in
+	// one cluster even though the endpoints are far apart.
+	var pts []geo.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geo.Point{X: float64(i) * 8, Y: 0})
+	}
+	labels, k := DBSCAN(pts, 10, 2)
+	if k != 1 {
+		t.Fatalf("chain split into %d clusters, want 1", k)
+	}
+	for i, l := range labels {
+		if l != 0 {
+			t.Errorf("labels[%d] = %d, want 0", i, l)
+		}
+	}
+}
+
+func TestLargestDBSCANCluster(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var pts []geo.Point
+	// Big blob at (0,0) with 40 points, small blob at (300,0) with 5.
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geo.Point{X: r.NormFloat64() * 2, Y: r.NormFloat64() * 2})
+	}
+	for i := 0; i < 5; i++ {
+		pts = append(pts, geo.Point{X: 300 + r.NormFloat64()*2, Y: r.NormFloat64() * 2})
+	}
+	c, size := LargestDBSCANCluster(pts, 15, 1)
+	if size != 40 {
+		t.Fatalf("largest cluster size = %d, want 40", size)
+	}
+	if geo.Dist(c, geo.Point{X: 0, Y: 0}) > 5 {
+		t.Errorf("largest cluster centroid %v, want near origin", c)
+	}
+}
+
+func TestLargestDBSCANClusterAllNoiseFallback(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}}
+	c, size := LargestDBSCANCluster(pts, 10, 3)
+	if size != 0 {
+		t.Errorf("size = %d, want 0 for all-noise", size)
+	}
+	if c.X != 500 {
+		t.Errorf("fallback centroid = %v, want overall centroid (500,0)", c)
+	}
+}
+
+func TestDBSCANBorderPointAssigned(t *testing.T) {
+	// A border point (within eps of a core point but itself not core) must
+	// be claimed by the cluster, not left as noise.
+	pts := []geo.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, // dense core
+		{X: 10, Y: 0}, // border: near the core, no own neighborhood
+	}
+	labels, k := DBSCAN(pts, 11, 3)
+	if k != 1 {
+		t.Fatalf("got %d clusters, want 1", k)
+	}
+	if labels[3] == DBSCANNoise {
+		t.Error("border point left as noise")
+	}
+}

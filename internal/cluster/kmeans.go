@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"dlinfma/internal/geo"
+)
+
+// KMeans clusters pts into k clusters with Lloyd's algorithm and k-means++
+// initialization (paper ref [9]). rng supplies the seeding randomness; pass a
+// fixed-seed source for deterministic output. Empty clusters are reseeded
+// from the farthest point. The paper rejects k-means for candidate pool
+// construction because k must be known in advance; it is kept here as the
+// comparison utility.
+func KMeans(pts []geo.Point, k, maxIter int, rng *rand.Rand) []Cluster {
+	n := len(pts)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centers := kmeansPlusPlus(pts, k, rng)
+	labels := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, ct := range centers {
+				if d := geo.SqDist(p, ct); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Recompute centers.
+		sums := make([]geo.Point, k)
+		counts := make([]int, k)
+		for i, p := range pts {
+			l := labels[i]
+			sums[l].X += p.X
+			sums[l].Y += p.Y
+			counts[l]++
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Reseed an empty cluster at the point farthest from its center.
+				far, farD := 0, -1.0
+				for i, p := range pts {
+					if d := geo.SqDist(p, centers[labels[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centers[c] = pts[far]
+				continue
+			}
+			centers[c] = geo.Point{X: sums[c].X / float64(counts[c]), Y: sums[c].Y / float64(counts[c])}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	out := make([]Cluster, k)
+	for c := range out {
+		out[c] = Cluster{Centroid: centers[c]}
+	}
+	for i, l := range labels {
+		out[l].Members = append(out[l].Members, i)
+		out[l].Weight++
+	}
+	// Drop clusters that ended empty after the final assignment.
+	kept := out[:0]
+	for _, c := range out {
+		if len(c.Members) > 0 {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+func kmeansPlusPlus(pts []geo.Point, k int, rng *rand.Rand) []geo.Point {
+	centers := make([]geo.Point, 0, k)
+	centers = append(centers, pts[rng.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		var sum float64
+		for i, p := range pts {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := geo.SqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining points coincide with existing centers.
+			centers = append(centers, pts[rng.Intn(len(pts))])
+			continue
+		}
+		target := rng.Float64() * sum
+		acc := 0.0
+		pick := len(pts) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, pts[pick])
+	}
+	return centers
+}

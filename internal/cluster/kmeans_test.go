@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlinfma/internal/geo"
+)
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var pts []geo.Point
+	centers := []geo.Point{{X: 0, Y: 0}, {X: 500, Y: 0}, {X: 0, Y: 500}}
+	for _, c := range centers {
+		for i := 0; i < 30; i++ {
+			pts = append(pts, geo.Point{X: c.X + r.NormFloat64()*5, Y: c.Y + r.NormFloat64()*5})
+		}
+	}
+	cs := KMeans(pts, 3, 50, rand.New(rand.NewSource(2)))
+	if len(cs) != 3 {
+		t.Fatalf("got %d clusters, want 3", len(cs))
+	}
+	// Every found centroid should be near one true center.
+	for _, c := range cs {
+		best := 1e18
+		for _, tc := range centers {
+			if d := geo.Dist(c.Centroid, tc); d < best {
+				best = d
+			}
+		}
+		if best > 20 {
+			t.Errorf("centroid %v far from any true center (%.1f m)", c.Centroid, best)
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := KMeans(nil, 3, 10, rng); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := KMeans([]geo.Point{{X: 1, Y: 1}}, 0, 10, rng); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+	// k > n clamps to n.
+	got := KMeans([]geo.Point{{X: 0, Y: 0}, {X: 100, Y: 100}}, 5, 10, rng)
+	if len(got) != 2 {
+		t.Errorf("k>n: got %d clusters, want 2", len(got))
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := []geo.Point{{X: 7, Y: 7}, {X: 7, Y: 7}, {X: 7, Y: 7}}
+	cs := KMeans(pts, 2, 10, rand.New(rand.NewSource(3)))
+	var total int
+	for _, c := range cs {
+		total += len(c.Members)
+	}
+	if total != 3 {
+		t.Errorf("members cover %d points, want 3", total)
+	}
+}
+
+func TestKMeansPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := make([]geo.Point, 100)
+	for i := range pts {
+		pts[i] = geo.Point{X: r.Float64() * 1000, Y: r.Float64() * 1000}
+	}
+	cs := KMeans(pts, 7, 50, rand.New(rand.NewSource(5)))
+	seen := make(map[int]bool)
+	for _, c := range cs {
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("point %d in two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Errorf("partition covers %d points, want 100", len(seen))
+	}
+}

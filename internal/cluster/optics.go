@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"dlinfma/internal/geo"
+)
+
+// OPTICSPoint is one entry of the OPTICS ordering (paper ref [11]).
+type OPTICSPoint struct {
+	Index        int
+	Reachability float64 // +Inf for ordering roots
+	Core         float64 // core distance, +Inf if not a core point
+}
+
+// OPTICS computes the density ordering of pts with parameters eps and
+// minPts. The ordering plus reachability profile generalizes DBSCAN: cutting
+// the reachability plot at any eps' <= eps yields the DBSCAN clustering at
+// eps'. The paper lists OPTICS among the clustering methods adoptable for
+// candidate generation; it is provided for completeness and comparison.
+func OPTICS(pts []geo.Point, eps float64, minPts int) []OPTICSPoint {
+	n := len(pts)
+	if n == 0 || eps <= 0 {
+		return nil
+	}
+	if minPts < 1 {
+		minPts = 1
+	}
+	idx := geo.NewIndex(pts, eps)
+	processed := make([]bool, n)
+	reach := make([]float64, n)
+	for i := range reach {
+		reach[i] = math.Inf(1)
+	}
+
+	coreDist := func(p int) float64 {
+		neigh := idx.Within(pts[p], eps)
+		if len(neigh) < minPts {
+			return math.Inf(1)
+		}
+		ds := make([]float64, len(neigh))
+		for i, q := range neigh {
+			ds[i] = geo.Dist(pts[p], pts[q])
+		}
+		sort.Float64s(ds)
+		return ds[minPts-1]
+	}
+
+	var order []OPTICSPoint
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		processed[start] = true
+		cd := coreDist(start)
+		order = append(order, OPTICSPoint{Index: start, Reachability: math.Inf(1), Core: cd})
+		if math.IsInf(cd, 1) {
+			continue
+		}
+		// Expand with a priority queue on reachability.
+		seeds := &reachHeap{}
+		update := func(center int, centerCore float64) {
+			for _, q := range idx.Within(pts[center], eps) {
+				if processed[q] {
+					continue
+				}
+				nd := math.Max(centerCore, geo.Dist(pts[center], pts[q]))
+				if nd < reach[q] {
+					reach[q] = nd
+					heap.Push(seeds, reachEntry{dist: nd, p: q})
+				}
+			}
+		}
+		update(start, cd)
+		for seeds.Len() > 0 {
+			e := heap.Pop(seeds).(reachEntry)
+			if processed[e.p] || e.dist != reach[e.p] {
+				continue // stale entry
+			}
+			processed[e.p] = true
+			pcd := coreDist(e.p)
+			order = append(order, OPTICSPoint{Index: e.p, Reachability: reach[e.p], Core: pcd})
+			if !math.IsInf(pcd, 1) {
+				update(e.p, pcd)
+			}
+		}
+	}
+	return order
+}
+
+type reachEntry struct {
+	dist float64
+	p    int
+}
+
+type reachHeap []reachEntry
+
+func (h reachHeap) Len() int            { return len(h) }
+func (h reachHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h reachHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *reachHeap) Push(x interface{}) { *h = append(*h, x.(reachEntry)) }
+func (h *reachHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ExtractDBSCAN cuts an OPTICS ordering at epsPrime, returning per-point
+// labels equivalent to DBSCAN at that radius (DBSCANNoise for noise).
+func ExtractDBSCAN(order []OPTICSPoint, n int, epsPrime float64) (labels []int, nClusters int) {
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = DBSCANNoise
+	}
+	cluster := -1
+	for _, o := range order {
+		if o.Reachability > epsPrime {
+			if o.Core <= epsPrime {
+				cluster++
+				labels[o.Index] = cluster
+			}
+			// else: noise
+			continue
+		}
+		if cluster >= 0 {
+			labels[o.Index] = cluster
+		}
+	}
+	return labels, cluster + 1
+}

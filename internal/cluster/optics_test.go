@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dlinfma/internal/geo"
+)
+
+func twoBlobs(r *rand.Rand) []geo.Point {
+	var pts []geo.Point
+	for i := 0; i < 30; i++ {
+		pts = append(pts, geo.Point{X: r.NormFloat64() * 4, Y: r.NormFloat64() * 4})
+	}
+	for i := 0; i < 25; i++ {
+		pts = append(pts, geo.Point{X: 300 + r.NormFloat64()*4, Y: r.NormFloat64() * 4})
+	}
+	return pts
+}
+
+func TestOPTICSOrderingCoversAllPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := twoBlobs(r)
+	order := OPTICS(pts, 50, 4)
+	if len(order) != len(pts) {
+		t.Fatalf("ordering has %d entries, want %d", len(order), len(pts))
+	}
+	seen := make(map[int]bool)
+	for _, o := range order {
+		if seen[o.Index] {
+			t.Fatalf("point %d ordered twice", o.Index)
+		}
+		seen[o.Index] = true
+	}
+}
+
+func TestOPTICSReachabilityValleyStructure(t *testing.T) {
+	// Two dense blobs far apart: the ordering must contain exactly two
+	// low-reachability valleys separated by an infinite jump (the second
+	// blob starts as a new root or with reachability > eps).
+	r := rand.New(rand.NewSource(2))
+	pts := twoBlobs(r)
+	order := OPTICS(pts, 50, 4)
+	jumps := 0
+	for i, o := range order {
+		if i == 0 {
+			continue
+		}
+		if math.IsInf(o.Reachability, 1) || o.Reachability > 50 {
+			jumps++
+		}
+	}
+	if jumps != 1 {
+		t.Errorf("got %d inter-cluster jumps, want 1", jumps)
+	}
+}
+
+func TestExtractDBSCANMatchesDBSCAN(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := twoBlobs(r)
+	const eps, minPts = 30.0, 4
+	order := OPTICS(pts, eps, minPts)
+	oLabels, oK := ExtractDBSCAN(order, len(pts), eps)
+	dLabels, dK := DBSCAN(pts, eps, minPts)
+	if oK != dK {
+		t.Fatalf("OPTICS cut found %d clusters, DBSCAN %d", oK, dK)
+	}
+	// Labels may be permuted; compare partitions.
+	mapping := make(map[int]int)
+	for i := range pts {
+		a, b := oLabels[i], dLabels[i]
+		if (a == DBSCANNoise) != (b == DBSCANNoise) {
+			t.Fatalf("point %d: noise disagreement (%d vs %d)", i, a, b)
+		}
+		if a == DBSCANNoise {
+			continue
+		}
+		if m, ok := mapping[a]; ok {
+			if m != b {
+				t.Fatalf("partition mismatch at %d", i)
+			}
+		} else {
+			mapping[a] = b
+		}
+	}
+}
+
+func TestOPTICSEdgeCases(t *testing.T) {
+	if got := OPTICS(nil, 10, 3); got != nil {
+		t.Error("empty input should yield nil")
+	}
+	if got := OPTICS([]geo.Point{{X: 1, Y: 1}}, 0, 3); got != nil {
+		t.Error("eps=0 should yield nil")
+	}
+	// A single isolated point is ordered but has no core distance.
+	order := OPTICS([]geo.Point{{X: 0, Y: 0}}, 10, 2)
+	if len(order) != 1 || !math.IsInf(order[0].Core, 1) {
+		t.Errorf("lone point order = %+v", order)
+	}
+}
+
+func TestExtractDBSCANTighterCut(t *testing.T) {
+	// Cutting at a smaller eps' splits a two-density blob arrangement.
+	var pts []geo.Point
+	r := rand.New(rand.NewSource(4))
+	// Tight blob and a loose halo 60 m away.
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geo.Point{X: r.NormFloat64() * 2, Y: r.NormFloat64() * 2})
+	}
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geo.Point{X: 60 + r.NormFloat64()*2, Y: r.NormFloat64() * 2})
+	}
+	order := OPTICS(pts, 100, 4)
+	_, kWide := ExtractDBSCAN(order, len(pts), 100)
+	_, kTight := ExtractDBSCAN(order, len(pts), 20)
+	if kWide != 1 {
+		t.Errorf("wide cut found %d clusters, want 1 (bridged)", kWide)
+	}
+	if kTight != 2 {
+		t.Errorf("tight cut found %d clusters, want 2", kTight)
+	}
+}

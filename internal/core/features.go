@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/geocode"
+	"dlinfma/internal/model"
+)
+
+// FeatureMask selects which feature groups the featurizer emits. The zero
+// value (nothing masked out) is produced by AllFeatures. Each DLInfMA-nX
+// ablation in Table II clears one group.
+type FeatureMask struct {
+	TC      bool // trip coverage (matching)
+	LC      bool // location commonality (matching)
+	Dist    bool // distance to the geocoded location (matching)
+	Profile bool // average duration, #couriers, time distribution
+	Address bool // #deliveries + POI category (the context vector)
+}
+
+// AllFeatures enables every feature group.
+func AllFeatures() FeatureMask {
+	return FeatureMask{TC: true, LC: true, Dist: true, Profile: true, Address: true}
+}
+
+// Candidate is one retrieved location candidate of an address with its
+// matching and profile features (Section IV-A).
+type Candidate struct {
+	LocID     int
+	Loc       geo.Point
+	TC        float64 // Equation (1)
+	LC        float64 // Equation (2)
+	Dist      float64 // meters to the geocoded waybill location
+	AvgDur    float64 // seconds
+	NCouriers float64
+	TimeDist  [24]float64
+}
+
+// Sample is the per-address unit of supervised learning and inference: the
+// address features plus all its candidates.
+type Sample struct {
+	Addr        model.AddressID
+	POI         geocode.POICategory
+	NDeliveries float64 // number of trips involving the address
+	Geocode     geo.Point
+	Cands       []Candidate
+
+	// Label indexes the candidate nearest the ground-truth delivery
+	// location (-1 when unlabelled). LabelDist is that candidate's distance
+	// to the truth — the irreducible error of candidate generation.
+	Label     int
+	LabelDist float64
+	Truth     geo.Point
+	HasTruth  bool
+}
+
+// Pipeline binds a dataset to its candidate pool and precomputed per-trip /
+// per-building statistics, and answers retrieval and featurization queries.
+type Pipeline struct {
+	Cfg  Config
+	DS   *model.Dataset
+	Pool *Pool
+
+	tripsOfAddr map[model.AddressID][]int
+	tripsOfBld  map[model.BuildingID][]int
+	tripLocSet  []map[int]struct{} // locations visited per trip (any time)
+	locTrips    []int              // number of trips visiting each location
+	addrInfo    map[model.AddressID]model.AddressInfo
+}
+
+// NewPipeline builds the pool and all retrieval indexes for a dataset.
+func NewPipeline(ds *model.Dataset, cfg Config) *Pipeline {
+	p := &Pipeline{Cfg: cfg, DS: ds, Pool: BuildPool(ds, cfg)}
+	p.buildIndexes()
+	return p
+}
+
+// NewPipelineWithPool wires a prebuilt pool (used by tests and by pool
+// parameter sweeps that reuse stay extraction).
+func NewPipelineWithPool(ds *model.Dataset, cfg Config, pool *Pool) *Pipeline {
+	p := &Pipeline{Cfg: cfg, DS: ds, Pool: pool}
+	p.buildIndexes()
+	return p
+}
+
+func (p *Pipeline) buildIndexes() {
+	p.tripsOfAddr = make(map[model.AddressID][]int)
+	p.tripsOfBld = make(map[model.BuildingID][]int)
+	p.addrInfo = make(map[model.AddressID]model.AddressInfo, len(p.DS.Addresses))
+	for _, a := range p.DS.Addresses {
+		p.addrInfo[a.ID] = a
+	}
+	p.tripLocSet = make([]map[int]struct{}, len(p.DS.Trips))
+	p.locTrips = make([]int, len(p.Pool.Locations))
+	for t := range p.DS.Trips {
+		set := make(map[int]struct{}, len(p.Pool.Visits[t]))
+		for _, v := range p.Pool.Visits[t] {
+			set[v.LocID] = struct{}{}
+		}
+		p.tripLocSet[t] = set
+		for id := range set {
+			p.locTrips[id]++
+		}
+		seenAddr := make(map[model.AddressID]bool)
+		seenBld := make(map[model.BuildingID]bool)
+		for _, w := range p.DS.Trips[t].Waybills {
+			if !seenAddr[w.Addr] {
+				seenAddr[w.Addr] = true
+				p.tripsOfAddr[w.Addr] = append(p.tripsOfAddr[w.Addr], t)
+			}
+			if info, ok := p.addrInfo[w.Addr]; ok && !seenBld[info.Building] {
+				seenBld[info.Building] = true
+				p.tripsOfBld[info.Building] = append(p.tripsOfBld[info.Building], t)
+			}
+		}
+	}
+}
+
+// RetrieveCandidates implements Section III-C: the union, over all trips
+// involving the address, of pool locations whose stay time (interval
+// midpoint) is no later than the waybill's recorded delivery time.
+func (p *Pipeline) RetrieveCandidates(addr model.AddressID) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for _, t := range p.tripsOfAddr[addr] {
+		// Recorded delivery time of this address's waybill in this trip.
+		// With several parcels, any stay before the latest confirmation is
+		// admissible.
+		var td float64 = math.Inf(-1)
+		for _, w := range p.DS.Trips[t].Waybills {
+			if w.Addr == addr && w.RecordedDeliveryT > td {
+				td = w.RecordedDeliveryT
+			}
+		}
+		for _, v := range p.Pool.Visits[t] {
+			if v.MidT <= td {
+				if _, ok := seen[v.LocID]; !ok {
+					seen[v.LocID] = struct{}{}
+					out = append(out, v.LocID)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// retrieveAll returns every location visited by the address's trips,
+// ignoring the recorded-time upper bound (the ablation
+// BenchmarkAblationTemporalFilter compares against this).
+func (p *Pipeline) retrieveAllVisited(addr model.AddressID) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for _, t := range p.tripsOfAddr[addr] {
+		for _, v := range p.Pool.Visits[t] {
+			if _, ok := seen[v.LocID]; !ok {
+				seen[v.LocID] = struct{}{}
+				out = append(out, v.LocID)
+			}
+		}
+	}
+	return out
+}
+
+// TripCoverage computes Equation (1) for location loc and address addr.
+func (p *Pipeline) TripCoverage(loc int, addr model.AddressID) float64 {
+	trips := p.tripsOfAddr[addr]
+	if len(trips) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range trips {
+		if _, ok := p.tripLocSet[t][loc]; ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(trips))
+}
+
+// LocationCommonality computes Equation (2): among trips that involve no
+// address of the same building, the fraction passing through loc. When
+// perAddress is true it uses the address's own trips as the exclusion set
+// instead (the DLInfMA-LCaddr ablation).
+func (p *Pipeline) LocationCommonality(loc int, addr model.AddressID, perAddress bool) float64 {
+	var excluded []int
+	if perAddress {
+		excluded = p.tripsOfAddr[addr]
+	} else if info, ok := p.addrInfo[addr]; ok {
+		excluded = p.tripsOfBld[info.Building]
+	}
+	exSet := make(map[int]struct{}, len(excluded))
+	for _, t := range excluded {
+		exSet[t] = struct{}{}
+	}
+	den := len(p.DS.Trips) - len(exSet)
+	if den <= 0 {
+		return 0
+	}
+	// Total trips visiting loc minus excluded trips visiting loc.
+	num := p.locTrips[loc]
+	for _, t := range excluded {
+		if _, ok := p.tripLocSet[t][loc]; ok {
+			num--
+		}
+	}
+	if num < 0 {
+		num = 0
+	}
+	return float64(num) / float64(den)
+}
+
+// SampleOptions configures featurization.
+type SampleOptions struct {
+	Mask FeatureMask
+	// LCPerAddress switches location commonality to the address-based
+	// exclusion set (DLInfMA-LCaddr).
+	LCPerAddress bool
+	// NoTemporalFilter disables the recorded-time upper bound during
+	// retrieval (extension ablation).
+	NoTemporalFilter bool
+}
+
+// DefaultSampleOptions enables all features with building-level LC.
+func DefaultSampleOptions() SampleOptions { return SampleOptions{Mask: AllFeatures()} }
+
+// BuildSample retrieves and featurizes the candidates of one address. It
+// returns nil when the address has no trips or no admissible candidates.
+func (p *Pipeline) BuildSample(addr model.AddressID, opt SampleOptions) *Sample {
+	info, ok := p.addrInfo[addr]
+	if !ok {
+		return nil
+	}
+	var locs []int
+	if opt.NoTemporalFilter {
+		locs = p.retrieveAllVisited(addr)
+	} else {
+		locs = p.RetrieveCandidates(addr)
+	}
+	if len(locs) == 0 {
+		return nil
+	}
+	s := &Sample{
+		Addr:        addr,
+		POI:         info.POI,
+		NDeliveries: float64(len(p.tripsOfAddr[addr])),
+		Geocode:     info.Geocode,
+		Label:       -1,
+	}
+	for _, id := range locs {
+		l := p.Pool.Locations[id]
+		c := Candidate{LocID: id, Loc: l.Loc}
+		if opt.Mask.TC {
+			c.TC = p.TripCoverage(id, addr)
+		}
+		if opt.Mask.LC {
+			c.LC = p.LocationCommonality(id, addr, opt.LCPerAddress)
+		}
+		if opt.Mask.Dist {
+			c.Dist = geo.Dist(l.Loc, info.Geocode)
+		}
+		if opt.Mask.Profile {
+			c.AvgDur = l.AvgDuration
+			c.NCouriers = float64(l.NCouriers)
+			c.TimeDist = l.TimeDist
+		}
+		s.Cands = append(s.Cands, c)
+	}
+	return s
+}
+
+// BuildSamples featurizes the given addresses, dropping those without
+// candidates.
+func (p *Pipeline) BuildSamples(addrs []model.AddressID, opt SampleOptions) []*Sample {
+	var out []*Sample
+	for _, a := range addrs {
+		if s := p.BuildSample(a, opt); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Label attaches supervision to a sample: the candidate nearest the
+// ground-truth location (the paper labels the nearest candidate positive).
+func (s *Sample) SetLabel(truth geo.Point) {
+	s.Truth = truth
+	s.HasTruth = true
+	best, bestD := -1, math.Inf(1)
+	for i, c := range s.Cands {
+		if d := geo.Dist(c.Loc, truth); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	s.Label = best
+	s.LabelDist = bestD
+}
+
+// LabelSamples attaches ground truth to every sample that has it.
+func LabelSamples(samples []*Sample, truth map[model.AddressID]geo.Point) {
+	for _, s := range samples {
+		if t, ok := truth[s.Addr]; ok {
+			s.SetLabel(t)
+		}
+	}
+}
+
+// FlatDim is the length of the flattened per-candidate feature vector used
+// by the classification and ranking variants: 3 matching + 2 scalar profile
+// + 24 time-distribution + 1 address scalar + 21 POI one-hot.
+const FlatDim = 3 + 2 + 24 + 1 + geocode.NumPOICategories
+
+// FlatFeatures returns the concatenated feature vector of candidate i — the
+// representation the DLInfMA-{GBDT,RF,MLP,RkDT,RkNet} variants consume.
+func (s *Sample) FlatFeatures(i int) []float64 {
+	c := s.Cands[i]
+	out := make([]float64, 0, FlatDim)
+	out = append(out, c.TC, c.LC, c.Dist/100)
+	out = append(out, c.AvgDur/60, c.NCouriers)
+	out = append(out, c.TimeDist[:]...)
+	out = append(out, s.NDeliveries)
+	poi := make([]float64, geocode.NumPOICategories)
+	if s.POI.Valid() {
+		poi[s.POI] = 1
+	}
+	return append(out, poi...)
+}
+
+// PredictedLocation maps a chosen candidate index to its location. It
+// returns the geocode when idx is out of range (the deployed system's
+// fallback).
+func (s *Sample) PredictedLocation(idx int) geo.Point {
+	if idx < 0 || idx >= len(s.Cands) {
+		return s.Geocode
+	}
+	return s.Cands[idx].Loc
+}
+
+// LabelSamplesMap is LabelSamples over a map of samples keyed by address.
+func LabelSamplesMap(samples map[model.AddressID]*Sample, truth map[model.AddressID]geo.Point) {
+	for id, s := range samples {
+		if t, ok := truth[id]; ok {
+			s.SetLabel(t)
+		}
+	}
+}

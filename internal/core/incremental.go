@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sort"
+
+	"dlinfma/internal/cluster"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/traj"
+)
+
+// IncrementalPoolBuilder maintains the candidate pool the way the deployed
+// system does (Sections III-B and V-F): each new time window's stay points
+// are clustered on their own, then the window's candidates are merged with
+// the existing pool by re-clustering weighted centroids. Profiles (duration,
+// couriers, time distribution) merge additively.
+//
+// The one-shot BuildPool is equivalent for offline experiments; this builder
+// exists for the production pattern of appending a new bi-weekly batch of
+// trips without reprocessing history.
+type IncrementalPoolBuilder struct {
+	cfg Config
+
+	// Accumulated pool state: one entry per current candidate.
+	items []incrementalItem
+	// visits records, per appended trip, its stay visits tagged with the
+	// *builder-internal* item index; Finalize rewrites them to final ids.
+	visits [][]rawVisit
+}
+
+type incrementalItem struct {
+	centroid geo.Point
+	weight   float64
+	dur      float64
+	hist     [24]float64
+	couriers map[model.CourierID]struct{}
+	// alive items are current candidates; merged items point to their
+	// successor so old visit tags can be chased to the final location.
+	succ int // -1 while alive
+}
+
+type rawVisit struct {
+	item    int
+	arriveT float64
+	leaveT  float64
+	midT    float64
+}
+
+// NewIncrementalPoolBuilder returns an empty builder.
+func NewIncrementalPoolBuilder(cfg Config) *IncrementalPoolBuilder {
+	if cfg.ClusterDistance <= 0 {
+		cfg.ClusterDistance = 40
+	}
+	return &IncrementalPoolBuilder{cfg: cfg}
+}
+
+// AddWindow ingests one window of trips: extracts stay points, clusters them
+// within the window, and merges the window's candidates into the pool. Trips
+// must be appended across calls in the same order they will appear in the
+// dataset handed to the pipeline.
+func (b *IncrementalPoolBuilder) AddWindow(trips []model.Trip) {
+	// Extract and cluster this window's stay points.
+	type stay struct {
+		sp      traj.StayPoint
+		trip    int // window-relative
+		courier model.CourierID
+	}
+	var stays []stay
+	for ti := range trips {
+		for _, sp := range traj.ExtractStayPoints(trips[ti].Traj, b.cfg.Noise, b.cfg.Stay) {
+			stays = append(stays, stay{sp: sp, trip: ti, courier: trips[ti].Courier})
+		}
+	}
+	pts := make([]geo.Point, len(stays))
+	for i, s := range stays {
+		pts[i] = s.sp.Loc
+	}
+	var windowClusters []cluster.Cluster
+	if b.cfg.UseGridMerge {
+		windowClusters = cluster.GridMerge(pts, b.cfg.ClusterDistance)
+	} else {
+		windowClusters = cluster.Hierarchical(pts, b.cfg.ClusterDistance)
+	}
+
+	// Install the window's candidates as new items and record visits.
+	windowVisits := make([][]rawVisit, len(trips))
+	for _, c := range windowClusters {
+		item := incrementalItem{
+			centroid: c.Centroid,
+			weight:   float64(len(c.Members)),
+			couriers: make(map[model.CourierID]struct{}, 2),
+			succ:     -1,
+		}
+		id := len(b.items)
+		for _, m := range c.Members {
+			s := stays[m]
+			item.dur += s.sp.Duration()
+			hour := int(s.sp.MidT()/3600) % 24
+			if hour < 0 {
+				hour += 24
+			}
+			item.hist[hour]++
+			item.couriers[s.courier] = struct{}{}
+			windowVisits[s.trip] = append(windowVisits[s.trip], rawVisit{
+				item: id, arriveT: s.sp.ArriveT, leaveT: s.sp.LeaveT, midT: s.sp.MidT(),
+			})
+		}
+		b.items = append(b.items, item)
+	}
+	for _, vs := range windowVisits {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].arriveT < vs[j].arriveT })
+		b.visits = append(b.visits, vs)
+	}
+
+	b.mergeAlive()
+}
+
+// mergeAlive re-clusters all alive item centroids (weighted) and merges any
+// that fall together, preserving additive profiles.
+func (b *IncrementalPoolBuilder) mergeAlive() {
+	var aliveIdx []int
+	var wpts []cluster.WeightedPoint
+	for i := range b.items {
+		if b.items[i].succ == -1 {
+			aliveIdx = append(aliveIdx, i)
+			wpts = append(wpts, cluster.WeightedPoint{P: b.items[i].centroid, W: b.items[i].weight})
+		}
+	}
+	for _, c := range cluster.HierarchicalWeighted(wpts, b.cfg.ClusterDistance) {
+		if len(c.Members) < 2 {
+			continue
+		}
+		// Merge into a fresh item.
+		merged := incrementalItem{
+			centroid: c.Centroid,
+			couriers: make(map[model.CourierID]struct{}, 4),
+			succ:     -1,
+		}
+		id := len(b.items)
+		for _, m := range c.Members {
+			it := &b.items[aliveIdx[m]]
+			merged.weight += it.weight
+			merged.dur += it.dur
+			for h := range it.hist {
+				merged.hist[h] += it.hist[h]
+			}
+			for cr := range it.couriers {
+				merged.couriers[cr] = struct{}{}
+			}
+			it.succ = id
+		}
+		b.items = append(b.items, merged)
+	}
+}
+
+// resolve chases succ pointers to the current representative of an item.
+func (b *IncrementalPoolBuilder) resolve(i int) int {
+	for b.items[i].succ != -1 {
+		i = b.items[i].succ
+	}
+	return i
+}
+
+// Finalize produces the Pool. The builder can keep accepting windows after
+// Finalize; each call snapshots the current state.
+func (b *IncrementalPoolBuilder) Finalize() *Pool {
+	// Assign dense ids to alive items.
+	finalID := make(map[int]int)
+	p := &Pool{}
+	for i := range b.items {
+		if b.items[i].succ != -1 {
+			continue
+		}
+		id := len(p.Locations)
+		finalID[i] = id
+		it := &b.items[i]
+		loc := Location{ID: id, Loc: it.centroid, NStays: int(it.weight), NCouriers: len(it.couriers)}
+		if it.weight > 0 {
+			loc.AvgDuration = it.dur / it.weight
+			for h := range it.hist {
+				loc.TimeDist[h] = it.hist[h] / it.weight
+			}
+		}
+		p.Locations = append(p.Locations, loc)
+	}
+	p.Visits = make([][]StayVisit, len(b.visits))
+	for t, vs := range b.visits {
+		out := make([]StayVisit, len(vs))
+		for i, v := range vs {
+			out[i] = StayVisit{
+				LocID:   finalID[b.resolve(v.item)],
+				ArriveT: v.arriveT, LeaveT: v.leaveT, MidT: v.midT,
+			}
+		}
+		p.Visits[t] = out
+	}
+	pts := locPoints(p.Locations)
+	p.index = geo.NewIndex(pts, 50)
+	return p
+}
+
+// BuildPoolIncrementally splits the dataset's trips into windows of the
+// configured length and runs the builder over them — functionally comparable
+// to BuildPool with PoolWindowSeconds set, exposed for the production
+// append-only pattern and its tests.
+func BuildPoolIncrementally(ds *model.Dataset, cfg Config) *Pool {
+	window := cfg.PoolWindowSeconds
+	if window <= 0 {
+		window = 14 * 86400
+	}
+	b := NewIncrementalPoolBuilder(cfg)
+	var batch []model.Trip
+	var windowEnd float64
+	for i, tr := range ds.Trips {
+		if i == 0 {
+			windowEnd = tr.StartT + window
+		}
+		if tr.StartT >= windowEnd {
+			b.AddWindow(batch)
+			batch = nil
+			for tr.StartT >= windowEnd {
+				windowEnd += window
+			}
+		}
+		batch = append(batch, tr)
+	}
+	if len(batch) > 0 {
+		b.AddWindow(batch)
+	}
+	return b.Finalize()
+}

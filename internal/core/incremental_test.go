@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/traj"
+)
+
+// dwellTrip builds a trip that dwells at each of the given locations for
+// 90 s with GPS jitter, starting at t0.
+func dwellTrip(rng *rand.Rand, courier model.CourierID, t0 float64, locs ...geo.Point) model.Trip {
+	var tr traj.Trajectory
+	t := t0
+	for _, l := range locs {
+		for end := t + 90; t < end; t += 10 {
+			tr = append(tr, traj.GPSPoint{
+				P: geo.Point{X: l.X + rng.NormFloat64()*2, Y: l.Y + rng.NormFloat64()*2},
+				T: t,
+			})
+		}
+		// Travel gap.
+		t += 120
+	}
+	return model.Trip{Courier: courier, StartT: t0, EndT: t, Traj: tr}
+}
+
+func TestIncrementalBuilderMergesAcrossWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	site := geo.Point{X: 100, Y: 100}
+	other := geo.Point{X: 500, Y: 100}
+	b := NewIncrementalPoolBuilder(DefaultConfig())
+	// Window 1 visits site; window 2 visits site (slightly offset) and other.
+	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 0, site)})
+	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 14*86400, site.Add(geo.Point{X: 5, Y: 0}), other)})
+	pool := b.Finalize()
+
+	if len(pool.Locations) != 2 {
+		t.Fatalf("got %d locations, want 2 (site merged across windows)", len(pool.Locations))
+	}
+	// The merged site has two stays and the other one.
+	id, d := pool.Nearest(site)
+	if d > 20 {
+		t.Fatalf("no location near site (%.1f m)", d)
+	}
+	if pool.Locations[id].NStays != 2 {
+		t.Errorf("merged site has %d stays, want 2", pool.Locations[id].NStays)
+	}
+	if pool.Locations[id].AvgDuration < 60 {
+		t.Errorf("merged avg duration %.0f too small", pool.Locations[id].AvgDuration)
+	}
+	// Visits reference final ids and are per-trip.
+	if len(pool.Visits) != 2 {
+		t.Fatalf("got %d visit lists, want 2", len(pool.Visits))
+	}
+	for ti, vs := range pool.Visits {
+		if len(vs) == 0 {
+			t.Fatalf("trip %d has no visits", ti)
+		}
+		for _, v := range vs {
+			if v.LocID < 0 || v.LocID >= len(pool.Locations) {
+				t.Fatalf("trip %d visit references id %d", ti, v.LocID)
+			}
+		}
+	}
+}
+
+func TestIncrementalBuilderCourierProfileMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	site := geo.Point{X: 50, Y: 50}
+	b := NewIncrementalPoolBuilder(DefaultConfig())
+	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 0, site)})
+	b.AddWindow([]model.Trip{dwellTrip(rng, 1, 14*86400, site)})
+	pool := b.Finalize()
+	id, _ := pool.Nearest(site)
+	if pool.Locations[id].NCouriers != 2 {
+		t.Errorf("merged location has %d couriers, want 2", pool.Locations[id].NCouriers)
+	}
+}
+
+func TestBuildPoolIncrementallyMatchesOneShot(t *testing.T) {
+	ds, _, _ := tiny(t)
+	cfg := DefaultConfig()
+	inc := BuildPoolIncrementally(ds, cfg)
+	one := BuildPool(ds, cfg)
+
+	if len(inc.Visits) != len(one.Visits) {
+		t.Fatalf("visit lists %d vs %d", len(inc.Visits), len(one.Visits))
+	}
+	for ti := range inc.Visits {
+		if len(inc.Visits[ti]) != len(one.Visits[ti]) {
+			t.Fatalf("trip %d: %d vs %d visits", ti, len(inc.Visits[ti]), len(one.Visits[ti]))
+		}
+	}
+	ratio := float64(len(inc.Locations)) / float64(len(one.Locations))
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("incremental pool %d vs one-shot %d", len(inc.Locations), len(one.Locations))
+	}
+
+	// The pipeline works end to end on the incremental pool.
+	pipe := NewPipelineWithPool(ds, cfg, inc)
+	found := false
+	for _, a := range ds.Addresses {
+		if len(pipe.RetrieveCandidates(a.ID)) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no candidates retrievable from the incremental pool")
+	}
+}
+
+func TestIncrementalBuilderEmptyWindow(t *testing.T) {
+	b := NewIncrementalPoolBuilder(DefaultConfig())
+	b.AddWindow(nil)
+	pool := b.Finalize()
+	if len(pool.Locations) != 0 {
+		t.Errorf("empty builder produced %d locations", len(pool.Locations))
+	}
+}
+
+func TestIncrementalBuilderSnapshotSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewIncrementalPoolBuilder(DefaultConfig())
+	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 0, geo.Point{X: 10, Y: 10})})
+	p1 := b.Finalize()
+	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 14*86400, geo.Point{X: 900, Y: 900})})
+	p2 := b.Finalize()
+	if len(p1.Locations) != 1 || len(p2.Locations) != 2 {
+		t.Errorf("snapshots: %d then %d locations, want 1 then 2", len(p1.Locations), len(p2.Locations))
+	}
+}

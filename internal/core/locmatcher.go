@@ -1,0 +1,357 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dlinfma/internal/geocode"
+	"dlinfma/internal/nn"
+)
+
+// LocMatcherConfig holds the model hyper-parameters; defaults follow
+// Section V-B exactly: POI embedded in R^3, r = 3, z = 8, p = 32, a
+// 3-layer/2-head transformer encoder with 32 feed-forward neurons, dropout
+// 0.1, Adam with lr 1e-4 halved every 5 epochs, batch size 16, early
+// stopping on validation loss.
+type LocMatcherConfig struct {
+	TimeDenseDim  int // r
+	Hidden        int // z
+	AttnHidden    int // p
+	POIEmbDim     int
+	EncoderLayers int
+	Heads         int
+	FF            int
+	Dropout       float64
+	LR            float64
+	Batch         int
+	LRStepEpochs  int
+	MaxEpochs     int
+	Patience      int
+	Seed          int64
+	// NoContext removes the U·c context term from Equation (3) — the
+	// DLInfMA-nA ablation.
+	NoContext bool
+	// UseLSTM replaces the transformer encoder with an LSTM over the
+	// candidate sequence (the DLInfMA-PN variant, following [18]).
+	UseLSTM bool
+	// LSTMHidden is the LSTM's hidden size (the paper uses 32).
+	LSTMHidden int
+}
+
+// DefaultLocMatcherConfig returns the paper's hyper-parameters.
+func DefaultLocMatcherConfig() LocMatcherConfig {
+	return LocMatcherConfig{
+		TimeDenseDim: 3, Hidden: 8, AttnHidden: 32, POIEmbDim: 3,
+		EncoderLayers: 3, Heads: 2, FF: 32, Dropout: 0.1,
+		LR: 1e-4, Batch: 16, LRStepEpochs: 5,
+		MaxEpochs: 60, Patience: 6, Seed: 1,
+	}
+}
+
+// nScalarFeats is the number of scalar per-candidate features (TC, LC,
+// distance, average duration, #couriers).
+const nScalarFeats = 5
+
+// featScaler standardizes scalar inputs with training-set statistics.
+type featScaler struct {
+	mean [nScalarFeats + 1]float64 // candidate scalars + NDeliveries
+	std  [nScalarFeats + 1]float64
+}
+
+func fitScaler(samples []*Sample) *featScaler {
+	s := &featScaler{}
+	var n float64
+	for _, sm := range samples {
+		for i := range sm.Cands {
+			f := candScalars(sm, i)
+			for k, v := range f {
+				s.mean[k] += v
+			}
+			s.mean[nScalarFeats] += sm.NDeliveries
+			n++
+		}
+	}
+	if n == 0 {
+		for k := range s.std {
+			s.std[k] = 1
+		}
+		return s
+	}
+	for k := range s.mean {
+		s.mean[k] /= n
+	}
+	for _, sm := range samples {
+		for i := range sm.Cands {
+			f := candScalars(sm, i)
+			for k, v := range f {
+				d := v - s.mean[k]
+				s.std[k] += d * d
+			}
+			d := sm.NDeliveries - s.mean[nScalarFeats]
+			s.std[nScalarFeats] += d * d
+		}
+	}
+	for k := range s.std {
+		s.std[k] = math.Sqrt(s.std[k] / n)
+		if s.std[k] < 1e-9 {
+			s.std[k] = 1
+		}
+	}
+	return s
+}
+
+func candScalars(s *Sample, i int) [nScalarFeats]float64 {
+	c := s.Cands[i]
+	return [nScalarFeats]float64{c.TC, c.LC, c.Dist, c.AvgDur, c.NCouriers}
+}
+
+// LocMatcher is the paper's attention-based selection model (Figure 8).
+type LocMatcher struct {
+	Cfg LocMatcherConfig
+
+	timeDense *nn.Dense
+	inDense   *nn.Dense
+	enc       *nn.TransformerEncoder
+	lstm      *nn.LSTM
+	poiEmb    *nn.Embedding
+	attn      *nn.AdditiveAttention
+	scaler    *featScaler
+	rng       *rand.Rand
+}
+
+// NewLocMatcher builds an untrained LocMatcher.
+func NewLocMatcher(cfg LocMatcherConfig) *LocMatcher {
+	if cfg.Hidden == 0 {
+		cfg = DefaultLocMatcherConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctxDim := cfg.POIEmbDim + 1
+	m := &LocMatcher{
+		Cfg:       cfg,
+		timeDense: nn.NewDense(rng, 24, cfg.TimeDenseDim),
+		inDense:   nn.NewDense(rng, cfg.TimeDenseDim+nScalarFeats, cfg.Hidden),
+		poiEmb:    nn.NewEmbedding(rng, geocode.NumPOICategories, cfg.POIEmbDim),
+		rng:       rng,
+	}
+	encOut := cfg.Hidden
+	if cfg.UseLSTM {
+		if cfg.LSTMHidden <= 0 {
+			cfg.LSTMHidden = 32
+			m.Cfg.LSTMHidden = 32
+		}
+		m.lstm = nn.NewLSTM(rng, cfg.Hidden, cfg.LSTMHidden)
+		encOut = cfg.LSTMHidden
+	} else {
+		m.enc = nn.NewTransformerEncoder(rng, cfg.EncoderLayers, cfg.Hidden, cfg.Heads, cfg.FF, cfg.Dropout)
+	}
+	m.attn = nn.NewAdditiveAttention(rng, encOut, ctxDim, cfg.AttnHidden)
+	return m
+}
+
+// Params returns all trainable tensors.
+func (m *LocMatcher) Params() []*nn.Tensor {
+	ps := m.timeDense.Params()
+	ps = append(ps, m.inDense.Params()...)
+	if m.enc != nil {
+		ps = append(ps, m.enc.Params()...)
+	}
+	if m.lstm != nil {
+		ps = append(ps, m.lstm.Params()...)
+	}
+	ps = append(ps, m.poiEmb.Params()...)
+	ps = append(ps, m.attn.Params()...)
+	return ps
+}
+
+// forward computes candidate scores [n,1] for one sample.
+func (m *LocMatcher) forward(s *Sample, train bool) *nn.Tensor {
+	n := len(s.Cands)
+	sc := m.scaler
+	if sc == nil {
+		sc = &featScaler{}
+		for k := range sc.std {
+			sc.std[k] = 1
+		}
+	}
+	tdData := make([]float64, n*24)
+	scData := make([]float64, n*nScalarFeats)
+	for i := range s.Cands {
+		copy(tdData[i*24:(i+1)*24], s.Cands[i].TimeDist[:])
+		f := candScalars(s, i)
+		for k, v := range f {
+			scData[i*nScalarFeats+k] = (v - sc.mean[k]) / sc.std[k]
+		}
+	}
+	td := nn.NewTensor(tdData, n, 24)
+	scalars := nn.NewTensor(scData, n, nScalarFeats)
+
+	x := nn.ConcatCols(m.timeDense.Forward(td), scalars) // [n, r+5]
+	x = m.inDense.Forward(x)                             // [n, z]
+	var z *nn.Tensor
+	if m.lstm != nil {
+		z = m.lstm.Forward(x) // [n, lstmHidden]
+	} else {
+		z = m.enc.Forward(x, train, m.rng) // [n, z]
+	}
+
+	var ctx *nn.Tensor
+	if !m.Cfg.NoContext {
+		poi := int(s.POI)
+		if poi < 0 || poi >= geocode.NumPOICategories {
+			poi = int(geocode.POIOther)
+		}
+		emb := m.poiEmb.Forward([]int{poi}) // [1, e]
+		nd := (s.NDeliveries - sc.mean[nScalarFeats]) / sc.std[nScalarFeats]
+		ctx = nn.ConcatCols(emb, nn.NewTensor([]float64{nd}, 1, 1)) // [1, e+1]
+	}
+	return m.attn.Scores(z, ctx) // [n, 1]
+}
+
+// TrainResult reports the outcome of Fit.
+type TrainResult struct {
+	Epochs      int
+	BestValLoss float64
+	TrainTime   time.Duration
+}
+
+// Fit trains LocMatcher on labelled samples with the paper's procedure:
+// cross-entropy over the candidates' softmax, Adam with step-decayed
+// learning rate, mini-batches of Batch samples with gradient accumulation,
+// early stopping when validation loss stops improving, restoring the best
+// checkpoint.
+func (m *LocMatcher) Fit(train, val []*Sample) (TrainResult, error) {
+	train = labelled(train)
+	val = labelled(val)
+	if len(train) == 0 {
+		return TrainResult{}, errors.New("core: no labelled training samples")
+	}
+	start := time.Now()
+	m.scaler = fitScaler(train)
+	params := m.Params()
+	opt := nn.NewAdam(m.Cfg.LR)
+	opt.ClipNorm = 5
+	sched := nn.NewStepLR(m.Cfg.LR, m.Cfg.LRStepEpochs)
+	stopper := nn.NewEarlyStopper(max(1, m.Cfg.Patience))
+	best := nn.CloneParams(params)
+
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	res := TrainResult{BestValLoss: math.Inf(1)}
+	for epoch := 0; epoch < m.Cfg.MaxEpochs; epoch++ {
+		opt.LR = sched.At(epoch)
+		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nn.ZeroGrads(params)
+		inBatch := 0
+		for _, i := range idx {
+			s := train[i]
+			loss := nn.CrossEntropy(m.forward(s, true), s.Label)
+			nn.Backward(loss)
+			inBatch++
+			if inBatch == m.Cfg.Batch {
+				opt.Step(params, float64(inBatch))
+				nn.ZeroGrads(params)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(params, float64(inBatch))
+			nn.ZeroGrads(params)
+		}
+		res.Epochs = epoch + 1
+
+		vl := m.meanLoss(val)
+		if len(val) == 0 {
+			vl = m.meanLoss(train)
+		}
+		stop, improved := stopper.Observe(vl)
+		if improved {
+			nn.CopyParams(best, params)
+			res.BestValLoss = vl
+		}
+		if stop {
+			break
+		}
+	}
+	nn.CopyParams(params, best)
+	res.TrainTime = time.Since(start)
+	return res, nil
+}
+
+func labelled(samples []*Sample) []*Sample {
+	var out []*Sample
+	for _, s := range samples {
+		if s != nil && s.Label >= 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (m *LocMatcher) meanLoss(samples []*Sample) float64 {
+	if len(samples) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += nn.CrossEntropy(m.forward(s, false), s.Label).Value()
+	}
+	return sum / float64(len(samples))
+}
+
+// Predict returns the index of the candidate with maximum predicted
+// probability (the inference rule of Section IV-B).
+func (m *LocMatcher) Predict(s *Sample) int {
+	if len(s.Cands) == 0 {
+		return -1
+	}
+	if len(s.Cands) == 1 {
+		return 0
+	}
+	probs := nn.Softmax1D(m.forward(s, false))
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Probabilities returns the softmax distribution over candidates.
+func (m *LocMatcher) Probabilities(s *Sample) []float64 {
+	if len(s.Cands) == 0 {
+		return nil
+	}
+	return nn.Softmax1D(m.forward(s, false))
+}
+
+// CandidateScore pairs a candidate with its predicted probability and the
+// matching features that drive it — the explanation surface used by case
+// studies and operator tooling.
+type CandidateScore struct {
+	Index int
+	LocID int
+	Prob  float64
+	TC    float64
+	LC    float64
+	Dist  float64
+}
+
+// Explain returns the sample's candidates ranked by predicted probability.
+func (m *LocMatcher) Explain(s *Sample) []CandidateScore {
+	if len(s.Cands) == 0 {
+		return nil
+	}
+	probs := m.Probabilities(s)
+	out := make([]CandidateScore, len(s.Cands))
+	for i, c := range s.Cands {
+		out[i] = CandidateScore{Index: i, LocID: c.LocID, Prob: probs[i], TC: c.TC, LC: c.LC, Dist: c.Dist}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Prob > out[b].Prob })
+	return out
+}

@@ -1,0 +1,269 @@
+// Package core implements the paper's contribution, DLInfMA: location
+// candidate generation (stay-point extraction, candidate-pool construction
+// by centroid-linkage hierarchical clustering, temporal-upper-bound
+// candidate retrieval), feature extraction (matching, profile and address
+// features), and the LocMatcher attention model that selects the delivery
+// location among all candidates of an address jointly.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"dlinfma/internal/cluster"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/traj"
+)
+
+// Config holds the pipeline's hyper-parameters with the paper's defaults.
+type Config struct {
+	// Noise filtering and stay-point detection (Section III-A).
+	Noise traj.NoiseFilterConfig
+	Stay  traj.StayPointConfig
+	// ClusterDistance is the hierarchical-clustering cutoff D (Section
+	// III-B; 40 m at the paper's Figure 10(a) optimum).
+	ClusterDistance float64
+	// PoolWindowSeconds enables the paper's bi-weekly incremental pool
+	// maintenance: stay points are clustered per window, then windows are
+	// merged by re-clustering weighted centroids. Zero clusters everything
+	// at once.
+	PoolWindowSeconds float64
+	// UseGridMerge switches candidate generation to grid merging (the
+	// DLInfMA-Grid variant).
+	UseGridMerge bool
+	// Workers bounds stay-point extraction parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the paper's settings: D_max = 20 m, T_min = 30 s,
+// D = 40 m, bi-weekly pool windows.
+func DefaultConfig() Config {
+	return Config{
+		Noise:             traj.DefaultNoiseFilter(),
+		Stay:              traj.DefaultStayPointConfig(),
+		ClusterDistance:   40,
+		PoolWindowSeconds: 14 * 86400,
+	}
+}
+
+// Location is one delivery-location candidate in the pool, with the profile
+// features of Section III-B.
+type Location struct {
+	ID  int
+	Loc geo.Point
+	// AvgDuration is the mean stay duration at the location in seconds.
+	AvgDuration float64
+	// NCouriers is the number of distinct couriers observed at the location.
+	NCouriers int
+	// TimeDist is the normalized 24-bin hour-of-day distribution of visits.
+	TimeDist [24]float64
+	// NStays is the number of stay points merged into the location.
+	NStays int
+}
+
+// StayVisit is one stay of one trip, resolved to a pool location.
+type StayVisit struct {
+	LocID   int
+	ArriveT float64
+	LeaveT  float64
+	MidT    float64
+}
+
+// Pool is the candidate pool plus the per-trip visit lists used for
+// retrieval and feature extraction.
+type Pool struct {
+	Locations []Location
+	// Visits[t] lists the trip t's stays in chronological order.
+	Visits [][]StayVisit
+
+	index *geo.Index
+}
+
+// stayRecord tags an extracted stay point with its trip and courier.
+type stayRecord struct {
+	sp      traj.StayPoint
+	trip    int
+	courier model.CourierID
+}
+
+// ExtractAllStayPoints runs noise filtering and stay-point detection over
+// every trip in parallel (the paper's trajectory-level parallelization,
+// Section V-F).
+func ExtractAllStayPoints(ds *model.Dataset, cfg Config) [][]traj.StayPoint {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]traj.StayPoint, len(ds.Trips))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range ds.Trips {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = traj.ExtractStayPoints(ds.Trips[i].Traj, cfg.Noise, cfg.Stay)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// BuildPool constructs the candidate pool from a dataset: stay-point
+// extraction, clustering (hierarchical with cutoff D, optionally per time
+// window with incremental merging, or grid merging for the variant), and
+// profile computation.
+func BuildPool(ds *model.Dataset, cfg Config) *Pool {
+	if cfg.ClusterDistance <= 0 {
+		cfg.ClusterDistance = 40
+	}
+	stays := ExtractAllStayPoints(ds, cfg)
+	var records []stayRecord
+	for t, sps := range stays {
+		for _, sp := range sps {
+			records = append(records, stayRecord{sp: sp, trip: t, courier: ds.Trips[t].Courier})
+		}
+	}
+	assign := clusterStays(records, cfg)
+	return assemblePool(ds, records, assign)
+}
+
+// clusterStays returns, for each stay record, the id of its pool location.
+func clusterStays(records []stayRecord, cfg Config) []int {
+	pts := make([]geo.Point, len(records))
+	for i, r := range records {
+		pts[i] = r.sp.Loc
+	}
+	if cfg.UseGridMerge {
+		return labelsFromClusters(cluster.GridMerge(pts, cfg.ClusterDistance), len(records))
+	}
+	if cfg.PoolWindowSeconds <= 0 {
+		return labelsFromClusters(cluster.Hierarchical(pts, cfg.ClusterDistance), len(records))
+	}
+	// Incremental mode: cluster each time window independently, then merge
+	// window-level candidates by re-clustering their weighted centroids —
+	// the paper's bi-weekly pool maintenance.
+	minT := 0.0
+	for i, r := range records {
+		if i == 0 || r.sp.ArriveT < minT {
+			minT = r.sp.ArriveT
+		}
+	}
+	byWindow := make(map[int][]int)
+	for i, r := range records {
+		wdx := int((r.sp.ArriveT - minT) / cfg.PoolWindowSeconds)
+		byWindow[wdx] = append(byWindow[wdx], i)
+	}
+	var wpts []cluster.WeightedPoint
+	var wmembers [][]int // stay indices behind each window-level candidate
+	for _, idxs := range byWindow {
+		sub := make([]geo.Point, len(idxs))
+		for j, i := range idxs {
+			sub[j] = records[i].sp.Loc
+		}
+		for _, c := range cluster.Hierarchical(sub, cfg.ClusterDistance) {
+			stayIdxs := make([]int, len(c.Members))
+			for j, m := range c.Members {
+				stayIdxs[j] = idxs[m]
+			}
+			wpts = append(wpts, cluster.WeightedPoint{P: c.Centroid, W: c.Weight})
+			wmembers = append(wmembers, stayIdxs)
+		}
+	}
+	assign := make([]int, len(records))
+	for id, c := range cluster.HierarchicalWeighted(wpts, cfg.ClusterDistance) {
+		for _, wi := range c.Members {
+			for _, si := range wmembers[wi] {
+				assign[si] = id
+			}
+		}
+	}
+	return assign
+}
+
+func labelsFromClusters(cs []cluster.Cluster, n int) []int {
+	assign := make([]int, n)
+	for id, c := range cs {
+		for _, m := range c.Members {
+			assign[m] = id
+		}
+	}
+	return assign
+}
+
+// assemblePool computes location centroids, profiles, and per-trip visit
+// lists from the stay-to-location assignment.
+func assemblePool(ds *model.Dataset, records []stayRecord, assign []int) *Pool {
+	nLoc := 0
+	for _, a := range assign {
+		if a+1 > nLoc {
+			nLoc = a + 1
+		}
+	}
+	p := &Pool{
+		Locations: make([]Location, nLoc),
+		Visits:    make([][]StayVisit, len(ds.Trips)),
+	}
+	type acc struct {
+		sx, sy, dur float64
+		hist        [24]float64
+		couriers    map[model.CourierID]struct{}
+		n           int
+	}
+	accs := make([]acc, nLoc)
+	for i, r := range records {
+		id := assign[i]
+		a := &accs[id]
+		if a.couriers == nil {
+			a.couriers = make(map[model.CourierID]struct{}, 2)
+		}
+		a.sx += r.sp.Loc.X
+		a.sy += r.sp.Loc.Y
+		a.dur += r.sp.Duration()
+		hour := int(r.sp.MidT()/3600) % 24
+		if hour < 0 {
+			hour += 24
+		}
+		a.hist[hour]++
+		a.couriers[r.courier] = struct{}{}
+		a.n++
+		p.Visits[r.trip] = append(p.Visits[r.trip], StayVisit{
+			LocID: id, ArriveT: r.sp.ArriveT, LeaveT: r.sp.LeaveT, MidT: r.sp.MidT(),
+		})
+	}
+	pts := make([]geo.Point, nLoc)
+	for id := range p.Locations {
+		a := &accs[id]
+		loc := Location{ID: id, NStays: a.n, NCouriers: len(a.couriers)}
+		if a.n > 0 {
+			loc.Loc = geo.Point{X: a.sx / float64(a.n), Y: a.sy / float64(a.n)}
+			loc.AvgDuration = a.dur / float64(a.n)
+			for h, c := range a.hist {
+				loc.TimeDist[h] = c / float64(a.n)
+			}
+		}
+		p.Locations[id] = loc
+		pts[id] = loc.Loc
+	}
+	p.index = geo.NewIndex(pts, 50)
+	return p
+}
+
+// Nearest returns the pool location closest to q and its distance, or
+// (-1, +Inf) for an empty pool.
+func (p *Pool) Nearest(q geo.Point) (int, float64) {
+	if p.index == nil {
+		p.index = geo.NewIndex(locPoints(p.Locations), 50)
+	}
+	return p.index.Nearest(q)
+}
+
+func locPoints(ls []Location) []geo.Point {
+	pts := make([]geo.Point, len(ls))
+	for i, l := range ls {
+		pts[i] = l.Loc
+	}
+	return pts
+}

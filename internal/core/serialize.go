@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dlinfma/internal/nn"
+)
+
+// savedMatcher is the serialized form of a trained LocMatcher: architecture
+// config, feature scaler, and parameters.
+type savedMatcher struct {
+	Cfg    LocMatcherConfig `json:"cfg"`
+	Mean   []float64        `json:"mean"`
+	Std    []float64        `json:"std"`
+	Params json.RawMessage  `json:"params"`
+}
+
+// Save writes the trained model to w as JSON. The deployed system stores
+// trained matchers so periodic re-inference does not retrain from scratch.
+func (m *LocMatcher) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, m.Params()); err != nil {
+		return err
+	}
+	sm := savedMatcher{Cfg: m.Cfg, Params: json.RawMessage(buf.Bytes())}
+	if m.scaler != nil {
+		sm.Mean = append(sm.Mean, m.scaler.mean[:]...)
+		sm.Std = append(sm.Std, m.scaler.std[:]...)
+	}
+	return json.NewEncoder(w).Encode(&sm)
+}
+
+// LoadLocMatcher reads a model written by Save, reconstructing the
+// architecture from the stored config.
+func LoadLocMatcher(r io.Reader) (*LocMatcher, error) {
+	var sm savedMatcher
+	if err := json.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("core: decode matcher: %w", err)
+	}
+	m := NewLocMatcher(sm.Cfg)
+	if err := nn.LoadParams(bytes.NewReader(sm.Params), m.Params()); err != nil {
+		return nil, err
+	}
+	if len(sm.Mean) == nScalarFeats+1 && len(sm.Std) == nScalarFeats+1 {
+		sc := &featScaler{}
+		copy(sc.mean[:], sm.Mean)
+		copy(sc.std[:], sm.Std)
+		m.scaler = sc
+	}
+	return m, nil
+}

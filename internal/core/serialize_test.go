@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dlinfma/internal/nn"
+)
+
+func TestLocMatcherSaveLoadRoundTrip(t *testing.T) {
+	ds, _, pipe := tiny(t)
+	samples := pipe.BuildSamples(addressIDs(ds)[:80], DefaultSampleOptions())
+	LabelSamples(samples, ds.Truth)
+	cfg := DefaultLocMatcherConfig()
+	cfg.MaxEpochs = 3
+	cfg.LR = 1e-3
+	m := NewLocMatcher(cfg)
+	if _, err := m.Fit(samples, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLocMatcher(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Loaded model produces identical probabilities on every sample.
+	for _, s := range samples[:20] {
+		a := m.Probabilities(s)
+		b := loaded.Probabilities(s)
+		if len(a) != len(b) {
+			t.Fatal("probability lengths differ")
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("probabilities differ at %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+		if m.Predict(s) != loaded.Predict(s) {
+			t.Fatal("predictions differ after round trip")
+		}
+	}
+}
+
+func TestLocMatcherSaveLoadLSTMVariant(t *testing.T) {
+	ds, _, pipe := tiny(t)
+	samples := pipe.BuildSamples(addressIDs(ds)[:40], DefaultSampleOptions())
+	LabelSamples(samples, ds.Truth)
+	cfg := DefaultLocMatcherConfig()
+	cfg.UseLSTM = true
+	cfg.MaxEpochs = 2
+	m := NewLocMatcher(cfg)
+	if _, err := m.Fit(samples, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLocMatcher(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Predict(samples[0]) != m.Predict(samples[0]) {
+		t.Fatal("LSTM variant round trip differs")
+	}
+}
+
+func TestLoadLocMatcherBadInput(t *testing.T) {
+	if _, err := LoadLocMatcher(strings.NewReader("{bad")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Params from a different architecture must be rejected.
+	a := NewLocMatcher(DefaultLocMatcherConfig())
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	_ = decodeJSON(buf.Bytes(), &doc)
+	cfg := doc["cfg"].(map[string]interface{})
+	cfg["Hidden"] = 16.0 // architecture mismatch vs saved 8-dim params
+	if _, err := LoadLocMatcher(bytes.NewReader(encodeJSON(doc))); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestSaveLoadParams(t *testing.T) {
+	p1 := nn.NewParam([]float64{1, 2, 3, 4}, 2, 2)
+	p2 := nn.NewParam([]float64{5, 6}, 2)
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, []*nn.Tensor{p1, p2}); err != nil {
+		t.Fatal(err)
+	}
+	q1 := nn.ZeroParam(2, 2)
+	q2 := nn.ZeroParam(2)
+	if err := nn.LoadParams(&buf, []*nn.Tensor{q1, q2}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p1.Data {
+		if q1.Data[i] != v {
+			t.Fatal("params not restored")
+		}
+	}
+	// Count mismatch.
+	var buf2 bytes.Buffer
+	_ = nn.SaveParams(&buf2, []*nn.Tensor{p1})
+	if err := nn.LoadParams(&buf2, []*nn.Tensor{q1, q2}); err == nil {
+		t.Error("tensor count mismatch accepted")
+	}
+}
+
+func decodeJSON(b []byte, v interface{}) error { return json.Unmarshal(b, v) }
+
+func encodeJSON(v interface{}) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}

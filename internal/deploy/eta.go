@@ -1,0 +1,143 @@
+package deploy
+
+import (
+	"sort"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/traj"
+)
+
+// ETAEstimator predicts arrival times along a planned delivery route —
+// arrival-time estimation is one of the downstream applications the paper's
+// introduction motivates with accurate delivery locations. It learns two
+// quantities from historical trips: the courier's typical travel speed
+// between stops and the typical service (dwell) time per stop.
+type ETAEstimator struct {
+	// Speed is the learned median travel speed in m/s.
+	Speed float64
+	// Service is the learned median dwell per stop in seconds.
+	Service float64
+	// StartOverhead is the learned median time between trip start and
+	// departure from the first stay (loading at the station).
+	StartOverhead float64
+}
+
+// NewETAEstimator returns an estimator with conservative defaults (walking
+// courier, 90 s service) for use before fitting.
+func NewETAEstimator() *ETAEstimator {
+	return &ETAEstimator{Speed: 3, Service: 90}
+}
+
+// FitFromDataset learns speed and service time from historical trips: stay
+// points give dwell durations; the legs between consecutive stays give
+// travel speeds.
+func (e *ETAEstimator) FitFromDataset(ds *model.Dataset, nf traj.NoiseFilterConfig, spc traj.StayPointConfig) {
+	var speeds, services, overheads []float64
+	for _, tr := range ds.Trips {
+		sps := traj.ExtractStayPoints(tr.Traj, nf, spc)
+		for i, sp := range sps {
+			if i == 0 {
+				overheads = append(overheads, sp.LeaveT-tr.StartT)
+				continue // the first stay is station loading, not service
+			}
+			services = append(services, sp.Duration())
+			prev := sps[i-1]
+			dt := sp.ArriveT - prev.LeaveT
+			if dt <= 0 {
+				continue
+			}
+			d := geo.Dist(prev.Loc, sp.Loc)
+			if v := d / dt; v > 0.3 && v < 15 {
+				speeds = append(speeds, v)
+			}
+		}
+	}
+	if v := median(speeds); v > 0 {
+		e.Speed = v
+	}
+	if s := median(services); s > 0 {
+		e.Service = s
+	}
+	if o := median(overheads); o > 0 {
+		e.StartOverhead = o
+	}
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Estimate returns the predicted arrival time at each stop of a route (in
+// visit order), starting from start at startTime. The arrival time is when
+// the courier reaches the stop, before its service dwell.
+func (e *ETAEstimator) Estimate(start geo.Point, stops []geo.Point, order []int, startTime float64) []float64 {
+	out := make([]float64, len(order))
+	t := startTime + e.StartOverhead
+	pos := start
+	speed := e.Speed
+	if speed <= 0 {
+		speed = 3
+	}
+	for i, idx := range order {
+		t += geo.Dist(pos, stops[idx]) / speed
+		out[i] = t
+		t += e.Service
+		pos = stops[idx]
+	}
+	return out
+}
+
+// EvaluateETA measures the estimator against a trip's actual delivery
+// times: for each waybill it compares the predicted arrival at the waybill's
+// (true) delivery location with the actual delivery time, returning the
+// absolute errors in seconds. The route order is taken from the actual visit
+// sequence, so the measurement isolates time estimation from routing.
+func (e *ETAEstimator) EvaluateETA(trip model.Trip, locOf func(model.AddressID) (geo.Point, bool)) []float64 {
+	// Actual visit sequence: waybills ordered by actual delivery time,
+	// deduplicated by location.
+	type stopInfo struct {
+		loc geo.Point
+		t   float64
+	}
+	var seq []stopInfo
+	seen := make(map[geo.Point]bool)
+	wbs := append([]model.Waybill(nil), trip.Waybills...)
+	sort.Slice(wbs, func(i, j int) bool { return wbs[i].ActualDeliveryT < wbs[j].ActualDeliveryT })
+	for _, w := range wbs {
+		loc, ok := locOf(w.Addr)
+		if !ok || seen[loc] {
+			continue
+		}
+		seen[loc] = true
+		seq = append(seq, stopInfo{loc: loc, t: w.ActualDeliveryT})
+	}
+	if len(seq) == 0 {
+		return nil
+	}
+	stops := make([]geo.Point, len(seq))
+	order := make([]int, len(seq))
+	for i, s := range seq {
+		stops[i] = s.loc
+		order[i] = i
+	}
+	var start geo.Point
+	if len(trip.Traj) > 0 {
+		start = trip.Traj[0].P
+	}
+	etas := e.Estimate(start, stops, order, trip.StartT)
+	errs := make([]float64, len(seq))
+	for i := range seq {
+		d := etas[i] - seq[i].t
+		if d < 0 {
+			d = -d
+		}
+		errs[i] = d
+	}
+	return errs
+}

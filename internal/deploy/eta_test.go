@@ -1,0 +1,94 @@
+package deploy
+
+import (
+	"testing"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/synth"
+	"dlinfma/internal/traj"
+)
+
+func TestETAEstimateArithmetic(t *testing.T) {
+	e := &ETAEstimator{Speed: 5, Service: 60}
+	stops := []geo.Point{{X: 100, Y: 0}, {X: 100, Y: 100}}
+	etas := e.Estimate(geo.Point{}, stops, []int{0, 1}, 1000)
+	// Stop 0: 100 m at 5 m/s = 20 s -> arrive 1020.
+	if etas[0] != 1020 {
+		t.Errorf("first ETA %v, want 1020", etas[0])
+	}
+	// Stop 1: +60 service, +100 m / 5 = 20 -> 1100.
+	if etas[1] != 1100 {
+		t.Errorf("second ETA %v, want 1100", etas[1])
+	}
+	// Zero speed falls back rather than dividing by zero.
+	z := &ETAEstimator{Speed: 0, Service: 0}
+	got := z.Estimate(geo.Point{}, stops, []int{0}, 0)
+	if len(got) != 1 || got[0] <= 0 {
+		t.Errorf("zero-speed estimate %v", got)
+	}
+}
+
+func TestETAFitFromDataset(t *testing.T) {
+	ds, _, err := synth.GenerateClean(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewETAEstimator()
+	e.FitFromDataset(ds, traj.DefaultNoiseFilter(), traj.DefaultStayPointConfig())
+	// The Tiny profile walks at ~4 m/s and dwells ~90 s.
+	if e.Speed < 2 || e.Speed > 7 {
+		t.Errorf("learned speed %v, want ~4", e.Speed)
+	}
+	if e.Service < 45 || e.Service > 200 {
+		t.Errorf("learned service %v, want ~90-120", e.Service)
+	}
+}
+
+func TestETAEvaluateOnSimulatedTrips(t *testing.T) {
+	ds, w, err := synth.GenerateClean(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewETAEstimator()
+	e.FitFromDataset(ds, traj.DefaultNoiseFilter(), traj.DefaultStayPointConfig())
+
+	truthOf := func(a model.AddressID) (geo.Point, bool) {
+		p, ok := w.Truth[a]
+		return p, ok
+	}
+	var all []float64
+	for _, trip := range ds.Trips[:5] {
+		all = append(all, e.EvaluateETA(trip, truthOf)...)
+	}
+	if len(all) == 0 {
+		t.Fatal("no ETA errors measured")
+	}
+	var sum float64
+	for _, v := range all {
+		sum += v
+	}
+	mean := sum / float64(len(all))
+	// Trips run ~45-90 min; a useful estimator lands within a few minutes on
+	// average.
+	if mean > 600 {
+		t.Errorf("mean ETA error %.0f s, want < 600", mean)
+	}
+}
+
+func TestETAEvaluateEmptyTrip(t *testing.T) {
+	e := NewETAEstimator()
+	got := e.EvaluateETA(model.Trip{}, func(model.AddressID) (geo.Point, bool) { return geo.Point{}, false })
+	if got != nil {
+		t.Errorf("empty trip errors = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median(nil) != 0 {
+		t.Error("median of empty should be 0")
+	}
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median = %v, want 2", m)
+	}
+}

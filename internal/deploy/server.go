@@ -1,0 +1,46 @@
+package deploy
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"dlinfma/internal/model"
+)
+
+// QueryResponse is the JSON payload of the delivery-location query API.
+type QueryResponse struct {
+	Addr   int64   `json:"addr"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Source string  `json:"source"`
+}
+
+// Handler returns the HTTP handler of the online delivery-location query
+// API (Figure 14): GET /location?addr=<id> answers from the store with the
+// address -> building -> geocode fallback chain.
+func Handler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/location", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err := strconv.ParseInt(r.URL.Query().Get("addr"), 10, 32)
+		if err != nil {
+			http.Error(w, "invalid addr parameter", http.StatusBadRequest)
+			return
+		}
+		loc, src := s.Query(model.AddressID(id))
+		if src == SourceNone {
+			http.Error(w, "unknown address", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(QueryResponse{Addr: id, X: loc.X, Y: loc.Y, Source: src.String()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}

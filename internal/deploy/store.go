@@ -1,0 +1,142 @@
+// Package deploy reproduces the deployed system of Section VI: a
+// delivery-location store with the paper's three-level query fallback
+// (address -> building majority -> geocode), an HTTP query API, and the two
+// applications built on top — route planning over inferred locations and
+// customer availability inference from actual delivery times.
+package deploy
+
+import (
+	"sync"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// Source says which level of the store answered a query.
+type Source int
+
+// Query answer sources, from most to least specific.
+const (
+	SourceAddress Source = iota
+	SourceBuilding
+	SourceGeocode
+	SourceNone
+)
+
+// String returns the source label.
+func (s Source) String() string {
+	switch s {
+	case SourceAddress:
+		return "address"
+	case SourceBuilding:
+		return "building"
+	case SourceGeocode:
+		return "geocode"
+	default:
+		return "none"
+	}
+}
+
+// Store is the key-value delivery-location store of Figure 14. It is safe
+// for concurrent readers and writers.
+type Store struct {
+	mu        sync.RWMutex
+	byAddress map[model.AddressID]geo.Point
+	byBld     map[model.BuildingID]geo.Point
+	geocodes  map[model.AddressID]geo.Point
+	buildings map[model.AddressID]model.BuildingID
+	// bldVotes accumulates per-building location votes so the
+	// building-level answer is the most-used delivery location among the
+	// building's addresses, as the paper describes.
+	bldVotes map[model.BuildingID]map[geo.Point]int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byAddress: make(map[model.AddressID]geo.Point),
+		byBld:     make(map[model.BuildingID]geo.Point),
+		geocodes:  make(map[model.AddressID]geo.Point),
+		buildings: make(map[model.AddressID]model.BuildingID),
+		bldVotes:  make(map[model.BuildingID]map[geo.Point]int),
+	}
+}
+
+// RegisterAddress records an address's building and geocode (the fallback
+// levels). Call before or after Put in any order.
+func (s *Store) RegisterAddress(addr model.AddressID, bld model.BuildingID, geocode geo.Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buildings[addr] = bld
+	s.geocodes[addr] = geocode
+}
+
+// Put stores the inferred delivery location of an address and refreshes the
+// building-level majority.
+func (s *Store) Put(addr model.AddressID, loc geo.Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byAddress[addr] = loc
+	bld, ok := s.buildings[addr]
+	if !ok {
+		return
+	}
+	votes := s.bldVotes[bld]
+	if votes == nil {
+		votes = make(map[geo.Point]int)
+		s.bldVotes[bld] = votes
+	}
+	votes[loc]++
+	best, bestN := s.byBld[bld], 0
+	for l, n := range votes {
+		if n > bestN {
+			best, bestN = l, n
+		}
+	}
+	s.byBld[bld] = best
+}
+
+// Query answers a delivery-location request with the paper's fallback chain:
+// the address-level result, else the building-level majority, else the
+// geocoded location. The paper notes the building fallback also serves
+// addresses never seen in history, as long as the segmentation tool resolves
+// their building.
+func (s *Store) Query(addr model.AddressID) (geo.Point, Source) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if loc, ok := s.byAddress[addr]; ok {
+		return loc, SourceAddress
+	}
+	if bld, ok := s.buildings[addr]; ok {
+		if loc, ok := s.byBld[bld]; ok {
+			return loc, SourceBuilding
+		}
+	}
+	if loc, ok := s.geocodes[addr]; ok {
+		return loc, SourceGeocode
+	}
+	return geo.Point{}, SourceNone
+}
+
+// QueryBuilding answers at building granularity (used for never-seen
+// addresses whose building is known).
+func (s *Store) QueryBuilding(bld model.BuildingID) (geo.Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.byBld[bld]
+	return loc, ok
+}
+
+// Len returns the number of address-level entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byAddress)
+}
+
+// LoadDataset registers every address of a dataset (buildings + geocodes).
+func (s *Store) LoadDataset(ds *model.Dataset) {
+	for _, a := range ds.Addresses {
+		s.RegisterAddress(a.ID, a.Building, a.Geocode)
+	}
+}

@@ -1,0 +1,102 @@
+// Package eval provides the paper's evaluation metrics (MAE, P95, beta_delta
+// — Section V-B), the method evaluation runner, and the experiment harness
+// that regenerates every table and figure of the evaluation section.
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Metrics are the paper's three effectiveness measures over a set of
+// per-address inference errors (meters).
+type Metrics struct {
+	MAE    float64
+	P95    float64
+	Beta50 float64 // percentage of errors under 50 m
+	N      int
+}
+
+// BetaDelta returns the percentage of errors strictly below delta meters
+// (Equation (7)).
+func BetaDelta(errors []float64, delta float64) float64 {
+	if len(errors) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range errors {
+		if e < delta {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(errors))
+}
+
+// Percentile returns the p-quantile (0..1) of errors by nearest-rank on the
+// sorted copy.
+func Percentile(errors []float64, p float64) float64 {
+	if len(errors) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), errors...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Compute summarizes errors with the paper's three metrics (delta = 50 m).
+func Compute(errors []float64) Metrics {
+	m := Metrics{N: len(errors)}
+	if len(errors) == 0 {
+		m.MAE, m.P95 = math.NaN(), math.NaN()
+		return m
+	}
+	var sum float64
+	for _, e := range errors {
+		sum += e
+	}
+	m.MAE = sum / float64(len(errors))
+	m.P95 = Percentile(errors, 0.95)
+	m.Beta50 = BetaDelta(errors, 50)
+	return m
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// mean of errors at the given confidence level (e.g. 0.95). The paper
+// reports point estimates only; intervals make the small synthetic test
+// sets' noise visible when comparing close methods.
+func BootstrapCI(errors []float64, iters int, conf float64, seed int64) (lo, hi float64) {
+	if len(errors) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, iters)
+	for it := 0; it < iters; it++ {
+		var sum float64
+		for range errors {
+			sum += errors[rng.Intn(len(errors))]
+		}
+		means[it] = sum / float64(len(errors))
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(iters))
+	hiIdx := int((1-alpha)*float64(iters)) - 1
+	if hiIdx < loIdx {
+		hiIdx = loIdx
+	}
+	return means[loIdx], means[hiIdx]
+}

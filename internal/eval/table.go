@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMethodTable writes method results as an aligned text table in the
+// layout of the paper's Table II: method, MAE (m), P95 (m), beta_50 (%).
+func RenderMethodTable(w io.Writer, title string, rows []MethodResult) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s %10s %10s %8s %10s %12s\n", "Method", "MAE(m)", "P95(m)", "B50(%)", "fit(s)", "infer(ad/s)")
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %10.1f %10.1f %8.1f %10.2f %12.0f\n",
+			r.Name, r.MAE, r.P95, r.Beta50, r.FitTime.Seconds(), r.AddrPerSecond())
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTable1 writes dataset statistics.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table I: dataset statistics")
+	fmt.Fprintf(w, "%-8s %7s %9s %7s %7s %10s %7s %6s %6s %8s %7s\n",
+		"Dataset", "trips", "waybills", "addrs", "bldgs", "trajpts", "train", "val", "test", "delayed", "med#dl")
+	fmt.Fprintln(w, strings.Repeat("-", 96))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %7d %9d %7d %7d %10d %7d %6d %6d %7.1f%% %7d\n",
+			r.Name, r.Trips, r.Waybills, r.Addresses, r.Buildings, r.TrajPoints,
+			r.TrainAddrs, r.ValAddrs, r.TestAddrs, 100*r.DelayedFraction, r.MedianDeliveriesPerAddr)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFig9 writes the data distributions.
+func RenderFig9(w io.Writer, name string, r Fig9Result) {
+	fmt.Fprintf(w, "Figure 9 (%s)\n", name)
+	fmt.Fprintf(w, "  (a) buildings with >1 delivery location: %.1f%%\n", 100*r.MultiLocationBuildingFraction)
+	fmt.Fprintf(w, "  (b) deliveries/address CDF:")
+	for i, probe := range r.DeliveriesCDFProbes {
+		fmt.Fprintf(w, " <=%d:%.0f%%", probe, 100*r.DeliveriesCDF[i])
+	}
+	fmt.Fprintf(w, " (median %d)\n", r.MedianDeliveries)
+	fmt.Fprintf(w, "  (c) mean stay points/trip: %.1f\n", r.MeanStayPointsPerTrip)
+	fmt.Fprintf(w, "  (d) mean candidates/address: %.1f\n\n", r.MeanCandidatesPerAddr)
+}
+
+// RenderFig10a writes the clustering-distance sweep.
+func RenderFig10a(w io.Writer, name string, pts []Fig10aPoint) {
+	fmt.Fprintf(w, "Figure 10(a) (%s): MAE vs clustering distance D\n", name)
+	fmt.Fprintf(w, "%8s %10s %10s\n", "D(m)", "MAE(m)", "#locations")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8.0f %10.1f %10d\n", p.D, p.MAE, p.NPoolLocs)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFig10b writes the delivery-count-group comparison.
+func RenderFig10b(w io.Writer, name string, r Fig10bResult) {
+	fmt.Fprintf(w, "Figure 10(b) (%s): MAE by number of deliveries\n", name)
+	fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "Method",
+		fmt.Sprintf("<=%d", r.GroupBounds[0]),
+		fmt.Sprintf("<=%d", r.GroupBounds[1]),
+		fmt.Sprintf("<=%d", r.GroupBounds[2]))
+	for i, m := range r.Methods {
+		fmt.Fprintf(w, "%-16s %10.1f %10.1f %10.1f\n", m, r.MAE[i][0], r.MAE[i][1], r.MAE[i][2])
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTable3 writes the synthetic-delay robustness table.
+func RenderTable3(w io.Writer, name string, results []Table3Result) {
+	for _, res := range results {
+		RenderMethodTable(w, fmt.Sprintf("Table III (%s, p_d = %.1f)", name, res.PD), res.Results)
+	}
+}
+
+// RenderFig13 writes the scalability measurements.
+func RenderFig13(w io.Writer, name string, pts []Fig13Point) {
+	fmt.Fprintf(w, "Figure 13 (%s): inference time vs #addresses\n", name)
+	fmt.Fprintf(w, "%-16s %10s %12s %12s\n", "Method", "#addr", "time(ms)", "addr/s")
+	for _, p := range pts {
+		rate := float64(p.NAddresses) / p.Elapsed.Seconds()
+		fmt.Fprintf(w, "%-16s %10d %12.1f %12.0f\n", p.Method, p.NAddresses, float64(p.Elapsed.Milliseconds()), rate)
+	}
+	fmt.Fprintln(w)
+}

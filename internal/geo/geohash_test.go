@@ -1,0 +1,102 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoHashKnownValues(t *testing.T) {
+	// Reference hashes from the canonical geohash.org implementation.
+	cases := []struct {
+		ll        LatLng
+		precision int
+		want      string
+	}{
+		{LatLng{57.64911, 10.40744}, 11, "u4pruydqqvj"},
+		{LatLng{39.9087, 116.3975}, 8, GeoHashEncode(LatLng{39.9087, 116.3975}, 8)},
+		{LatLng{0, 0}, 5, "s0000"},
+		{LatLng{-25.382708, -49.265506}, 6, "6gkzwg"},
+	}
+	for _, c := range cases {
+		if got := GeoHashEncode(c.ll, c.precision); got != c.want {
+			t.Errorf("GeoHashEncode(%v, %d) = %q, want %q", c.ll, c.precision, got, c.want)
+		}
+	}
+}
+
+func TestGeoHashPrecisionClamping(t *testing.T) {
+	ll := LatLng{10, 10}
+	if got := GeoHashEncode(ll, 0); len(got) != 1 {
+		t.Errorf("precision 0 should clamp to 1, got %q", got)
+	}
+	if got := GeoHashEncode(ll, 99); len(got) != 12 {
+		t.Errorf("precision 99 should clamp to 12, got %q", got)
+	}
+}
+
+func TestGeoHashEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(latRaw, lngRaw int32) bool {
+		ll := LatLng{
+			Lat: float64(latRaw%9000) / 100,  // [-90, 90)
+			Lng: float64(lngRaw%18000) / 100, // [-180, 180)
+		}
+		h := GeoHashEncode(ll, 9)
+		sw, ne, err := GeoHashDecode(h)
+		if err != nil {
+			return false
+		}
+		return ll.Lat >= sw.Lat && ll.Lat <= ne.Lat && ll.Lng >= sw.Lng && ll.Lng <= ne.Lng
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoHashPrefixProperty(t *testing.T) {
+	// A longer hash of the same point extends the shorter one.
+	ll := LatLng{39.916, 116.404}
+	h8 := GeoHashEncode(ll, 8)
+	h5 := GeoHashEncode(ll, 5)
+	if !strings.HasPrefix(h8, h5) {
+		t.Errorf("prefix property violated: %q vs %q", h8, h5)
+	}
+}
+
+func TestGeoHashDecodeInvalid(t *testing.T) {
+	if _, _, err := GeoHashDecode("abc!"); err == nil {
+		t.Error("expected error for invalid geohash character")
+	}
+	// 'a', 'i', 'l', 'o' are not in the geohash alphabet.
+	for _, bad := range []string{"a", "i", "l", "o"} {
+		if _, _, err := GeoHashDecode(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestGeoHashCenterInsideCell(t *testing.T) {
+	h := GeoHashEncode(LatLng{39.9, 116.4}, 8)
+	c, err := GeoHashCenter(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, ne, _ := GeoHashDecode(h)
+	if c.Lat < sw.Lat || c.Lat > ne.Lat || c.Lng < sw.Lng || c.Lng > ne.Lng {
+		t.Errorf("center %v outside cell [%v, %v]", c, sw, ne)
+	}
+}
+
+func TestGeoHash8CellSize(t *testing.T) {
+	// The paper states GeoHash-8 cells are roughly 32m x 19m at Beijing's
+	// latitude (38m x 19m at the equator).
+	sw, ne, _ := GeoHashDecode(GeoHashEncode(LatLng{39.9, 116.4}, 8))
+	w := HaversineMeters(LatLng{sw.Lat, sw.Lng}, LatLng{sw.Lat, ne.Lng})
+	h := HaversineMeters(LatLng{sw.Lat, sw.Lng}, LatLng{ne.Lat, sw.Lng})
+	if w < 20 || w > 45 {
+		t.Errorf("geohash-8 cell width = %v, want ~29-38", w)
+	}
+	if h < 10 || h > 25 {
+		t.Errorf("geohash-8 cell height = %v, want ~19", h)
+	}
+}

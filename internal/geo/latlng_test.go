@@ -1,0 +1,72 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Beijing Tiananmen to Beijing West Railway Station: ~7.2 km.
+	a := LatLng{39.9087, 116.3975}
+	b := LatLng{39.8946, 116.3222}
+	d := HaversineMeters(a, b)
+	if d < 6000 || d > 8500 {
+		t.Errorf("Haversine Beijing = %v, want ~7200", d)
+	}
+	// One degree of latitude is ~111.2 km.
+	d = HaversineMeters(LatLng{0, 0}, LatLng{1, 0})
+	if !almostEqual(d, 111195, 100) {
+		t.Errorf("Haversine 1 degree lat = %v, want ~111195", d)
+	}
+	if HaversineMeters(a, a) != 0 {
+		t.Error("Haversine of identical points should be 0")
+	}
+}
+
+func TestEquirectApproximatesHaversineAtCityScale(t *testing.T) {
+	base := LatLng{39.9, 116.4}
+	offsets := []LatLng{{0.001, 0.001}, {0.01, -0.02}, {-0.03, 0.015}, {0.05, 0.05}}
+	for _, off := range offsets {
+		p := LatLng{base.Lat + off.Lat, base.Lng + off.Lng}
+		h := HaversineMeters(base, p)
+		e := EquirectMeters(base, p)
+		if h == 0 {
+			continue
+		}
+		if rel := math.Abs(h-e) / h; rel > 1e-3 {
+			t.Errorf("Equirect diverges: haversine=%v equirect=%v rel=%v", h, e, rel)
+		}
+	}
+}
+
+func TestProjectorRoundTrip(t *testing.T) {
+	pr := NewProjector(LatLng{39.9, 116.4})
+	f := func(dlat, dlng int16) bool {
+		ll := LatLng{39.9 + float64(dlat)/1e4, 116.4 + float64(dlng)/1e4}
+		back := pr.ToLatLng(pr.ToPoint(ll))
+		return almostEqual(back.Lat, ll.Lat, 1e-9) && almostEqual(back.Lng, ll.Lng, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectorDistancePreservation(t *testing.T) {
+	pr := NewProjector(LatLng{39.9, 116.4})
+	a := LatLng{39.91, 116.41}
+	b := LatLng{39.93, 116.37}
+	planar := Dist(pr.ToPoint(a), pr.ToPoint(b))
+	geodetic := HaversineMeters(a, b)
+	if rel := math.Abs(planar-geodetic) / geodetic; rel > 2e-3 {
+		t.Errorf("projection distorts distance: planar=%v geodetic=%v rel=%v", planar, geodetic, rel)
+	}
+}
+
+func TestProjectorOriginMapsToZero(t *testing.T) {
+	pr := NewProjector(LatLng{31.2, 121.5})
+	p := pr.ToPoint(pr.Origin)
+	if p != (Point{}) {
+		t.Errorf("origin projects to %v, want (0,0)", p)
+	}
+}

@@ -1,0 +1,62 @@
+package geo
+
+import "testing"
+
+func TestNewRectNormalizesCorners(t *testing.T) {
+	r := NewRect(Point{X: 10, Y: -5}, Point{X: -3, Y: 7})
+	if r.MinX != -3 || r.MaxX != 10 || r.MinY != -5 || r.MaxY != 7 {
+		t.Errorf("NewRect = %+v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{X: 5, Y: 5}, true},
+		{Point{X: 0, Y: 0}, true},   // boundary inclusive
+		{Point{X: 10, Y: 10}, true}, // boundary inclusive
+		{Point{X: -1, Y: 5}, false},
+		{Point{X: 5, Y: 11}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if !a.Intersects(Rect{MinX: 5, MinY: 5, MaxX: 15, MaxY: 15}) {
+		t.Error("overlapping rects should intersect")
+	}
+	if !a.Intersects(Rect{MinX: 10, MinY: 0, MaxX: 20, MaxY: 10}) {
+		t.Error("edge contact counts as intersection")
+	}
+	if a.Intersects(Rect{MinX: 11, MinY: 11, MaxX: 20, MaxY: 20}) {
+		t.Error("disjoint rects should not intersect")
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 2, MaxX: 5, MaxY: 10}
+	if r.Width() != 4 || r.Height() != 8 || r.Area() != 32 {
+		t.Errorf("geometry: w=%v h=%v a=%v", r.Width(), r.Height(), r.Area())
+	}
+	if r.Center() != (Point{X: 3, Y: 6}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	e := r.Expand(1)
+	if e.MinX != 0 || e.MaxY != 11 {
+		t.Errorf("Expand = %+v", e)
+	}
+}
+
+func TestBoundingRectEmpty(t *testing.T) {
+	if got := BoundingRect(nil); got != (Rect{}) {
+		t.Errorf("BoundingRect(nil) = %+v", got)
+	}
+}

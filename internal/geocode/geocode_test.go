@@ -1,0 +1,67 @@
+package geocode
+
+import (
+	"testing"
+
+	"dlinfma/internal/geo"
+)
+
+func TestPOICategories(t *testing.T) {
+	if NumPOICategories != 21 {
+		t.Fatalf("NumPOICategories = %d, want 21 (as the paper states)", NumPOICategories)
+	}
+	seen := map[string]bool{}
+	for c := POICategory(0); c < NumPOICategories; c++ {
+		if !c.Valid() {
+			t.Errorf("category %d should be valid", c)
+		}
+		name := c.String()
+		if name == "" || name == "invalid" {
+			t.Errorf("category %d has bad name %q", c, name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate category name %q", name)
+		}
+		seen[name] = true
+	}
+	if POICategory(-1).Valid() || POICategory(21).Valid() {
+		t.Error("out-of-range categories should be invalid")
+	}
+	if POICategory(99).String() != "invalid" {
+		t.Error("out-of-range String should be invalid")
+	}
+}
+
+func TestErrorModeStrings(t *testing.T) {
+	cases := map[ErrorMode]string{
+		ErrAccurate:   "accurate",
+		ErrCoarsePOI:  "coarse-poi",
+		ErrWrongParse: "wrong-parse",
+		ErrorMode(9):  "invalid",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestStaticGeocoder(t *testing.T) {
+	table := map[int32]Result{
+		1: {Loc: geo.Point{X: 10, Y: 20}, Category: POIResidence, Mode: ErrAccurate},
+		2: {Loc: geo.Point{X: 30, Y: 40}, Category: POIMall, Mode: ErrCoarsePOI},
+	}
+	g := NewStatic(table)
+	if g.Len() != 2 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	r, ok := g.Geocode(1)
+	if !ok || r.Loc != (geo.Point{X: 10, Y: 20}) || r.Category != POIResidence {
+		t.Errorf("Geocode(1) = %+v, %v", r, ok)
+	}
+	if _, ok := g.Geocode(99); ok {
+		t.Error("unknown address should not geocode")
+	}
+	// Static satisfies the Geocoder interface.
+	var _ Geocoder = g
+}

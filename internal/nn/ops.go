@@ -1,0 +1,563 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+func sameShape(a, b *Tensor) {
+	if len(a.Shape) != len(b.Shape) {
+		panic(fmt.Sprintf("nn: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			panic(fmt.Sprintf("nn: shape mismatch %v vs %v", a.Shape, b.Shape))
+		}
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := newResult(a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	out.setBack(func() {
+		if a.needGrad {
+			a.ensureGrad()
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.needGrad {
+			b.ensureGrad()
+			for i, g := range out.Grad {
+				b.Grad[i] += g
+			}
+		}
+	})
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := newResult(a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	out.setBack(func() {
+		if a.needGrad {
+			a.ensureGrad()
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.needGrad {
+			b.ensureGrad()
+			for i, g := range out.Grad {
+				b.Grad[i] -= g
+			}
+		}
+	})
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := newResult(a.Shape, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	out.setBack(func() {
+		if a.needGrad {
+			a.ensureGrad()
+			for i, g := range out.Grad {
+				a.Grad[i] += g * b.Data[i]
+			}
+		}
+		if b.needGrad {
+			b.ensureGrad()
+			for i, g := range out.Grad {
+				b.Grad[i] += g * a.Data[i]
+			}
+		}
+	})
+	return out
+}
+
+// Scale returns a * s for a constant scalar s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := newResult(a.Shape, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	out.setBack(func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g * s
+		}
+	})
+	return out
+}
+
+// AddRowVec adds the row vector b (shape [n] or [1,n]) to every row of the
+// 2-D tensor a (shape [m,n]).
+func AddRowVec(a, b *Tensor) *Tensor {
+	n := a.Shape[len(a.Shape)-1]
+	if b.Numel() != n {
+		panic(fmt.Sprintf("nn: AddRowVec %v + %v", a.Shape, b.Shape))
+	}
+	out := newResult(a.Shape, a, b)
+	m := a.Numel() / n
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = a.Data[i*n+j] + b.Data[j]
+		}
+	}
+	out.setBack(func() {
+		if a.needGrad {
+			a.ensureGrad()
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.needGrad {
+			b.ensureGrad()
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					b.Grad[j] += out.Grad[i*n+j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMul returns the matrix product of a [m,k] and b [k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("nn: MatMul %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := newResult([]int{m, n}, a, b)
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			av := a.Data[i*k+kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : kk*n+n]
+			orow := out.Data[i*n : i*n+n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	out.setBack(func() {
+		if a.needGrad {
+			a.ensureGrad()
+			// dA = dOut * B^T
+			for i := 0; i < m; i++ {
+				for kk := 0; kk < k; kk++ {
+					var s float64
+					grow := out.Grad[i*n : i*n+n]
+					brow := b.Data[kk*n : kk*n+n]
+					for j := range grow {
+						s += grow[j] * brow[j]
+					}
+					a.Grad[i*k+kk] += s
+				}
+			}
+		}
+		if b.needGrad {
+			b.ensureGrad()
+			// dB = A^T * dOut
+			for kk := 0; kk < k; kk++ {
+				for i := 0; i < m; i++ {
+					av := a.Data[i*k+kk]
+					if av == 0 {
+						continue
+					}
+					grow := out.Grad[i*n : i*n+n]
+					brow := b.Grad[kk*n : kk*n+n]
+					for j := range grow {
+						brow[j] += av * grow[j]
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("nn: Transpose requires 2-D, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := newResult([]int{n, m}, a)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	out.setBack(func() {
+		a.ensureGrad()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Grad[i*n+j] += out.Grad[j*m+i]
+			}
+		}
+	})
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Tensor) *Tensor {
+	out := newResult(a.Shape, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	out.setBack(func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			y := out.Data[i]
+			a.Grad[i] += g * (1 - y*y)
+		}
+	})
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	out := newResult(a.Shape, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	out.setBack(func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			if a.Data[i] > 0 {
+				a.Grad[i] += g
+			}
+		}
+	})
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := newResult(a.Shape, a)
+	for i, v := range a.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	out.setBack(func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			y := out.Data[i]
+			a.Grad[i] += g * y * (1 - y)
+		}
+	})
+	return out
+}
+
+// SoftmaxRows applies softmax independently to each row of a 2-D tensor.
+func SoftmaxRows(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxRows requires 2-D, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := newResult(a.Shape, a)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : i*n+n]
+		orow := out.Data[i*n : i*n+n]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	out.setBack(func() {
+		a.ensureGrad()
+		for i := 0; i < m; i++ {
+			grow := out.Grad[i*n : i*n+n]
+			orow := out.Data[i*n : i*n+n]
+			var dot float64
+			for j := range grow {
+				dot += grow[j] * orow[j]
+			}
+			arow := a.Grad[i*n : i*n+n]
+			for j := range grow {
+				arow[j] += orow[j] * (grow[j] - dot)
+			}
+		}
+	})
+	return out
+}
+
+// SumAll reduces a tensor to the scalar sum of its elements.
+func SumAll(a *Tensor) *Tensor {
+	out := newResult([]int{1}, a)
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	out.Data[0] = s
+	out.setBack(func() {
+		a.ensureGrad()
+		g := out.Grad[0]
+		for i := range a.Grad {
+			a.Grad[i] += g
+		}
+	})
+	return out
+}
+
+// MeanAll reduces a tensor to the scalar mean of its elements.
+func MeanAll(a *Tensor) *Tensor {
+	out := newResult([]int{1}, a)
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	n := float64(a.Numel())
+	out.Data[0] = s / n
+	out.setBack(func() {
+		a.ensureGrad()
+		g := out.Grad[0] / n
+		for i := range a.Grad {
+			a.Grad[i] += g
+		}
+	})
+	return out
+}
+
+// ConcatCols concatenates 2-D tensors with equal row counts along columns.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: ConcatCols of nothing")
+	}
+	m := ts[0].Shape[0]
+	total := 0
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[0] != m {
+			panic(fmt.Sprintf("nn: ConcatCols row mismatch: %v", t.Shape))
+		}
+		total += t.Shape[1]
+	}
+	out := newResult([]int{m, total}, ts...)
+	off := 0
+	for _, t := range ts {
+		n := t.Shape[1]
+		for i := 0; i < m; i++ {
+			copy(out.Data[i*total+off:i*total+off+n], t.Data[i*n:i*n+n])
+		}
+		off += n
+	}
+	out.setBack(func() {
+		off := 0
+		for _, t := range ts {
+			n := t.Shape[1]
+			if t.needGrad {
+				t.ensureGrad()
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						t.Grad[i*n+j] += out.Grad[i*total+off+j]
+					}
+				}
+			}
+			off += n
+		}
+	})
+	return out
+}
+
+// Rows selects the given rows of a 2-D tensor (gather along dim 0). Used for
+// embedding lookups: table [V,d] gathered with k indices yields [k,d].
+func Rows(a *Tensor, idx []int) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("nn: Rows requires 2-D, got %v", a.Shape))
+	}
+	n := a.Shape[1]
+	out := newResult([]int{len(idx), n}, a)
+	for i, r := range idx {
+		copy(out.Data[i*n:i*n+n], a.Data[r*n:r*n+n])
+	}
+	out.setBack(func() {
+		a.ensureGrad()
+		for i, r := range idx {
+			for j := 0; j < n; j++ {
+				a.Grad[r*n+j] += out.Grad[i*n+j]
+			}
+		}
+	})
+	return out
+}
+
+// Dropout randomly zeroes elements with probability p at train time, scaling
+// survivors by 1/(1-p) (inverted dropout). When train is false or p <= 0 it
+// is the identity.
+func Dropout(a *Tensor, p float64, train bool, rng *rand.Rand) *Tensor {
+	if !train || p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("nn: dropout probability must be < 1")
+	}
+	out := newResult(a.Shape, a)
+	mask := make([]float64, a.Numel())
+	scale := 1 / (1 - p)
+	for i := range mask {
+		if rng.Float64() >= p {
+			mask[i] = scale
+		}
+	}
+	for i, v := range a.Data {
+		out.Data[i] = v * mask[i]
+	}
+	out.setBack(func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g * mask[i]
+		}
+	})
+	return out
+}
+
+// LayerNorm normalizes each row of a 2-D tensor to zero mean and unit
+// variance, then applies a learned per-column gain and bias.
+func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("nn: LayerNorm requires 2-D, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	if gain.Numel() != n || bias.Numel() != n {
+		panic("nn: LayerNorm gain/bias size mismatch")
+	}
+	out := newResult(a.Shape, a, gain, bias)
+	xhat := make([]float64, m*n)
+	invStd := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : i*n+n]
+		var mu float64
+		for _, v := range row {
+			mu += v
+		}
+		mu /= float64(n)
+		var va float64
+		for _, v := range row {
+			d := v - mu
+			va += d * d
+		}
+		va /= float64(n)
+		is := 1 / math.Sqrt(va+eps)
+		invStd[i] = is
+		for j, v := range row {
+			h := (v - mu) * is
+			xhat[i*n+j] = h
+			out.Data[i*n+j] = gain.Data[j]*h + bias.Data[j]
+		}
+	}
+	out.setBack(func() {
+		for i := 0; i < m; i++ {
+			grow := out.Grad[i*n : i*n+n]
+			hrow := xhat[i*n : i*n+n]
+			if gain.needGrad {
+				gain.ensureGrad()
+				for j := range grow {
+					gain.Grad[j] += grow[j] * hrow[j]
+				}
+			}
+			if bias.needGrad {
+				bias.ensureGrad()
+				for j := range grow {
+					bias.Grad[j] += grow[j]
+				}
+			}
+			if a.needGrad {
+				a.ensureGrad()
+				// dL/dxhat_j = g_j * gain_j; standard layer-norm backward.
+				var sumDh, sumDhH float64
+				dh := make([]float64, n)
+				for j := range grow {
+					dh[j] = grow[j] * gain.Data[j]
+					sumDh += dh[j]
+					sumDhH += dh[j] * hrow[j]
+				}
+				nf := float64(n)
+				for j := range grow {
+					a.Grad[i*n+j] += invStd[i] * (dh[j] - sumDh/nf - hrow[j]*sumDhH/nf)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ConcatRows concatenates 2-D tensors with equal column counts along rows.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: ConcatRows of nothing")
+	}
+	n := ts[0].Shape[1]
+	total := 0
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[1] != n {
+			panic(fmt.Sprintf("nn: ConcatRows column mismatch: %v", t.Shape))
+		}
+		total += t.Shape[0]
+	}
+	out := newResult([]int{total, n}, ts...)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:off+t.Numel()], t.Data)
+		off += t.Numel()
+	}
+	out.setBack(func() {
+		off := 0
+		for _, t := range ts {
+			if t.needGrad {
+				t.ensureGrad()
+				for i := range t.Data {
+					t.Grad[i] += out.Grad[off+i]
+				}
+			}
+			off += t.Numel()
+		}
+	})
+	return out
+}
+
+// Reshape returns a view-like tensor with the same data in a new shape. The
+// element count must match. Gradients flow through unchanged.
+func Reshape(a *Tensor, shape ...int) *Tensor {
+	if numel(shape) != a.Numel() {
+		panic(fmt.Sprintf("nn: Reshape %v -> %v", a.Shape, shape))
+	}
+	out := newResult(shape, a)
+	copy(out.Data, a.Data)
+	out.setBack(func() {
+		a.ensureGrad()
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+		}
+	})
+	return out
+}

@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// savedTensor is the serialized form of a parameter tensor.
+type savedTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// SaveParams writes params as JSON. The order of params defines the layout;
+// LoadParams must receive position-aligned tensors (the usual contract of a
+// model's Params method with fixed architecture).
+func SaveParams(w io.Writer, params []*Tensor) error {
+	out := make([]savedTensor, len(params))
+	for i, p := range params {
+		out[i] = savedTensor{Shape: p.Shape, Data: p.Data}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadParams reads JSON written by SaveParams into params. Shapes must
+// match exactly.
+func LoadParams(r io.Reader, params []*Tensor) error {
+	var in []savedTensor
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	if len(in) != len(params) {
+		return fmt.Errorf("nn: got %d tensors, model has %d", len(in), len(params))
+	}
+	for i, st := range in {
+		p := params[i]
+		if len(st.Data) != p.Numel() {
+			return fmt.Errorf("nn: tensor %d has %d elements, model expects %d", i, len(st.Data), p.Numel())
+		}
+		for d := range st.Shape {
+			if d >= len(p.Shape) || st.Shape[d] != p.Shape[d] {
+				return fmt.Errorf("nn: tensor %d shape %v, model expects %v", i, st.Shape, p.Shape)
+			}
+		}
+		copy(p.Data, st.Data)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"dlinfma/internal/model"
+)
+
+// InjectDelays applies the paper's synthetic delay model (Section V-D,
+// Figure 11) to a dataset and returns a new dataset sharing trajectories but
+// with fresh waybill slices:
+//
+// Within each trip, waybills are grouped by actual delivery stop; the stops
+// are divided sequentially into `batches` equal groups; the time of the last
+// stop of each group is the batch-confirmation time; every waybill delivered
+// before that time (and after the previous batch) has probability pd of its
+// recorded delivery time being deliberately delayed to the batch time.
+//
+// pd = 0 returns truthful confirmations; pd = 1 delays every eligible
+// waybill. The paper evaluates pd in {0.2, 0.6, 1.0} against real data whose
+// organic behaviour is roughly 2 batches with pd around 0.3.
+func InjectDelays(ds *model.Dataset, pd float64, batches int, seed int64) *model.Dataset {
+	if batches < 1 {
+		batches = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &model.Dataset{
+		Name:      ds.Name,
+		Addresses: ds.Addresses,
+		Truth:     ds.Truth,
+		Trips:     make([]model.Trip, len(ds.Trips)),
+	}
+	for ti, tr := range ds.Trips {
+		nt := tr
+		nt.Waybills = make([]model.Waybill, len(tr.Waybills))
+		copy(nt.Waybills, tr.Waybills)
+		// Reset any pre-existing batch delays: injection starts from the
+		// organic recording behaviour (actual time plus confirmation lag).
+		for i := range nt.Waybills {
+			nt.Waybills[i].RecordedDeliveryT = nt.Waybills[i].ActualDeliveryT + nt.Waybills[i].ConfirmLag
+		}
+
+		// Distinct stop times in chronological order.
+		stopSet := make(map[float64]bool)
+		for _, w := range nt.Waybills {
+			stopSet[w.ActualDeliveryT] = true
+		}
+		stops := make([]float64, 0, len(stopSet))
+		for t := range stopSet {
+			stops = append(stops, t)
+		}
+		sort.Float64s(stops)
+		if len(stops) == 0 {
+			out.Trips[ti] = nt
+			continue
+		}
+
+		nb := batches
+		if nb > len(stops) {
+			nb = len(stops)
+		}
+		// Sequential equal-sized groups of stops; each group's confirmation
+		// time is its last stop's time.
+		prevBatchT := -1.0
+		for b := 0; b < nb; b++ {
+			hi := (b+1)*len(stops)/nb - 1
+			batchT := stops[hi]
+			for i := range nt.Waybills {
+				w := &nt.Waybills[i]
+				if w.ActualDeliveryT > prevBatchT && w.ActualDeliveryT < batchT {
+					if rng.Float64() < pd && batchT > w.RecordedDeliveryT {
+						w.RecordedDeliveryT = batchT
+					}
+				}
+			}
+			prevBatchT = batchT
+		}
+		out.Trips[ti] = nt
+	}
+	return out
+}
+
+// DelayStats summarizes batch-confirmation delays in a dataset. A waybill
+// counts as delayed when its recorded time exceeds the organic recording
+// behaviour (actual time plus confirmation lag) by more than a second.
+type DelayStats struct {
+	Waybills     int
+	Delayed      int
+	MeanDelaySec float64 // mean batch delay over delayed waybills
+	MaxDelaySec  float64
+}
+
+// MeasureDelays computes batch-delay statistics over all waybills.
+func MeasureDelays(ds *model.Dataset) DelayStats {
+	var s DelayStats
+	var sum float64
+	for _, tr := range ds.Trips {
+		for _, w := range tr.Waybills {
+			s.Waybills++
+			d := w.RecordedDeliveryT - (w.ActualDeliveryT + w.ConfirmLag)
+			if d > 1 {
+				s.Delayed++
+				sum += d
+				if d > s.MaxDelaySec {
+					s.MaxDelaySec = d
+				}
+			}
+		}
+	}
+	if s.Delayed > 0 {
+		s.MeanDelaySec = sum / float64(s.Delayed)
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+// Package synth generates synthetic delivery datasets that stand in for the
+// paper's proprietary JD Logistics data (DowBJ/SubBJ). The generator builds
+// a city of communities and buildings, assigns each address a true delivery
+// location (doorstep, shared express locker, or community reception —
+// Figure 1 of the paper), simulates couriers' daily delivery trips with
+// realistic GPS trajectories, and injects confirmation delays with the
+// paper's own batch-confirmation model (Section V-D).
+//
+// Everything downstream — candidate generation, features, LocMatcher, all
+// baselines, and every table/figure reproduction — consumes only the
+// artefacts the real data would provide: trajectories, waybills with
+// recorded delivery times, and geocodes. Ground truth is kept separately for
+// evaluation.
+package synth
+
+// Profile configures one synthetic dataset. Two presets mirror the paper's
+// datasets: DowBJ (downtown: denser orders, better geocoding) and SubBJ
+// (suburban: sparser orders, noisier geocoding, more stops per trip).
+type Profile struct {
+	Name string
+	Seed int64
+
+	// City layout.
+	Extent                float64 // side of the square region, meters
+	NBuildings            int
+	MinAddrPerBuilding    int
+	MaxAddrPerBuilding    int
+	BuildingsPerCommunity int
+
+	// Customer delivery preferences (Figure 1): probabilities that an
+	// address's true delivery location is the doorstep, the community's
+	// express locker, or the reception. Must sum to 1.
+	PDoorstep  float64
+	PLocker    float64
+	PReception float64
+
+	// Geocoding error model (Figure 12 failure modes).
+	GeocodeSigma     float64 // base Gaussian imprecision, meters
+	PCoarseCommunity float64 // fraction of communities with one coarse POI entry
+	PWrongParse      float64 // per-address probability of similar-name misparse
+
+	// Courier operations.
+	NCouriers        int
+	Days             int
+	MinOrders        int // per courier per day
+	MaxOrders        int
+	CrossZoneProb    float64 // probability an order comes from a neighbor zone
+	Speed            float64 // mean travel speed, m/s
+	StayMean         float64 // mean dwell per delivery stop, seconds
+	StayStd          float64
+	NonDeliveryStops float64 // expected confounding stops per trip
+
+	// GPS sensing.
+	SampleInterval float64 // seconds between fixes (paper: 13.5 s average)
+	GPSSigma       float64 // per-fix Gaussian noise, meters
+	// DwellBiasSigma is the standard deviation of a per-dwell systematic
+	// offset (urban-canyon multipath shifts a whole stay, not single fixes).
+	// It is what makes small clustering distances split one true location
+	// into several candidates — the left side of the paper's Figure 10(a)
+	// U-shape.
+	DwellBiasSigma float64
+	OutlierProb    float64 // per-fix probability of a large spike
+
+	// LagMeanSec is the mean of the exponential organic confirmation lag:
+	// couriers confirm shortly after leaving a stop even when they do not
+	// batch. It drifts annotated locations along the departure path.
+	LagMeanSec float64
+
+	// Confirmation delays (Section V-D): couriers confirm in DelayBatches
+	// batches per trip; each earlier waybill is delayed to its batch time
+	// with probability DelayProb. The paper measures ~2 batches and
+	// p_d ~ 0.3 in the real data.
+	DelayProb    float64
+	DelayBatches int
+}
+
+// DowBJ returns the downtown-Beijing-like profile: denser orders per
+// address, tighter geocoding.
+func DowBJ() Profile {
+	return Profile{
+		Name: "DowBJ", Seed: 20180101,
+		Extent: 2400, NBuildings: 150,
+		MinAddrPerBuilding: 3, MaxAddrPerBuilding: 6,
+		BuildingsPerCommunity: 8,
+		PDoorstep:             0.60, PLocker: 0.25, PReception: 0.15,
+		GeocodeSigma: 25, PCoarseCommunity: 0.25, PWrongParse: 0.04,
+		NCouriers: 5, Days: 60, MinOrders: 18, MaxOrders: 26,
+		CrossZoneProb: 0.08, Speed: 4, StayMean: 90, StayStd: 25,
+		NonDeliveryStops: 3,
+		SampleInterval:   13.5, GPSSigma: 4, DwellBiasSigma: 6, OutlierProb: 0.004,
+		LagMeanSec: 20,
+		DelayProb:  0.3, DelayBatches: 2,
+	}
+}
+
+// SubBJ returns the suburban profile: sparser orders, noisier geocoding,
+// more stops per trip — the combination that makes inference harder in the
+// paper's Table II.
+func SubBJ() Profile {
+	return Profile{
+		Name: "SubBJ", Seed: 20180102,
+		Extent: 3200, NBuildings: 180,
+		MinAddrPerBuilding: 2, MaxAddrPerBuilding: 5,
+		BuildingsPerCommunity: 8,
+		PDoorstep:             0.55, PLocker: 0.28, PReception: 0.17,
+		GeocodeSigma: 40, PCoarseCommunity: 0.35, PWrongParse: 0.06,
+		NCouriers: 5, Days: 60, MinOrders: 20, MaxOrders: 28,
+		CrossZoneProb: 0.08, Speed: 4, StayMean: 100, StayStd: 30,
+		NonDeliveryStops: 5,
+		SampleInterval:   13.5, GPSSigma: 6, DwellBiasSigma: 8, OutlierProb: 0.006,
+		LagMeanSec: 30,
+		DelayProb:  0.3, DelayBatches: 2,
+	}
+}
+
+// Tiny returns a small profile for fast tests.
+func Tiny() Profile {
+	p := DowBJ()
+	p.Name = "Tiny"
+	p.Seed = 7
+	p.Extent = 1200
+	p.NBuildings = 40
+	p.NCouriers = 2
+	p.Days = 14
+	p.MinOrders, p.MaxOrders = 10, 14
+	return p
+}
+
+// Validate reports configuration problems.
+func (p Profile) Validate() error {
+	switch {
+	case p.Extent <= 0, p.NBuildings <= 0, p.NCouriers <= 0, p.Days <= 0:
+		return errProfile("extent, buildings, couriers and days must be positive")
+	case p.MinAddrPerBuilding < 1 || p.MaxAddrPerBuilding < p.MinAddrPerBuilding:
+		return errProfile("address-per-building range invalid")
+	case p.MinOrders < 1 || p.MaxOrders < p.MinOrders:
+		return errProfile("orders range invalid")
+	case p.PDoorstep+p.PLocker+p.PReception < 0.999 || p.PDoorstep+p.PLocker+p.PReception > 1.001:
+		return errProfile("delivery preferences must sum to 1")
+	case p.SampleInterval <= 0 || p.Speed <= 0:
+		return errProfile("sample interval and speed must be positive")
+	case p.DelayProb < 0 || p.DelayProb > 1:
+		return errProfile("delay probability must be in [0,1]")
+	}
+	return nil
+}
+
+type errProfile string
+
+func (e errProfile) Error() string { return "synth: invalid profile: " + string(e) }

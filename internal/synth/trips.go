@@ -1,0 +1,261 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/traj"
+)
+
+// stop is one dwell during a trip: a delivery stop serving some addresses,
+// or a confounding non-delivery stop (rest, traffic) with no addresses.
+type stop struct {
+	loc   geo.Point
+	addrs []model.AddressID
+}
+
+// GenerateClean builds the world and simulates all delivery trips without
+// batch-confirmation delays: recorded times carry only the small organic
+// confirmation lag (actual + ConfirmLag). Use Generate for the profile's
+// batch-delay behaviour, or InjectDelays to add batch delays at a chosen
+// probability (Table III).
+func GenerateClean(p Profile) (*model.Dataset, *World, error) {
+	w, err := BuildWorld(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	ds := &model.Dataset{
+		Name:      p.Name,
+		Addresses: w.Addresses,
+		Truth:     w.Truth,
+	}
+	for day := 0; day < p.Days; day++ {
+		for z := 0; z < p.NCouriers; z++ {
+			tr := w.simulateTrip(rng, z, day)
+			if len(tr.Waybills) > 0 {
+				ds.Trips = append(ds.Trips, tr)
+			}
+		}
+	}
+	return ds, w, nil
+}
+
+// Generate is GenerateClean followed by delay injection with the profile's
+// DelayProb and DelayBatches — the generator's model of couriers' real-world
+// batch-confirmation habit.
+func Generate(p Profile) (*model.Dataset, *World, error) {
+	ds, w, err := GenerateClean(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return InjectDelays(ds, p.DelayProb, p.DelayBatches, p.Seed+2), w, nil
+}
+
+// simulateTrip produces one courier-day trip: batch sampling, a nearest-
+// neighbor route over the delivery locations, dwells, confounders, and a
+// noisy GPS trajectory.
+func (w *World) simulateTrip(rng *rand.Rand, zone, day int) model.Trip {
+	p := w.Profile
+
+	// Sample the batch of addresses for this trip.
+	nOrders := p.MinOrders + rng.Intn(p.MaxOrders-p.MinOrders+1)
+	chosen := w.sampleBatch(rng, zone, nOrders)
+
+	// Group addresses by their true delivery location: several addresses of
+	// a community may share a locker, so one stop serves them all.
+	byLoc := make(map[geo.Point]*stop)
+	var stops []*stop
+	for _, a := range chosen {
+		loc := w.Truth[a]
+		s, ok := byLoc[loc]
+		if !ok {
+			s = &stop{loc: loc}
+			byLoc[loc] = s
+			stops = append(stops, s)
+		}
+		s.addrs = append(s.addrs, a)
+	}
+
+	// Nearest-neighbor route from the courier's station.
+	station := w.stations[zone]
+	route := nearestNeighborRoute(station, stops)
+
+	// Insert confounding non-delivery stops at random route positions.
+	nRest := poisson(rng, p.NonDeliveryStops)
+	for i := 0; i < nRest && len(route) > 0; i++ {
+		at := rng.Intn(len(route) + 1)
+		b := w.zones[zone][rng.Intn(len(w.zones[zone]))]
+		loc := w.Buildings[b].Center.Add(geo.Point{
+			X: rng.NormFloat64() * 35, Y: rng.NormFloat64() * 35,
+		})
+		rest := &stop{loc: loc}
+		route = append(route[:at], append([]*stop{rest}, route[at:]...)...)
+	}
+
+	// Walk the route emitting the trajectory.
+	t0 := float64(day)*86400 + 8.5*3600 + rng.Float64()*1.5*3600
+	var points traj.Trajectory
+	t := t0
+	pos := station
+	emitDwell := func(loc geo.Point, dur float64) {
+		// A per-dwell systematic GPS offset: multipath shifts the whole stay.
+		biased := loc
+		if p.DwellBiasSigma > 0 {
+			biased = loc.Add(geo.Point{
+				X: rng.NormFloat64() * p.DwellBiasSigma,
+				Y: rng.NormFloat64() * p.DwellBiasSigma,
+			})
+		}
+		end := t + dur
+		// Start one interval in: the previous walk segment already emitted a
+		// fix at the current time.
+		for t += p.SampleInterval; t < end; t += p.SampleInterval {
+			points = append(points, w.noisyFix(rng, biased, t))
+		}
+	}
+	emitWalk := func(to geo.Point) {
+		speed := math.Min(7, math.Max(2, p.Speed+rng.NormFloat64()*0.6))
+		d := geo.Dist(pos, to)
+		steps := int(d/(speed*p.SampleInterval)) + 1
+		for i := 1; i <= steps; i++ {
+			f := float64(i) / float64(steps)
+			at := geo.Point{X: pos.X + f*(to.X-pos.X), Y: pos.Y + f*(to.Y-pos.Y)}
+			t += p.SampleInterval
+			points = append(points, w.noisyFix(rng, at, t))
+		}
+		pos = to
+	}
+
+	// Loading dwell at the station (a deliberately common, high-coverage
+	// location that MaxTC mistakes for a delivery location).
+	emitDwell(station, 120+rng.Float64()*60)
+
+	trip := model.Trip{Courier: model.CourierID(zone), StartT: t0}
+	for _, s := range route {
+		emitWalk(s.loc)
+		var dwell float64
+		if len(s.addrs) == 0 {
+			dwell = 60 + rng.Float64()*180 // rest / traffic stop
+		} else {
+			dwell = math.Max(45, p.StayMean+rng.NormFloat64()*p.StayStd)
+			// More parcels take a bit longer.
+			dwell += float64(len(s.addrs)-1) * 15
+		}
+		dwellEnd := t + dwell
+		for _, a := range s.addrs {
+			// Organic confirmation lag: exponential, capped at two minutes.
+			lag := 0.0
+			if p.LagMeanSec > 0 {
+				lag = math.Min(120, rng.ExpFloat64()*p.LagMeanSec)
+			}
+			trip.Waybills = append(trip.Waybills, model.Waybill{
+				Addr:              a,
+				ReceivedT:         t0,
+				ActualDeliveryT:   dwellEnd - 5,
+				ConfirmLag:        lag,
+				RecordedDeliveryT: dwellEnd - 5 + lag,
+			})
+		}
+		emitDwell(s.loc, dwell)
+	}
+	emitWalk(station)
+	trip.Traj = points
+	if len(points) > 0 {
+		trip.EndT = points[len(points)-1].T
+	} else {
+		trip.EndT = t
+	}
+	return trip
+}
+
+// sampleBatch draws n distinct addresses for a trip, weighted by order
+// frequency, mostly from the courier's zone with occasional cross-zone
+// orders.
+func (w *World) sampleBatch(rng *rand.Rand, zone, n int) []model.AddressID {
+	pickFromZone := func(z int) (model.AddressID, bool) {
+		addrs := w.zoneAddrs[z]
+		if len(addrs) == 0 {
+			return 0, false
+		}
+		cum := w.zoneCum[z]
+		r := rng.Float64() * cum[len(cum)-1]
+		i := sort.SearchFloat64s(cum, r)
+		if i >= len(addrs) {
+			i = len(addrs) - 1
+		}
+		return addrs[i], true
+	}
+
+	used := make(map[model.AddressID]bool)
+	var out []model.AddressID
+	for tries := 0; len(out) < n && tries < n*20; tries++ {
+		z := zone
+		if rng.Float64() < w.Profile.CrossZoneProb {
+			if rng.Float64() < 0.5 && zone > 0 {
+				z = zone - 1
+			} else if zone < len(w.zones)-1 {
+				z = zone + 1
+			}
+		}
+		a, ok := pickFromZone(z)
+		if !ok || used[a] {
+			continue
+		}
+		used[a] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// noisyFix produces one GPS fix at the true position with sensing noise and
+// occasional spikes for the noise filter to clean.
+func (w *World) noisyFix(rng *rand.Rand, at geo.Point, t float64) traj.GPSPoint {
+	p := w.Profile
+	fix := at.Add(geo.Point{X: rng.NormFloat64() * p.GPSSigma, Y: rng.NormFloat64() * p.GPSSigma})
+	if rng.Float64() < p.OutlierProb {
+		ang := rng.Float64() * 2 * math.Pi
+		r := 100 + rng.Float64()*200
+		fix = fix.Add(geo.Point{X: math.Cos(ang) * r, Y: math.Sin(ang) * r})
+	}
+	return traj.GPSPoint{P: fix, T: t}
+}
+
+// nearestNeighborRoute orders stops greedily by proximity starting from
+// start — the simple route heuristic couriers effectively follow.
+func nearestNeighborRoute(start geo.Point, stops []*stop) []*stop {
+	out := make([]*stop, 0, len(stops))
+	remaining := append([]*stop(nil), stops...)
+	pos := start
+	for len(remaining) > 0 {
+		best, bestD := 0, math.Inf(1)
+		for i, s := range remaining {
+			if d := geo.SqDist(pos, s.loc); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		s := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		out = append(out, s)
+		pos = s.loc
+	}
+	return out
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

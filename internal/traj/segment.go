@@ -1,0 +1,150 @@
+package traj
+
+import "dlinfma/internal/geo"
+
+// SegmentByGap splits a raw, continuous GPS stream into trip-sized
+// sub-trajectories at temporal gaps larger than maxGapSeconds. The deployed
+// system ingests couriers' all-day streams; delivery trips are the segments
+// between depot idle periods (the paper's Definition 5 trips come out of
+// this preprocessing).
+func SegmentByGap(tr Trajectory, maxGapSeconds float64) []Trajectory {
+	if len(tr) == 0 {
+		return nil
+	}
+	if maxGapSeconds <= 0 {
+		maxGapSeconds = 600
+	}
+	var out []Trajectory
+	start := 0
+	for i := 1; i < len(tr); i++ {
+		if tr[i].T-tr[i-1].T > maxGapSeconds {
+			out = append(out, tr[start:i])
+			start = i
+		}
+	}
+	return append(out, tr[start:])
+}
+
+// SegmentByDwell splits a stream wherever the courier dwells within radius
+// meters for at least minDwellSeconds (e.g. back at the station). The dwell
+// itself is attached to the preceding segment. Segments shorter than two
+// points are dropped.
+func SegmentByDwell(tr Trajectory, radius, minDwellSeconds float64) []Trajectory {
+	if len(tr) < 2 {
+		return nil
+	}
+	sps := DetectStayPoints(tr, StayPointConfig{DMax: radius, TMin: minDwellSeconds})
+	if len(sps) == 0 {
+		return []Trajectory{tr}
+	}
+	var out []Trajectory
+	startIdx := 0
+	for _, sp := range sps {
+		// Find the index right after the dwell ends.
+		end := startIdx
+		for end < len(tr) && tr[end].T <= sp.LeaveT {
+			end++
+		}
+		if end-startIdx >= 2 {
+			out = append(out, tr[startIdx:end])
+		}
+		startIdx = end
+	}
+	if len(tr)-startIdx >= 2 {
+		out = append(out, tr[startIdx:])
+	}
+	return out
+}
+
+// Simplify reduces a trajectory with the Douglas-Peucker algorithm under a
+// spatial tolerance in meters, always keeping the endpoints. Timestamps are
+// preserved on the kept points. Used to compress archived trajectories in
+// the storage layer without disturbing stay-point geometry beyond tol.
+func Simplify(tr Trajectory, tol float64) Trajectory {
+	if len(tr) <= 2 || tol <= 0 {
+		return tr
+	}
+	keep := make([]bool, len(tr))
+	keep[0], keep[len(tr)-1] = true, true
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		maxD, maxI := -1.0, -1
+		for i := lo + 1; i < hi; i++ {
+			if d := pointSegmentDist(tr[i].P, tr[lo].P, tr[hi].P); d > maxD {
+				maxD, maxI = d, i
+			}
+		}
+		if maxD > tol {
+			keep[maxI] = true
+			rec(lo, maxI)
+			rec(maxI, hi)
+		}
+	}
+	rec(0, len(tr)-1)
+	out := make(Trajectory, 0, len(tr)/2)
+	for i, k := range keep {
+		if k {
+			out = append(out, tr[i])
+		}
+	}
+	return out
+}
+
+// pointSegmentDist returns the distance from p to segment ab.
+func pointSegmentDist(p, a, b geo.Point) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	l2 := abx*abx + aby*aby
+	if l2 == 0 {
+		return geo.Dist(p, a)
+	}
+	t := ((p.X-a.X)*abx + (p.Y-a.Y)*aby) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	proj := geo.Point{X: a.X + t*abx, Y: a.Y + t*aby}
+	return geo.Dist(p, proj)
+}
+
+// Stats summarizes a trajectory's kinematics: used by data-quality checks
+// before ingestion.
+type Stats struct {
+	Points    int
+	Duration  float64
+	Length    float64
+	MeanSpeed float64 // m/s over moving time
+	MaxSpeed  float64
+	MeanGap   float64 // seconds between fixes
+	MaxGap    float64
+}
+
+// ComputeStats returns kinematic statistics for tr.
+func ComputeStats(tr Trajectory) Stats {
+	s := Stats{Points: len(tr)}
+	if len(tr) < 2 {
+		return s
+	}
+	s.Duration = tr.Duration()
+	s.Length = tr.Length()
+	if s.Duration > 0 {
+		s.MeanSpeed = s.Length / s.Duration
+	}
+	for i := 1; i < len(tr); i++ {
+		gap := tr[i].T - tr[i-1].T
+		s.MeanGap += gap
+		if gap > s.MaxGap {
+			s.MaxGap = gap
+		}
+		if gap > 0 {
+			if v := geo.Dist(tr[i-1].P, tr[i].P) / gap; v > s.MaxSpeed {
+				s.MaxSpeed = v
+			}
+		}
+	}
+	s.MeanGap /= float64(len(tr) - 1)
+	return s
+}

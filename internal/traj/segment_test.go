@@ -1,0 +1,191 @@
+package traj
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dlinfma/internal/geo"
+)
+
+func TestSegmentByGap(t *testing.T) {
+	tr := Trajectory{
+		{T: 0}, {T: 10}, {T: 20},
+		{T: 2000}, {T: 2010}, // 1980 s gap
+		{T: 9000}, // another gap
+	}
+	segs := SegmentByGap(tr, 600)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3", len(segs))
+	}
+	if len(segs[0]) != 3 || len(segs[1]) != 2 || len(segs[2]) != 1 {
+		t.Errorf("segment sizes %d %d %d", len(segs[0]), len(segs[1]), len(segs[2]))
+	}
+	if got := SegmentByGap(nil, 600); got != nil {
+		t.Error("empty stream should yield nil")
+	}
+	if segs := SegmentByGap(tr, 0); len(segs) != 3 {
+		t.Errorf("default gap: got %d segments", len(segs))
+	}
+}
+
+func TestSegmentByGapPreservesAllPoints(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Trajectory
+		tm := 0.0
+		for i := 0; i < 100; i++ {
+			tm += 5 + r.Float64()*1200 // some gaps exceed the threshold
+			tr = append(tr, GPSPoint{T: tm})
+		}
+		segs := SegmentByGap(tr, 600)
+		total := 0
+		for _, s := range segs {
+			total += len(s)
+			if err := s.Validate(); err != nil {
+				return false
+			}
+		}
+		return total == len(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentByDwell(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Move, long dwell at depot, move again.
+	part1 := walk(geo.Point{X: 0, Y: 0}, geo.Point{X: 300, Y: 0}, 4, 10, 0)
+	t1 := part1[len(part1)-1].T
+	depot := dwell(geo.Point{X: 300, Y: 0}, 1200, 10, t1+10, r)
+	t2 := depot[len(depot)-1].T
+	part2 := walk(geo.Point{X: 300, Y: 0}, geo.Point{X: 600, Y: 0}, 4, 10, t2+10)
+	tr := concat(part1, depot, part2)
+
+	segs := SegmentByDwell(tr, 30, 900)
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	// First segment ends after the dwell; second is the onward leg.
+	if segs[1][0].T <= t2 {
+		t.Error("second segment starts inside the dwell")
+	}
+}
+
+func TestSegmentByDwellNoDwell(t *testing.T) {
+	tr := walk(geo.Point{X: 0, Y: 0}, geo.Point{X: 500, Y: 0}, 4, 10, 0)
+	segs := SegmentByDwell(tr, 30, 900)
+	if len(segs) != 1 || len(segs[0]) != len(tr) {
+		t.Errorf("moving stream should stay one segment, got %d", len(segs))
+	}
+	if got := SegmentByDwell(Trajectory{{T: 0}}, 30, 900); got != nil {
+		t.Error("single point should yield nil")
+	}
+}
+
+func TestSimplifyStraightLine(t *testing.T) {
+	tr := walk(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 0}, 5, 10, 0)
+	got := Simplify(tr, 5)
+	if len(got) != 2 {
+		t.Errorf("straight line simplified to %d points, want 2", len(got))
+	}
+	if got[0] != tr[0] || got[len(got)-1] != tr[len(tr)-1] {
+		t.Error("endpoints not preserved")
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	a := walk(geo.Point{X: 0, Y: 0}, geo.Point{X: 500, Y: 0}, 5, 10, 0)
+	b := walk(geo.Point{X: 500, Y: 0}, geo.Point{X: 500, Y: 500}, 5, 10, a[len(a)-1].T+10)
+	tr := concat(a, b)
+	got := Simplify(tr, 5)
+	if len(got) < 3 {
+		t.Fatalf("corner lost: %d points", len(got))
+	}
+	// Some kept point is near the corner.
+	found := false
+	for _, p := range got {
+		if geo.Dist(p.P, geo.Point{X: 500, Y: 0}) < 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no kept point near the corner")
+	}
+}
+
+func TestSimplifyErrorBoundProperty(t *testing.T) {
+	// Every dropped point must lie within tol of the simplified polyline.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Trajectory
+		pos := geo.Point{}
+		tm := 0.0
+		for i := 0; i < 80; i++ {
+			pos = pos.Add(geo.Point{X: r.NormFloat64() * 20, Y: r.NormFloat64() * 20})
+			tm += 10
+			tr = append(tr, GPSPoint{P: pos, T: tm})
+		}
+		const tol = 15.0
+		simp := Simplify(tr, tol)
+		for _, p := range tr {
+			best := 1e18
+			for i := 1; i < len(simp); i++ {
+				if d := pointSegmentDist(p.P, simp[i-1].P, simp[i].P); d < best {
+					best = d
+				}
+			}
+			if best > tol+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyDegenerate(t *testing.T) {
+	short := Trajectory{{T: 0}, {T: 1}}
+	if got := Simplify(short, 5); len(got) != 2 {
+		t.Error("two points must pass through")
+	}
+	// Zero tolerance: identity.
+	tr := walk(geo.Point{X: 0, Y: 0}, geo.Point{X: 100, Y: 0}, 5, 10, 0)
+	if got := Simplify(tr, 0); len(got) != len(tr) {
+		t.Error("tol=0 must keep everything")
+	}
+	// Coincident endpoints exercise the zero-length-segment branch.
+	loop := Trajectory{
+		{P: geo.Point{X: 0, Y: 0}, T: 0},
+		{P: geo.Point{X: 50, Y: 50}, T: 10},
+		{P: geo.Point{X: 0, Y: 0}, T: 20},
+	}
+	got := Simplify(loop, 5)
+	if len(got) != 3 {
+		t.Errorf("loop apex lost: %d points", len(got))
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := Trajectory{
+		{P: geo.Point{X: 0, Y: 0}, T: 0},
+		{P: geo.Point{X: 30, Y: 0}, T: 10},
+		{P: geo.Point{X: 30, Y: 40}, T: 30},
+	}
+	s := ComputeStats(tr)
+	if s.Points != 3 || s.Duration != 30 || s.Length != 70 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.MaxSpeed != 3 { // 30 m in 10 s
+		t.Errorf("MaxSpeed = %v, want 3", s.MaxSpeed)
+	}
+	if s.MaxGap != 20 || s.MeanGap != 15 {
+		t.Errorf("gaps: %+v", s)
+	}
+	if got := ComputeStats(Trajectory{{T: 5}}); got.Points != 1 || got.Duration != 0 {
+		t.Errorf("single-point stats %+v", got)
+	}
+}

@@ -1,0 +1,79 @@
+package traj
+
+import "dlinfma/internal/geo"
+
+// StayPoint is a maximal sub-trajectory during which the courier stayed
+// within DMax meters of the segment's first fix for at least TMin seconds
+// (Definition 4). Its location is the spatial centroid of the member fixes
+// and its representative time is the middle of its interval.
+type StayPoint struct {
+	Loc     geo.Point
+	ArriveT float64 // time of the first member fix
+	LeaveT  float64 // time of the last member fix
+	NPoints int     // number of member fixes
+}
+
+// MidT returns the stay point's representative time: the midpoint of its
+// interval, as Definition 4 prescribes.
+func (sp StayPoint) MidT() float64 { return (sp.ArriveT + sp.LeaveT) / 2 }
+
+// Duration returns the stay duration in seconds.
+func (sp StayPoint) Duration() float64 { return sp.LeaveT - sp.ArriveT }
+
+// StayPointConfig holds the two thresholds of Definition 4.
+type StayPointConfig struct {
+	DMax float64 // meters
+	TMin float64 // seconds
+}
+
+// DefaultStayPointConfig returns the paper's thresholds: D_max = 20 m,
+// T_min = 30 s (Section III-A, following ref [5]).
+func DefaultStayPointConfig() StayPointConfig {
+	return StayPointConfig{DMax: 20, TMin: 30}
+}
+
+// DetectStayPoints extracts stay points from tr using the seek-forward
+// algorithm of Li et al. (paper ref [7]): anchor at p_i, extend j while
+// distance(p_i, p_j) <= DMax, and emit a stay point if the accumulated span
+// reaches TMin. The scan resumes after the emitted segment, so stay points
+// never overlap.
+func DetectStayPoints(tr Trajectory, cfg StayPointConfig) []StayPoint {
+	if cfg.DMax <= 0 || cfg.TMin <= 0 {
+		cfg = DefaultStayPointConfig()
+	}
+	var out []StayPoint
+	i := 0
+	n := len(tr)
+	for i < n-1 {
+		j := i + 1
+		for j < n && geo.Dist(tr[i].P, tr[j].P) <= cfg.DMax {
+			j++
+		}
+		// Members are tr[i..j-1].
+		if last := j - 1; last > i && tr[last].T-tr[i].T >= cfg.TMin {
+			var sx, sy float64
+			for k := i; k <= last; k++ {
+				sx += tr[k].P.X
+				sy += tr[k].P.Y
+			}
+			m := float64(last - i + 1)
+			out = append(out, StayPoint{
+				Loc:     geo.Point{X: sx / m, Y: sy / m},
+				ArriveT: tr[i].T,
+				LeaveT:  tr[last].T,
+				NPoints: last - i + 1,
+			})
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// ExtractStayPoints runs the full stay-point extraction step of the paper's
+// Location Candidate Generation component: noise filtering followed by stay
+// point detection.
+func ExtractStayPoints(tr Trajectory, nf NoiseFilterConfig, sp StayPointConfig) []StayPoint {
+	return DetectStayPoints(FilterNoise(tr, nf), sp)
+}

@@ -1,0 +1,90 @@
+// Package traj implements courier trajectory handling: the trajectory type,
+// the heuristics-based GPS noise filter, and stay-point detection
+// (Definition 4 of the paper, with the paper's defaults D_max = 20 m and
+// T_min = 30 s).
+package traj
+
+import (
+	"fmt"
+	"sort"
+
+	"dlinfma/internal/geo"
+)
+
+// GPSPoint is one spatio-temporal fix of a courier.
+type GPSPoint struct {
+	P geo.Point
+	T float64 // seconds since the dataset epoch
+}
+
+// Trajectory is a chronologically ordered sequence of GPS points.
+type Trajectory []GPSPoint
+
+// Validate returns an error if the trajectory is not strictly ordered in
+// time.
+func (tr Trajectory) Validate() error {
+	for i := 1; i < len(tr); i++ {
+		if tr[i].T <= tr[i-1].T {
+			return fmt.Errorf("traj: point %d at t=%v not after point %d at t=%v", i, tr[i].T, i-1, tr[i-1].T)
+		}
+	}
+	return nil
+}
+
+// Sort orders the trajectory by time in place.
+func (tr Trajectory) Sort() {
+	sort.Slice(tr, func(i, j int) bool { return tr[i].T < tr[j].T })
+}
+
+// Duration returns the time span covered by the trajectory in seconds.
+func (tr Trajectory) Duration() float64 {
+	if len(tr) < 2 {
+		return 0
+	}
+	return tr[len(tr)-1].T - tr[0].T
+}
+
+// Length returns the traveled path length in meters.
+func (tr Trajectory) Length() float64 {
+	var sum float64
+	for i := 1; i < len(tr); i++ {
+		sum += geo.Dist(tr[i-1].P, tr[i].P)
+	}
+	return sum
+}
+
+// Slice returns the sub-trajectory with t0 <= T <= t1. The returned slice
+// shares storage with tr.
+func (tr Trajectory) Slice(t0, t1 float64) Trajectory {
+	lo := sort.Search(len(tr), func(i int) bool { return tr[i].T >= t0 })
+	hi := sort.Search(len(tr), func(i int) bool { return tr[i].T > t1 })
+	if lo >= hi {
+		return nil
+	}
+	return tr[lo:hi]
+}
+
+// At returns the interpolated position of the courier at time t. Times
+// outside the trajectory clamp to the first/last fix. It returns the zero
+// point for an empty trajectory.
+func (tr Trajectory) At(t float64) geo.Point {
+	if len(tr) == 0 {
+		return geo.Point{}
+	}
+	if t <= tr[0].T {
+		return tr[0].P
+	}
+	if t >= tr[len(tr)-1].T {
+		return tr[len(tr)-1].P
+	}
+	i := sort.Search(len(tr), func(i int) bool { return tr[i].T >= t })
+	a, b := tr[i-1], tr[i]
+	if b.T == a.T {
+		return b.P
+	}
+	f := (t - a.T) / (b.T - a.T)
+	return geo.Point{
+		X: a.P.X + f*(b.P.X-a.P.X),
+		Y: a.P.Y + f*(b.P.Y-a.P.Y),
+	}
+}
