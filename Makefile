@@ -1,0 +1,28 @@
+# Build/test/bench entry points. The race target covers the packages with
+# concurrency (tensor engine and pipeline); bench regenerates the LocMatcher
+# performance numbers and their machine-readable BENCH_locmatcher.json.
+
+GO ?= go
+
+.PHONY: build test race vet bench bench-all
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/nn/...
+
+vet:
+	$(GO) vet ./...
+
+# LocMatcher training/inference benchmarks -> BENCH_locmatcher.json.
+bench:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'FitParallel|PredictBatch' -benchmem . | bin/benchjson -out BENCH_locmatcher.json
+
+# Every benchmark (regenerates all paper artefacts; slow).
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem .

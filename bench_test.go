@@ -8,6 +8,7 @@ package dlinfma
 // micro-benches use the full DowBJ profile.
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -240,6 +241,50 @@ func BenchmarkLocMatcherInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Predict(ss[i%len(ss)])
+	}
+}
+
+// BenchmarkFitParallel measures one LocMatcher training epoch at several
+// worker counts (Workers=1 is the serial reference path; higher counts train
+// each batch's samples on replica parameters). Allocation counts show the
+// tape arena's effect: graph storage is recycled sample to sample.
+func BenchmarkFitParallel(b *testing.B) {
+	ss := tinySamples(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := eval.ExperimentLocMatcherConfig()
+				cfg.MaxEpochs = 1
+				cfg.Patience = 1
+				cfg.Workers = workers
+				m := core.NewLocMatcher(cfg)
+				if _, err := m.Fit(ss, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictBatch measures batch inference over every tiny-profile
+// sample at several worker counts (PredictAll's fan-out).
+func BenchmarkPredictBatch(b *testing.B) {
+	ss := tinySamples(b)
+	cfg := core.DefaultLocMatcherConfig()
+	cfg.MaxEpochs = 2
+	m := core.NewLocMatcher(cfg)
+	if _, err := m.Fit(ss, nil); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			m.Cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				m.PredictAll(ss)
+			}
+		})
 	}
 }
 

@@ -95,9 +95,13 @@ func cmdGenerate(args []string) error {
 }
 
 // trainAndInfer runs the full pipeline and returns the inferred location of
-// every address with at least one candidate.
-func trainAndInfer(ds *model.Dataset) (map[model.AddressID]geo.Point, error) {
-	pipe := core.NewPipeline(ds, core.DefaultConfig())
+// every address with at least one candidate. workers bounds the pipeline's
+// parallelism (0 = GOMAXPROCS for extraction/featurization/inference, serial
+// training; >1 also parallelizes LocMatcher training).
+func trainAndInfer(ds *model.Dataset, workers int) (map[model.AddressID]geo.Point, error) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	pipe := core.NewPipeline(ds, cfg)
 	ids := make([]model.AddressID, len(ds.Addresses))
 	for i, a := range ds.Addresses {
 		ids[i] = a.ID
@@ -111,13 +115,16 @@ func trainAndInfer(ds *model.Dataset) (map[model.AddressID]geo.Point, error) {
 		}
 	}
 	nVal := len(labelled) / 5
-	m := core.NewLocMatcher(eval.ExperimentLocMatcherConfig())
+	mcfg := eval.ExperimentLocMatcherConfig()
+	mcfg.Workers = workers
+	m := core.NewLocMatcher(mcfg)
 	if _, err := m.Fit(labelled[nVal:], labelled[:nVal]); err != nil {
 		return nil, err
 	}
+	preds := m.PredictAll(samples)
 	out := make(map[model.AddressID]geo.Point, len(samples))
-	for _, s := range samples {
-		out[s.Addr] = s.PredictedLocation(m.Predict(s))
+	for i, s := range samples {
+		out[s.Addr] = s.PredictedLocation(preds[i])
 	}
 	return out, nil
 }
@@ -126,12 +133,13 @@ func cmdInfer(args []string) error {
 	fs := flag.NewFlagSet("infer", flag.ExitOnError)
 	data := fs.String("data", "data.json.gz", "dataset path")
 	out := fs.String("out", "locations.json", "output path for inferred locations")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
 	fs.Parse(args)
 	ds, err := model.LoadFile(*data)
 	if err != nil {
 		return err
 	}
-	locs, err := trainAndInfer(ds)
+	locs, err := trainAndInfer(ds, *workers)
 	if err != nil {
 		return err
 	}
@@ -154,12 +162,13 @@ func cmdInfer(args []string) error {
 func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	data := fs.String("data", "data.json.gz", "dataset path")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
 	fs.Parse(args)
 	ds, err := model.LoadFile(*data)
 	if err != nil {
 		return err
 	}
-	locs, err := trainAndInfer(ds)
+	locs, err := trainAndInfer(ds, *workers)
 	if err != nil {
 		return err
 	}
@@ -179,12 +188,13 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	data := fs.String("data", "data.json.gz", "dataset path")
 	listen := fs.String("listen", ":8080", "HTTP listen address")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
 	fs.Parse(args)
 	ds, err := model.LoadFile(*data)
 	if err != nil {
 		return err
 	}
-	locs, err := trainAndInfer(ds)
+	locs, err := trainAndInfer(ds, *workers)
 	if err != nil {
 		return err
 	}

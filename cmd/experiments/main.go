@@ -24,19 +24,22 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|table1|fig9|table2|fig10a|fig10b|table3|fig13|extension|staysweep")
+		exp      = flag.String("exp", "all", "experiment: all|table1|fig9|table2|fig10a|fig10b|table3|fig13|extension|staysweep|efficiency")
 		profile  = flag.String("profile", "both", "dataset profile: dowbj|subbj|both")
 		variants = flag.Bool("variants", false, "include Table II variant and ablation rows (slow)")
 		quick    = flag.Bool("quick", false, "use the tiny test profile instead of the full ones")
+		workers  = flag.Int("workers", 0, "pipeline workers (0 = all cores; >1 also parallelizes LocMatcher training)")
 	)
 	flag.Parse()
 
 	profiles := selectProfiles(*profile, *quick)
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
 	var prepared []*eval.Prepared
 	for _, p := range profiles {
-		pr, err := eval.Prepare(p, core.DefaultConfig())
+		pr, err := eval.Prepare(p, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -73,7 +76,7 @@ func main() {
 	}
 	if run("table3") {
 		for _, pr := range prepared {
-			res, err := eval.Table3(pr.Profile, []float64{0.2, 0.6, 1.0}, core.DefaultConfig())
+			res, err := eval.Table3(pr.Profile, []float64{0.2, 0.6, 1.0}, cfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -107,6 +110,17 @@ func main() {
 			sizes = []int{200, 400}
 		}
 		eval.RenderFig13(os.Stdout, prepared[0].Profile.Name, eval.Fig13(prepared[0], sizes))
+	}
+	if run("efficiency") {
+		counts := []int{1, 2, 4, 8}
+		epochs := 5
+		if *quick {
+			counts = []int{1, 2, 4}
+			epochs = 3
+		}
+		for _, pr := range prepared {
+			eval.RenderEfficiency(os.Stdout, pr.Profile.Name, eval.Efficiency(pr, counts, epochs))
+		}
 	}
 }
 

@@ -37,10 +37,16 @@ func (d *DLInfMA) Name() string {
 	return "DLInfMA"
 }
 
-// Fit implements Method.
+// Fit implements Method. When the model config leaves Workers unset, the
+// pipeline's Workers knob is inherited so one -workers flag parallelizes
+// both stages.
 func (d *DLInfMA) Fit(env *Env, train, val []model.AddressID) error {
 	samples := env.Samples(d.Opt, d.Grid)
-	d.matcher = core.NewLocMatcher(d.Model)
+	cfg := d.Model
+	if cfg.Workers == 0 {
+		cfg.Workers = env.Pipe.Cfg.Workers
+	}
+	d.matcher = core.NewLocMatcher(cfg)
 	_, err := d.matcher.Fit(pickSamples(samples, train), pickSamples(samples, val))
 	return err
 }

@@ -6,6 +6,7 @@ import (
 	"dlinfma/internal/geo"
 	"dlinfma/internal/geocode"
 	"dlinfma/internal/model"
+	"dlinfma/internal/nn"
 )
 
 // FeatureMask selects which feature groups the featurizer emits. The zero
@@ -268,12 +269,18 @@ func (p *Pipeline) BuildSample(addr model.AddressID, opt SampleOptions) *Sample 
 	return s
 }
 
-// BuildSamples featurizes the given addresses, dropping those without
-// candidates.
+// BuildSamples featurizes the given addresses in parallel (Cfg.Workers
+// goroutines; 0 means GOMAXPROCS), dropping those without candidates. The
+// result keeps address order regardless of scheduling: samples land in an
+// index-aligned slot array that is compacted serially.
 func (p *Pipeline) BuildSamples(addrs []model.AddressID, opt SampleOptions) []*Sample {
+	slots := make([]*Sample, len(addrs))
+	nn.ParallelFor(p.Cfg.workers(), len(addrs), func(i int) {
+		slots[i] = p.BuildSample(addrs[i], opt)
+	})
 	var out []*Sample
-	for _, a := range addrs {
-		if s := p.BuildSample(a, opt); s != nil {
+	for _, s := range slots {
+		if s != nil {
 			out = append(out, s)
 		}
 	}

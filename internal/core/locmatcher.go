@@ -4,7 +4,9 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"dlinfma/internal/geocode"
@@ -39,6 +41,16 @@ type LocMatcherConfig struct {
 	UseLSTM bool
 	// LSTMHidden is the LSTM's hidden size (the paper uses 32).
 	LSTMHidden int
+	// Workers bounds the model's parallelism (the paper's Section V-F
+	// trajectory-level parallelization applied to the second stage). For
+	// training, values <= 1 select the deterministic serial reference path;
+	// Workers > 1 trains each mini-batch's samples concurrently on
+	// per-worker parameter replicas with ordered gradient reduction —
+	// reproducible for a fixed worker count, but with a different
+	// floating-point summation order than the serial path. For the
+	// inference fan-outs (PredictAll, ProbabilitiesAll, meanLoss), whose
+	// per-sample results are independent of scheduling, 0 means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultLocMatcherConfig returns the paper's hyper-parameters.
@@ -120,6 +132,31 @@ type LocMatcher struct {
 	attn      *nn.AdditiveAttention
 	scaler    *featScaler
 	rng       *rand.Rand
+
+	// tapes pools inference arenas so concurrent Predict calls each reuse
+	// graph storage without sharing it.
+	tapes sync.Pool
+}
+
+// getTape borrows an arena from the pool; putTape resets and returns it.
+func (m *LocMatcher) getTape() *nn.Tape {
+	if t, ok := m.tapes.Get().(*nn.Tape); ok {
+		return t
+	}
+	return nn.NewTape()
+}
+
+func (m *LocMatcher) putTape(t *nn.Tape) {
+	t.Reset()
+	m.tapes.Put(t)
+}
+
+// inferWorkers resolves the worker count for inference fan-outs.
+func (m *LocMatcher) inferWorkers() int {
+	if m.Cfg.Workers > 0 {
+		return m.Cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // NewLocMatcher builds an untrained LocMatcher.
@@ -166,8 +203,12 @@ func (m *LocMatcher) Params() []*nn.Tensor {
 	return ps
 }
 
-// forward computes candidate scores [n,1] for one sample.
-func (m *LocMatcher) forward(s *Sample, train bool) *nn.Tensor {
+// forward computes candidate scores [n,1] for one sample. The graph's
+// intermediates are allocated on tape (recycled by the caller's Reset); rng
+// drives dropout and is only consulted when train is true. Concurrent
+// forwards are safe as long as each call has its own tape (parameters are
+// only read).
+func (m *LocMatcher) forward(s *Sample, train bool, tape *nn.Tape, rng *rand.Rand) *nn.Tensor {
 	n := len(s.Cands)
 	sc := m.scaler
 	if sc == nil {
@@ -176,17 +217,15 @@ func (m *LocMatcher) forward(s *Sample, train bool) *nn.Tensor {
 			sc.std[k] = 1
 		}
 	}
-	tdData := make([]float64, n*24)
-	scData := make([]float64, n*nScalarFeats)
+	td := tape.NewLeaf(n, 24)
+	scalars := tape.NewLeaf(n, nScalarFeats)
 	for i := range s.Cands {
-		copy(tdData[i*24:(i+1)*24], s.Cands[i].TimeDist[:])
+		copy(td.Data[i*24:(i+1)*24], s.Cands[i].TimeDist[:])
 		f := candScalars(s, i)
 		for k, v := range f {
-			scData[i*nScalarFeats+k] = (v - sc.mean[k]) / sc.std[k]
+			scalars.Data[i*nScalarFeats+k] = (v - sc.mean[k]) / sc.std[k]
 		}
 	}
-	td := nn.NewTensor(tdData, n, 24)
-	scalars := nn.NewTensor(scData, n, nScalarFeats)
 
 	x := nn.ConcatCols(m.timeDense.Forward(td), scalars) // [n, r+5]
 	x = m.inDense.Forward(x)                             // [n, z]
@@ -194,7 +233,7 @@ func (m *LocMatcher) forward(s *Sample, train bool) *nn.Tensor {
 	if m.lstm != nil {
 		z = m.lstm.Forward(x) // [n, lstmHidden]
 	} else {
-		z = m.enc.Forward(x, train, m.rng) // [n, z]
+		z = m.enc.Forward(x, train, rng) // [n, z]
 	}
 
 	var ctx *nn.Tensor
@@ -204,8 +243,9 @@ func (m *LocMatcher) forward(s *Sample, train bool) *nn.Tensor {
 			poi = int(geocode.POIOther)
 		}
 		emb := m.poiEmb.Forward([]int{poi}) // [1, e]
-		nd := (s.NDeliveries - sc.mean[nScalarFeats]) / sc.std[nScalarFeats]
-		ctx = nn.ConcatCols(emb, nn.NewTensor([]float64{nd}, 1, 1)) // [1, e+1]
+		nd := tape.NewLeaf(1, 1)
+		nd.Data[0] = (s.NDeliveries - sc.mean[nScalarFeats]) / sc.std[nScalarFeats]
+		ctx = nn.ConcatCols(emb, nd) // [1, e+1]
 	}
 	return m.attn.Scores(z, ctx) // [n, 1]
 }
@@ -222,6 +262,16 @@ type TrainResult struct {
 // learning rate, mini-batches of Batch samples with gradient accumulation,
 // early stopping when validation loss stops improving, restoring the best
 // checkpoint.
+//
+// With Cfg.Workers <= 1 the epoch loop is the serial reference path —
+// bit-identical results for a fixed seed. With Workers > 1 each
+// mini-batch's samples are evaluated concurrently: every worker runs
+// forward/backward on its own parameter replica (with its own tape and
+// dropout RNG, seeded from Cfg.Seed and the worker index), gradients are
+// reduced into the shared parameters in worker order, and one optimizer
+// step is taken per batch — the same update schedule as the serial path, so
+// loss trajectories are statistically equivalent and reproducible for a
+// fixed worker count.
 func (m *LocMatcher) Fit(train, val []*Sample) (TrainResult, error) {
 	train = labelled(train)
 	val = labelled(val)
@@ -237,6 +287,28 @@ func (m *LocMatcher) Fit(train, val []*Sample) (TrainResult, error) {
 	stopper := nn.NewEarlyStopper(max(1, m.Cfg.Patience))
 	best := nn.CloneParams(params)
 
+	// Data-parallel setup: worker-local model replicas sharing the scaler,
+	// each with a distinct dropout stream and its own arena.
+	var dp *nn.DataParallel
+	var replicas []*LocMatcher
+	var tapes []*nn.Tape
+	if w := m.Cfg.Workers; w > 1 {
+		replicas = make([]*LocMatcher, w)
+		repParams := make([][]*nn.Tensor, w)
+		tapes = make([]*nn.Tape, w)
+		for k := range replicas {
+			rcfg := m.Cfg
+			rcfg.Seed = m.Cfg.Seed + int64(k+1)
+			r := NewLocMatcher(rcfg)
+			r.scaler = m.scaler
+			replicas[k] = r
+			repParams[k] = r.Params()
+			tapes[k] = nn.NewTape()
+		}
+		dp = nn.NewDataParallel(params, repParams...)
+	}
+
+	tape := nn.NewTape()
 	idx := make([]int, len(train))
 	for i := range idx {
 		idx[i] = i
@@ -245,22 +317,45 @@ func (m *LocMatcher) Fit(train, val []*Sample) (TrainResult, error) {
 	for epoch := 0; epoch < m.Cfg.MaxEpochs; epoch++ {
 		opt.LR = sched.At(epoch)
 		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		nn.ZeroGrads(params)
-		inBatch := 0
-		for _, i := range idx {
-			s := train[i]
-			loss := nn.CrossEntropy(m.forward(s, true), s.Label)
-			nn.Backward(loss)
-			inBatch++
-			if inBatch == m.Cfg.Batch {
+		if dp != nil {
+			batchSize := m.Cfg.Batch
+			if batchSize <= 0 {
+				batchSize = len(idx)
+			}
+			nn.ZeroGrads(params)
+			for lo := 0; lo < len(idx); lo += batchSize {
+				hi := min(lo+batchSize, len(idx))
+				batch := idx[lo:hi]
+				dp.Sync()
+				dp.Run(len(batch), func(w, j int) {
+					r := replicas[w]
+					s := train[batch[j]]
+					nn.Backward(nn.CrossEntropy(r.forward(s, true, tapes[w], r.rng), s.Label))
+					tapes[w].Reset()
+				})
+				dp.Reduce()
+				opt.Step(params, float64(len(batch)))
+				nn.ZeroGrads(params)
+			}
+		} else {
+			nn.ZeroGrads(params)
+			inBatch := 0
+			for _, i := range idx {
+				s := train[i]
+				loss := nn.CrossEntropy(m.forward(s, true, tape, m.rng), s.Label)
+				nn.Backward(loss)
+				tape.Reset()
+				inBatch++
+				if inBatch == m.Cfg.Batch {
+					opt.Step(params, float64(inBatch))
+					nn.ZeroGrads(params)
+					inBatch = 0
+				}
+			}
+			if inBatch > 0 {
 				opt.Step(params, float64(inBatch))
 				nn.ZeroGrads(params)
-				inBatch = 0
 			}
-		}
-		if inBatch > 0 {
-			opt.Step(params, float64(inBatch))
-			nn.ZeroGrads(params)
 		}
 		res.Epochs = epoch + 1
 
@@ -292,13 +387,24 @@ func labelled(samples []*Sample) []*Sample {
 	return out
 }
 
+// meanLoss computes the mean cross-entropy over samples, fanning the
+// per-sample forwards across inferWorkers() goroutines. The per-sample
+// losses land in an index-ordered slice that is summed serially, so the
+// result is bit-identical at any worker count.
 func (m *LocMatcher) meanLoss(samples []*Sample) float64 {
 	if len(samples) == 0 {
 		return math.Inf(1)
 	}
+	losses := make([]float64, len(samples))
+	nn.ParallelFor(m.inferWorkers(), len(samples), func(i int) {
+		s := samples[i]
+		tape := m.getTape()
+		losses[i] = nn.CrossEntropy(m.forward(s, false, tape, nil), s.Label).Value()
+		m.putTape(tape)
+	})
 	var sum float64
-	for _, s := range samples {
-		sum += nn.CrossEntropy(m.forward(s, false), s.Label).Value()
+	for _, l := range losses {
+		sum += l
 	}
 	return sum / float64(len(samples))
 }
@@ -312,7 +418,7 @@ func (m *LocMatcher) Predict(s *Sample) int {
 	if len(s.Cands) == 1 {
 		return 0
 	}
-	probs := nn.Softmax1D(m.forward(s, false))
+	probs := m.Probabilities(s)
 	best := 0
 	for i, p := range probs {
 		if p > probs[best] {
@@ -322,12 +428,35 @@ func (m *LocMatcher) Predict(s *Sample) int {
 	return best
 }
 
+// PredictAll runs Predict over a batch of samples on inferWorkers()
+// goroutines and returns the predictions in sample order.
+func (m *LocMatcher) PredictAll(samples []*Sample) []int {
+	out := make([]int, len(samples))
+	nn.ParallelFor(m.inferWorkers(), len(samples), func(i int) {
+		out[i] = m.Predict(samples[i])
+	})
+	return out
+}
+
 // Probabilities returns the softmax distribution over candidates.
 func (m *LocMatcher) Probabilities(s *Sample) []float64 {
 	if len(s.Cands) == 0 {
 		return nil
 	}
-	return nn.Softmax1D(m.forward(s, false))
+	tape := m.getTape()
+	probs := nn.Softmax1D(m.forward(s, false, tape, nil))
+	m.putTape(tape)
+	return probs
+}
+
+// ProbabilitiesAll runs Probabilities over a batch of samples on
+// inferWorkers() goroutines and returns the distributions in sample order.
+func (m *LocMatcher) ProbabilitiesAll(samples []*Sample) [][]float64 {
+	out := make([][]float64, len(samples))
+	nn.ParallelFor(m.inferWorkers(), len(samples), func(i int) {
+		out[i] = m.Probabilities(samples[i])
+	})
+	return out
 }
 
 // CandidateScore pairs a candidate with its predicted probability and the

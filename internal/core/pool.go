@@ -13,6 +13,7 @@ import (
 	"dlinfma/internal/cluster"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/nn"
 	"dlinfma/internal/traj"
 )
 
@@ -78,6 +79,9 @@ type Pool struct {
 	Visits [][]StayVisit
 
 	index *geo.Index
+	// indexOnce guards the lazy index build in Nearest, which may be called
+	// from many goroutines at once (parallel feature extraction).
+	indexOnce sync.Once
 }
 
 // stayRecord tags an extracted stay point with its trip and courier.
@@ -91,24 +95,19 @@ type stayRecord struct {
 // every trip in parallel (the paper's trajectory-level parallelization,
 // Section V-F).
 func ExtractAllStayPoints(ds *model.Dataset, cfg Config) [][]traj.StayPoint {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	out := make([][]traj.StayPoint, len(ds.Trips))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range ds.Trips {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = traj.ExtractStayPoints(ds.Trips[i].Traj, cfg.Noise, cfg.Stay)
-		}(i)
-	}
-	wg.Wait()
+	nn.ParallelFor(cfg.workers(), len(ds.Trips), func(i int) {
+		out[i] = traj.ExtractStayPoints(ds.Trips[i].Traj, cfg.Noise, cfg.Stay)
+	})
 	return out
+}
+
+// workers resolves Config.Workers, mapping 0 to GOMAXPROCS.
+func (cfg Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // BuildPool constructs the candidate pool from a dataset: stay-point
@@ -254,9 +253,11 @@ func assemblePool(ds *model.Dataset, records []stayRecord, assign []int) *Pool {
 // Nearest returns the pool location closest to q and its distance, or
 // (-1, +Inf) for an empty pool.
 func (p *Pool) Nearest(q geo.Point) (int, float64) {
-	if p.index == nil {
-		p.index = geo.NewIndex(locPoints(p.Locations), 50)
-	}
+	p.indexOnce.Do(func() {
+		if p.index == nil {
+			p.index = geo.NewIndex(locPoints(p.Locations), 50)
+		}
+	})
 	return p.index.Nearest(q)
 }
 

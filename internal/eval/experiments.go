@@ -384,6 +384,65 @@ func Table3(p synth.Profile, pds []float64, cfg core.Config) ([]Table3Result, er
 	return out, nil
 }
 
+// EfficiencyRow reports one worker count's wall-clock time per pipeline
+// stage (the paper's Section V-F efficiency study, extended to the second
+// stage): stay-point extraction, sample featurization, LocMatcher training,
+// and batch inference over every sample.
+type EfficiencyRow struct {
+	Workers      int
+	StayExtract  time.Duration
+	BuildSamples time.Duration
+	Fit          time.Duration
+	Predict      time.Duration
+	Epochs       int
+}
+
+// Efficiency measures the parallel pipeline's per-stage wall time at each
+// worker count on the prepared dataset. Training is capped at maxEpochs
+// (early stopping disabled by the cap being small) so rows are comparable;
+// the candidate pool is reused across rows — clustering is not re-run.
+func Efficiency(p *Prepared, workerCounts []int, maxEpochs int) []EfficiencyRow {
+	ids := make([]model.AddressID, len(p.DS.Addresses))
+	for i, a := range p.DS.Addresses {
+		ids[i] = a.ID
+	}
+	var out []EfficiencyRow
+	for _, w := range workerCounts {
+		row := EfficiencyRow{Workers: w}
+		cfg := p.Env.Pipe.Cfg
+		cfg.Workers = w
+
+		t0 := time.Now()
+		core.ExtractAllStayPoints(p.DS, cfg)
+		row.StayExtract = time.Since(t0)
+
+		pipe := *p.Env.Pipe
+		pipe.Cfg.Workers = w
+		t0 = time.Now()
+		samples := pipe.BuildSamples(ids, core.DefaultSampleOptions())
+		row.BuildSamples = time.Since(t0)
+
+		core.LabelSamples(samples, p.DS.Truth)
+		mcfg := ExperimentLocMatcherConfig()
+		mcfg.Workers = w
+		mcfg.MaxEpochs = maxEpochs
+		m := core.NewLocMatcher(mcfg)
+		t0 = time.Now()
+		res, err := m.Fit(samples, nil)
+		row.Fit = time.Since(t0)
+		if err != nil {
+			continue
+		}
+		row.Epochs = res.Epochs
+
+		t0 = time.Now()
+		m.PredictAll(samples)
+		row.Predict = time.Since(t0)
+		out = append(out, row)
+	}
+	return out
+}
+
 // Fig13Point is one scalability measurement: inference wall time for a
 // method over nAddresses.
 type Fig13Point struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // RenderMethodTable writes method results as an aligned text table in the
@@ -83,6 +84,20 @@ func RenderFig13(w io.Writer, name string, pts []Fig13Point) {
 	for _, p := range pts {
 		rate := float64(p.NAddresses) / p.Elapsed.Seconds()
 		fmt.Fprintf(w, "%-16s %10d %12.1f %12.0f\n", p.Method, p.NAddresses, float64(p.Elapsed.Milliseconds()), rate)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderEfficiency writes the per-stage wall times of the worker sweep.
+func RenderEfficiency(w io.Writer, name string, rows []EfficiencyRow) {
+	fmt.Fprintf(w, "Efficiency (%s): pipeline stage wall time vs workers\n", name)
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s %8s\n",
+		"workers", "extract(ms)", "feats(ms)", "fit(ms)", "infer(ms)", "epochs")
+	fmt.Fprintln(w, strings.Repeat("-", 70))
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12.1f %12.1f %12.1f %12.1f %8d\n",
+			r.Workers, ms(r.StayExtract), ms(r.BuildSamples), ms(r.Fit), ms(r.Predict), r.Epochs)
 	}
 	fmt.Fprintln(w)
 }

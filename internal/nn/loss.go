@@ -22,7 +22,7 @@ func CrossEntropy(logits *Tensor, target int) *Tensor {
 		}
 	}
 	var sum float64
-	probs := make([]float64, n)
+	probs := graphScratch(out, n)
 	for i, v := range logits.Data {
 		e := math.Exp(v - maxv)
 		probs[i] = e

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 )
 
 func sameShape(a, b *Tensor) {
@@ -137,58 +138,74 @@ func AddRowVec(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMul returns the matrix product of a [m,k] and b [k,n].
+// matMulParallelFlops is the m*k*n product above which MatMul splits its
+// row blocks across cores. The threshold sits far above LocMatcher's
+// per-sample matrix sizes on purpose: data-parallel training already
+// saturates the cores with sample-level workers, and nesting goroutines
+// under them would only add scheduling overhead. Large single-graph models
+// (the UNet baseline's im2col products) do cross it.
+var matMulParallelFlops = 1 << 17
+
+// MatMul returns the matrix product of a [m,k] and b [k,n]. Products whose
+// m*k*n exceeds matMulParallelFlops are computed with their independent row
+// blocks spread over GOMAXPROCS workers; because each output (and gradient)
+// row is written by exactly one worker in the serial per-row order, the
+// result is bit-identical to the serial computation.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("nn: MatMul %v x %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	out := newResult([]int{m, n}, a, b)
-	for i := 0; i < m; i++ {
-		for kk := 0; kk < k; kk++ {
-			av := a.Data[i*k+kk]
+	workers := 1
+	if m*k*n >= matMulParallelFlops {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ParallelFor(workers, m, func(i int) {
+		arow := a.Data[i*k : i*k+k]
+		orow := out.Data[i*n : i*n+n]
+		for kk, av := range arow {
 			if av == 0 {
 				continue
 			}
 			brow := b.Data[kk*n : kk*n+n]
-			orow := out.Data[i*n : i*n+n]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
-	}
+	})
 	out.setBack(func() {
 		if a.needGrad {
 			a.ensureGrad()
-			// dA = dOut * B^T
-			for i := 0; i < m; i++ {
+			// dA = dOut * B^T; rows of dA are independent.
+			ParallelFor(workers, m, func(i int) {
+				grow := out.Grad[i*n : i*n+n]
 				for kk := 0; kk < k; kk++ {
 					var s float64
-					grow := out.Grad[i*n : i*n+n]
 					brow := b.Data[kk*n : kk*n+n]
 					for j := range grow {
 						s += grow[j] * brow[j]
 					}
 					a.Grad[i*k+kk] += s
 				}
-			}
+			})
 		}
 		if b.needGrad {
 			b.ensureGrad()
-			// dB = A^T * dOut
-			for kk := 0; kk < k; kk++ {
+			// dB = A^T * dOut; rows of dB (indexed by kk) are independent.
+			ParallelFor(workers, k, func(kk int) {
+				brow := b.Grad[kk*n : kk*n+n]
 				for i := 0; i < m; i++ {
 					av := a.Data[i*k+kk]
 					if av == 0 {
 						continue
 					}
 					grow := out.Grad[i*n : i*n+n]
-					brow := b.Grad[kk*n : kk*n+n]
 					for j := range grow {
 						brow[j] += av * grow[j]
 					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -422,7 +439,7 @@ func Dropout(a *Tensor, p float64, train bool, rng *rand.Rand) *Tensor {
 		panic("nn: dropout probability must be < 1")
 	}
 	out := newResult(a.Shape, a)
-	mask := make([]float64, a.Numel())
+	mask := graphScratch(out, a.Numel())
 	scale := 1 / (1 - p)
 	for i := range mask {
 		if rng.Float64() >= p {
@@ -452,8 +469,8 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 		panic("nn: LayerNorm gain/bias size mismatch")
 	}
 	out := newResult(a.Shape, a, gain, bias)
-	xhat := make([]float64, m*n)
-	invStd := make([]float64, m)
+	xhat := graphScratch(out, m*n)
+	invStd := graphScratch(out, m)
 	for i := 0; i < m; i++ {
 		row := a.Data[i*n : i*n+n]
 		var mu float64
@@ -476,6 +493,7 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 		}
 	}
 	out.setBack(func() {
+		dh := graphScratch(out, n)
 		for i := 0; i < m; i++ {
 			grow := out.Grad[i*n : i*n+n]
 			hrow := xhat[i*n : i*n+n]
@@ -495,7 +513,6 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 				a.ensureGrad()
 				// dL/dxhat_j = g_j * gain_j; standard layer-norm backward.
 				var sumDh, sumDhH float64
-				dh := make([]float64, n)
 				for j := range grow {
 					dh[j] = grow[j] * gain.Data[j]
 					sumDh += dh[j]

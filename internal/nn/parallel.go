@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ParallelFor runs fn(i) for every i in [0, n) on a fixed pool of workers
+// goroutines pulling indices from a shared channel — a bounded fan-out that
+// never spawns more than workers goroutines no matter how large n is (the
+// goroutine-per-item pattern does, and DowBJ-scale inputs have tens of
+// thousands of trips). workers <= 1 (or n <= 1) runs inline, preserving the
+// exact serial execution order. fn must be safe to call concurrently for
+// distinct i; iterations must not depend on each other.
+func ParallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DataParallel coordinates data-parallel training over worker-local
+// parameter replicas: each worker runs forward/backward against its own
+// copy of the parameters (so concurrent Backward calls never touch shared
+// tensors), then Reduce folds the workers' accumulated gradients into the
+// master parameters in worker order — a deterministic reduction — and Sync
+// re-broadcasts the master data after the optimizer step.
+//
+// Combined with Run's static sample sharding and per-worker seeded RNGs,
+// training with a fixed worker count is reproducible run to run; only the
+// floating-point summation order differs from the serial path.
+type DataParallel struct {
+	master   []*Tensor
+	replicas [][]*Tensor
+}
+
+// NewDataParallel wires master parameters to position-aligned replica
+// parameter slices (one per worker). Every replica must have the same
+// number, order and sizes of tensors as master.
+func NewDataParallel(master []*Tensor, replicas ...[]*Tensor) *DataParallel {
+	for w, rep := range replicas {
+		if len(rep) != len(master) {
+			panic(fmt.Sprintf("nn: replica %d has %d params, master has %d", w, len(rep), len(master)))
+		}
+		for i, p := range rep {
+			if len(p.Data) != len(master[i].Data) {
+				panic(fmt.Sprintf("nn: replica %d param %d size %d, master %d",
+					w, i, len(p.Data), len(master[i].Data)))
+			}
+		}
+	}
+	return &DataParallel{master: master, replicas: replicas}
+}
+
+// Workers returns the number of replicas.
+func (dp *DataParallel) Workers() int { return len(dp.replicas) }
+
+// Sync copies the master parameter data into every replica. Call after each
+// optimizer step (and once before training starts).
+func (dp *DataParallel) Sync() {
+	for _, rep := range dp.replicas {
+		for i, p := range rep {
+			copy(p.Data, dp.master[i].Data)
+		}
+	}
+}
+
+// Reduce accumulates every replica's gradients into the master gradients —
+// summed in worker order, so the result is independent of goroutine
+// scheduling — and zeroes the replica gradients for the next batch.
+func (dp *DataParallel) Reduce() {
+	for i, mp := range dp.master {
+		for _, rep := range dp.replicas {
+			rg := rep[i].Grad
+			if rg == nil {
+				continue
+			}
+			mp.ensureGrad()
+			for j, g := range rg {
+				mp.Grad[j] += g
+			}
+		}
+	}
+	for _, rep := range dp.replicas {
+		ZeroGrads(rep)
+	}
+}
+
+// Run shards the indices [0, n) statically across the workers — worker w
+// handles i = w, w+W, w+2W, ... — and executes fn(worker, i) concurrently,
+// one goroutine per worker. The static assignment keeps each worker's
+// sample set (and therefore its RNG consumption and gradient sum) fixed for
+// a given worker count, which is what makes parallel training reproducible.
+func (dp *DataParallel) Run(n int, fn func(worker, i int)) {
+	w := len(dp.replicas)
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < n; i += w {
+				fn(k, i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,125 @@
+package nn
+
+// Tape is an arena and free-list for the tensors of one computation graph.
+// LocMatcher-style training builds and discards a fresh graph per sample;
+// without a tape every op allocates a Tensor struct plus data (and later
+// gradient) buffers that become garbage as soon as the optimizer step runs.
+// A tape hands out recycled structs and buffers instead: after Backward has
+// run and the caller has read everything it needs, Reset returns all storage
+// handed out since the previous Reset to the free lists, so the next
+// sample's graph of the same shapes allocates (almost) nothing.
+//
+// Usage: create leaf input tensors with NewLeaf (or NewConst) and fill them.
+// Every op whose inputs include a tape-resident tensor allocates its result
+// from the same tape, so the arena propagates through the graph exactly like
+// needGrad does. Trainable parameters stay heap-allocated and are never
+// recycled — only graph intermediates live on the tape.
+//
+// A tape is NOT safe for concurrent use: one tape per goroutine (the
+// data-parallel trainer gives each worker its own). All tensors, Data/Grad
+// slices and Shape slices obtained from a tape are invalid after Reset;
+// copy anything that must outlive the graph.
+type Tape struct {
+	freeBufs   map[int][][]float64 // recycled float64 buffers by exact length
+	liveBufs   [][]float64         // buffers handed out since the last Reset
+	freeTs     []*Tensor           // recycled Tensor structs
+	liveTs     []*Tensor           // structs handed out since the last Reset
+	freeShapes map[int][][]int     // recycled shape slices by length
+	order      []*Tensor           // Backward's topological-order scratch
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape {
+	return &Tape{
+		freeBufs:   make(map[int][][]float64),
+		freeShapes: make(map[int][][]int),
+	}
+}
+
+// buf returns a zeroed float64 buffer of length n, recycled when possible.
+func (tp *Tape) buf(n int) []float64 {
+	var b []float64
+	if l := tp.freeBufs[n]; len(l) > 0 {
+		b = l[len(l)-1]
+		tp.freeBufs[n] = l[:len(l)-1]
+		for i := range b {
+			b[i] = 0
+		}
+	} else {
+		b = make([]float64, n)
+	}
+	tp.liveBufs = append(tp.liveBufs, b)
+	return b
+}
+
+// newShape copies shape into a recycled slice.
+func (tp *Tape) newShape(shape []int) []int {
+	n := len(shape)
+	if l := tp.freeShapes[n]; len(l) > 0 {
+		s := l[len(l)-1]
+		tp.freeShapes[n] = l[:len(l)-1]
+		copy(s, shape)
+		return s
+	}
+	return append([]int(nil), shape...)
+}
+
+// tensor returns a zeroed Tensor struct bound to the tape.
+func (tp *Tape) tensor() *Tensor {
+	var t *Tensor
+	if n := len(tp.freeTs); n > 0 {
+		t = tp.freeTs[n-1]
+		tp.freeTs = tp.freeTs[:n-1]
+	} else {
+		t = &Tensor{}
+	}
+	t.tape = tp
+	tp.liveTs = append(tp.liveTs, t)
+	return t
+}
+
+// NewLeaf returns a zero-filled constant (non-differentiable) tensor
+// allocated on the tape, for the caller to fill in place. Seeding a graph's
+// inputs with NewLeaf is what routes all downstream op results through the
+// arena.
+func (tp *Tape) NewLeaf(shape ...int) *Tensor {
+	t := tp.tensor()
+	t.Shape = tp.newShape(shape)
+	t.Data = tp.buf(numel(shape))
+	return t
+}
+
+// NewConst is NewLeaf followed by copying data in; data is not retained.
+func (tp *Tape) NewConst(data []float64, shape ...int) *Tensor {
+	t := tp.NewLeaf(shape...)
+	copy(t.Data, data)
+	return t
+}
+
+// Reset recycles every tensor, buffer and shape handed out since the last
+// Reset. The caller must be done reading all of them.
+func (tp *Tape) Reset() {
+	for _, b := range tp.liveBufs {
+		tp.freeBufs[len(b)] = append(tp.freeBufs[len(b)], b)
+	}
+	tp.liveBufs = tp.liveBufs[:0]
+	for _, t := range tp.liveTs {
+		if t.Shape != nil {
+			tp.freeShapes[len(t.Shape)] = append(tp.freeShapes[len(t.Shape)], t.Shape)
+		}
+		*t = Tensor{}
+		tp.freeTs = append(tp.freeTs, t)
+	}
+	tp.liveTs = tp.liveTs[:0]
+}
+
+// graphScratch returns a zeroed scratch buffer tied to t's graph: arena
+// storage when t lives on a tape, a plain allocation otherwise. Ops use it
+// for forward/backward working memory (dropout masks, saved activations)
+// that must live exactly as long as the graph.
+func graphScratch(t *Tensor, n int) []float64 {
+	if t.tape != nil {
+		return t.tape.buf(n)
+	}
+	return make([]float64, n)
+}

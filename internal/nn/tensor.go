@@ -10,6 +10,14 @@
 // gradient accumulation across a mini-batch reproduce PyTorch's semantics
 // without padding or masking. Gradient correctness is property-tested
 // against finite differences.
+//
+// Two efficiency facilities support production-scale training (the paper's
+// Section V-F trajectory-level parallelization, applied to the second
+// stage): Tape, an arena that recycles one sample's graph tensors for the
+// next sample instead of re-allocating them, and DataParallel, a
+// deterministic data-parallel training harness with per-worker parameter
+// replicas and ordered gradient reduction. Large MatMuls additionally split
+// their row blocks across cores.
 package nn
 
 import (
@@ -29,6 +37,11 @@ type Tensor struct {
 	needGrad bool
 	parents  []*Tensor
 	backFn   func()
+	// tape, when non-nil, is the arena this tensor's storage came from; op
+	// results inherit it from their parents (see Tape).
+	tape *Tape
+	// visited is Backward's traversal mark; always false outside Backward.
+	visited bool
 }
 
 func numel(shape []int) int {
@@ -101,10 +114,15 @@ func (t *Tensor) Cols() int { return t.Shape[1] }
 // At returns the element at row i, column j of a 2-D tensor.
 func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Shape[1]+j] }
 
-// ensureGrad allocates the gradient buffer if needed.
+// ensureGrad allocates the gradient buffer if needed, from the tensor's tape
+// when it has one.
 func (t *Tensor) ensureGrad() {
 	if t.Grad == nil {
-		t.Grad = make([]float64, len(t.Data))
+		if t.tape != nil {
+			t.Grad = t.tape.buf(len(t.Data))
+		} else {
+			t.Grad = make([]float64, len(t.Data))
+		}
 	}
 }
 
@@ -116,16 +134,33 @@ func (t *Tensor) ZeroGrad() {
 }
 
 // newResult allocates the output tensor of an op over the given parents. It
-// propagates needGrad and wires the backward closure only when some parent
-// is differentiable.
+// propagates needGrad (wiring the backward closure only when some parent is
+// differentiable) and the tape: when any parent lives on an arena, the
+// result does too, so one NewLeaf at the graph's inputs routes the whole
+// forward/backward pass through recycled storage. Graphs must not mix
+// tensors from different tapes.
 func newResult(shape []int, parents ...*Tensor) *Tensor {
-	out := &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, numel(shape))}
+	var tp *Tape
+	need := false
 	for _, p := range parents {
-		if p.needGrad {
-			out.needGrad = true
-			out.parents = parents
-			break
+		if p.tape != nil && tp == nil {
+			tp = p.tape
 		}
+		if p.needGrad {
+			need = true
+		}
+	}
+	var out *Tensor
+	if tp != nil {
+		out = tp.tensor()
+		out.Shape = tp.newShape(shape)
+		out.Data = tp.buf(numel(shape))
+	} else {
+		out = &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, numel(shape))}
+	}
+	if need {
+		out.needGrad = true
+		out.parents = parents
 	}
 	return out
 }
@@ -140,6 +175,11 @@ func (t *Tensor) setBack(fn func()) {
 // Backward runs reverse-mode differentiation from t, which must be a scalar
 // (one element). Gradients accumulate into every reachable differentiable
 // tensor.
+//
+// Concurrent Backward calls are allowed only on disjoint graphs (no shared
+// differentiable tensors): gradient accumulation and the traversal marks
+// both mutate the reachable tensors. Data-parallel training therefore gives
+// each worker its own parameter replica (see DataParallel).
 func Backward(t *Tensor) {
 	if t.Numel() != 1 {
 		panic(fmt.Sprintf("nn: Backward requires a scalar, got shape %v", t.Shape))
@@ -147,15 +187,19 @@ func Backward(t *Tensor) {
 	if !t.needGrad {
 		return
 	}
-	// Topological order by post-order DFS.
+	// Topological order by post-order DFS, marking tensors in place instead
+	// of tracking them in a map (the marks are cleared before returning).
+	// The order slice is recycled through the tape when there is one.
 	var order []*Tensor
-	visited := make(map[*Tensor]bool)
+	if t.tape != nil {
+		order = t.tape.order[:0]
+	}
 	var visit func(n *Tensor)
 	visit = func(n *Tensor) {
-		if visited[n] || !n.needGrad {
+		if n.visited || !n.needGrad {
 			return
 		}
-		visited[n] = true
+		n.visited = true
 		for _, p := range n.parents {
 			visit(p)
 		}
@@ -170,6 +214,12 @@ func Backward(t *Tensor) {
 		if order[i].backFn != nil {
 			order[i].backFn()
 		}
+	}
+	for _, n := range order {
+		n.visited = false
+	}
+	if t.tape != nil {
+		t.tape.order = order
 	}
 }
 
