@@ -1,10 +1,12 @@
 # Build/test/bench entry points. The race target covers the packages with
-# concurrency (tensor engine and pipeline); bench regenerates the LocMatcher
-# performance numbers and their machine-readable BENCH_locmatcher.json.
+# concurrency (tensor engine, pipeline, serving engine and HTTP service);
+# bench regenerates the LocMatcher + serving performance numbers and their
+# machine-readable BENCH_locmatcher.json; cover enforces a coverage floor.
 
 GO ?= go
+COVER_FLOOR ?= 75
 
-.PHONY: build test race vet bench bench-all
+.PHONY: build test race vet cover bench bench-all
 
 build:
 	$(GO) build ./...
@@ -13,15 +15,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/nn/...
+	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/...
 
 vet:
 	$(GO) vet ./...
 
-# LocMatcher training/inference benchmarks -> BENCH_locmatcher.json.
+# Aggregate statement coverage with a floor (override: make cover COVER_FLOOR=60).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { gsub("%","",$$3); printf "total coverage %.1f%% (floor %d%%)\n", $$3, floor; \
+		 if ($$3+0 < floor+0) exit 1 }'
+
+# LocMatcher training/inference + serving-throughput benchmarks
+# -> BENCH_locmatcher.json.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run '^$$' -bench 'FitParallel|PredictBatch' -benchmem . | bin/benchjson -out BENCH_locmatcher.json
+	$(GO) test -run '^$$' -bench 'FitParallel|PredictBatch|ServeQueries' -benchmem . | bin/benchjson -out BENCH_locmatcher.json
 
 # Every benchmark (regenerates all paper artefacts; slow).
 bench-all:

@@ -8,8 +8,13 @@ package dlinfma
 // micro-benches use the full DowBJ profile.
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
@@ -17,6 +22,7 @@ import (
 	"dlinfma/internal/baselines"
 	"dlinfma/internal/core"
 	"dlinfma/internal/deploy"
+	"dlinfma/internal/engine"
 	"dlinfma/internal/eval"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
@@ -38,7 +44,7 @@ var benchState struct {
 func tinyPrepared(b *testing.B) *eval.Prepared {
 	b.Helper()
 	benchState.onceTiny.Do(func() {
-		p, err := eval.Prepare(synth.Tiny(), core.DefaultConfig())
+		p, err := eval.Prepare(context.Background(), synth.Tiny(), core.DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +69,11 @@ func dowPipeline(b *testing.B) *core.Pipeline {
 	b.Helper()
 	ds, _ := dowDataset(b)
 	if benchState.dowPipe == nil {
-		benchState.dowPipe = core.NewPipeline(ds, core.DefaultConfig())
+		pipe, err := core.NewPipeline(context.Background(), ds, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchState.dowPipe = pipe
 	}
 	return benchState.dowPipe
 }
@@ -119,7 +129,7 @@ func BenchmarkTable2Overall(b *testing.B) {
 	p := tinyPrepared(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eval.RenderMethodTable(out(b.Name()), "Table II ("+p.Profile.Name+")", eval.Table2(p, false))
+		eval.RenderMethodTable(out(b.Name()), "Table II ("+p.Profile.Name+")", eval.Table2(context.Background(), p, false))
 	}
 }
 
@@ -128,7 +138,7 @@ func BenchmarkFig10aClusteringDistance(b *testing.B) {
 	p := tinyPrepared(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eval.RenderFig10a(out(b.Name()), p.Profile.Name, eval.Fig10a(p, []float64{20, 40, 60}))
+		eval.RenderFig10a(out(b.Name()), p.Profile.Name, eval.Fig10a(context.Background(), p, []float64{20, 40, 60}))
 	}
 }
 
@@ -137,7 +147,7 @@ func BenchmarkFig10bDeliveryGroups(b *testing.B) {
 	p := tinyPrepared(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eval.RenderFig10b(out(b.Name()), p.Profile.Name, eval.Fig10b(p))
+		eval.RenderFig10b(out(b.Name()), p.Profile.Name, eval.Fig10b(context.Background(), p))
 	}
 }
 
@@ -146,7 +156,7 @@ func BenchmarkFig10bDeliveryGroups(b *testing.B) {
 func BenchmarkTable3SyntheticDelays(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := eval.Table3(synth.Tiny(), []float64{0.6}, core.DefaultConfig())
+		res, err := eval.Table3(context.Background(), synth.Tiny(), []float64{0.6}, core.DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +169,7 @@ func BenchmarkFig13InferenceScalability(b *testing.B) {
 	p := tinyPrepared(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eval.RenderFig13(out(b.Name()), p.Profile.Name, eval.Fig13(p, []int{1000, 2000}))
+		eval.RenderFig13(out(b.Name()), p.Profile.Name, eval.Fig13(context.Background(), p, []int{1000, 2000}))
 	}
 }
 
@@ -171,7 +181,9 @@ func BenchmarkStayPointExtraction(b *testing.B) {
 	pts := ds.TrajectoryPoints()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.ExtractAllStayPoints(ds, cfg)
+		if _, err := core.ExtractAllStayPoints(context.Background(), ds, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(pts), "gps_points")
 }
@@ -183,7 +195,10 @@ func BenchmarkCandidatePool(b *testing.B) {
 	b.ResetTimer()
 	var pool *core.Pool
 	for i := 0; i < b.N; i++ {
-		pool = core.BuildPool(ds, cfg)
+		var err error
+		if pool, err = core.BuildPool(context.Background(), ds, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(pool.Locations)), "locations")
 }
@@ -195,7 +210,7 @@ func BenchmarkTrainingTimeLocMatcher(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.NewLocMatcher(eval.ExperimentLocMatcherConfig())
-		if _, err := m.Fit(ss, nil); err != nil {
+		if _, err := m.Fit(context.Background(), ss, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -208,7 +223,7 @@ func BenchmarkTrainingTimeGeoRank(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := &baselines.GeoRank{}
-		if err := g.Fit(p.Env, p.Split.Train, p.Split.Val); err != nil {
+		if err := g.Fit(context.Background(), p.Env, p.Split.Train, p.Split.Val); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -221,7 +236,7 @@ func BenchmarkTrainingTimeUNet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u := &baselines.UNetBased{}
-		if err := u.Fit(p.Env, p.Split.Train, p.Split.Val); err != nil {
+		if err := u.Fit(context.Background(), p.Env, p.Split.Train, p.Split.Val); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -235,7 +250,7 @@ func BenchmarkLocMatcherInference(b *testing.B) {
 	cfg := m.Cfg
 	cfg.MaxEpochs = 2
 	m = core.NewLocMatcher(cfg)
-	if _, err := m.Fit(ss, nil); err != nil {
+	if _, err := m.Fit(context.Background(), ss, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -259,7 +274,7 @@ func BenchmarkFitParallel(b *testing.B) {
 				cfg.Patience = 1
 				cfg.Workers = workers
 				m := core.NewLocMatcher(cfg)
-				if _, err := m.Fit(ss, nil); err != nil {
+				if _, err := m.Fit(context.Background(), ss, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -274,7 +289,7 @@ func BenchmarkPredictBatch(b *testing.B) {
 	cfg := core.DefaultLocMatcherConfig()
 	cfg.MaxEpochs = 2
 	m := core.NewLocMatcher(cfg)
-	if _, err := m.Fit(ss, nil); err != nil {
+	if _, err := m.Fit(context.Background(), ss, nil); err != nil {
 		b.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 4} {
@@ -282,7 +297,9 @@ func BenchmarkPredictBatch(b *testing.B) {
 			b.ReportAllocs()
 			m.Cfg.Workers = workers
 			for i := 0; i < b.N; i++ {
-				m.PredictAll(ss)
+				if _, err := m.PredictAll(context.Background(), ss); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -384,7 +401,7 @@ func BenchmarkExtensionBuildingFallback(b *testing.B) {
 	p := tinyPrepared(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := eval.BuildingFallback(p)
+		r, err := eval.BuildingFallback(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -406,6 +423,56 @@ func BenchmarkAblationStayThresholds(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eval.RenderStaySweep(out(b.Name()), p.Profile.Name, eval.StaySweep(p, configs))
+		eval.RenderStaySweep(out(b.Name()), p.Profile.Name, eval.StaySweep(context.Background(), p, configs))
+	}
+}
+
+// BenchmarkServeQueries measures the engine-backed HTTP service's query
+// throughput under concurrent load (the Section V-F deployment: one query
+// per dispatched waybill). The engine serves a restored store-only state so
+// the benchmark isolates the serving path from training cost.
+func BenchmarkServeQueries(b *testing.B) {
+	p := tinyPrepared(b)
+	e := engine.New(engine.DefaultConfig())
+	defer e.Close()
+	sn := struct {
+		Name      string                `json:"name"`
+		Addresses []model.AddressInfo   `json:"addresses"`
+		Locations map[string][2]float64 `json:"locations"`
+	}{Name: "bench", Addresses: p.DS.Addresses, Locations: map[string][2]float64{}}
+	for id, pt := range p.DS.Truth {
+		sn.Locations[fmt.Sprint(id)] = [2]float64{pt.X, pt.Y}
+	}
+	doc, err := json.Marshal(sn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.RestoreSnapshot(bytes.NewReader(doc)); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(deploy.Service(e))
+	defer srv.Close()
+	addrs := p.DS.Addresses
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp, err := http.Get(fmt.Sprintf("%s/location?addr=%d", srv.URL, addrs[i%len(addrs)].ID))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "queries/sec")
 	}
 }

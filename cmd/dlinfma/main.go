@@ -1,25 +1,28 @@
 // Command dlinfma is the end-to-end CLI for the delivery-location inference
 // system: generate a synthetic dataset, run the DLInfMA pipeline (train
 // LocMatcher, infer every address), evaluate against ground truth, and serve
-// the inferred locations over the deployed query API.
+// the inferred locations over the deployed online API.
 //
 // Usage:
 //
 //	dlinfma generate -profile dowbj -out data.json.gz
 //	dlinfma infer    -data data.json.gz -out locations.json
 //	dlinfma eval     -data data.json.gz
-//	dlinfma serve    -data data.json.gz -listen :8080
+//	dlinfma serve    -data data.json.gz -listen :8080 -snapshot state.json
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"dlinfma/internal/core"
 	"dlinfma/internal/deploy"
+	"dlinfma/internal/engine"
 	"dlinfma/internal/eval"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
@@ -30,16 +33,22 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// One signal context for every subcommand: the first SIGINT/SIGTERM
+	// cancels ctx (training and pool builds abort at their next cooperative
+	// check, the server drains), a second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch os.Args[1] {
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "infer":
-		err = cmdInfer(os.Args[2:])
+		err = cmdInfer(ctx, os.Args[2:])
 	case "eval":
-		err = cmdEval(os.Args[2:])
+		err = cmdEval(ctx, os.Args[2:])
 	case "serve":
-		err = cmdServe(os.Args[2:])
+		err = cmdServe(ctx, os.Args[2:])
 	default:
 		usage()
 	}
@@ -94,42 +103,32 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
-// trainAndInfer runs the full pipeline and returns the inferred location of
-// every address with at least one candidate. workers bounds the pipeline's
-// parallelism (0 = GOMAXPROCS for extraction/featurization/inference, serial
-// training; >1 also parallelizes LocMatcher training).
-func trainAndInfer(ds *model.Dataset, workers int) (map[model.AddressID]geo.Point, error) {
-	cfg := core.DefaultConfig()
-	cfg.Workers = workers
-	pipe := core.NewPipeline(ds, cfg)
-	ids := make([]model.AddressID, len(ds.Addresses))
-	for i, a := range ds.Addresses {
-		ids[i] = a.ID
-	}
-	samples := pipe.BuildSamples(ids, core.DefaultSampleOptions())
-	core.LabelSamples(samples, ds.Truth)
-	var labelled []*core.Sample
-	for _, s := range samples {
-		if s.Label >= 0 {
-			labelled = append(labelled, s)
-		}
-	}
-	nVal := len(labelled) / 5
-	mcfg := eval.ExperimentLocMatcherConfig()
-	mcfg.Workers = workers
-	m := core.NewLocMatcher(mcfg)
-	if _, err := m.Fit(labelled[nVal:], labelled[:nVal]); err != nil {
-		return nil, err
-	}
-	preds := m.PredictAll(samples)
-	out := make(map[model.AddressID]geo.Point, len(samples))
-	for i, s := range samples {
-		out[s.Addr] = s.PredictedLocation(preds[i])
-	}
-	return out, nil
+// engineConfig assembles the CLI's engine configuration: the paper's
+// pipeline defaults, the experiment harness's LocMatcher tuning, a 20%
+// validation holdout, and one workers knob for both stages.
+func engineConfig(workers int) engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.Core.Workers = workers
+	cfg.Matcher = eval.ExperimentLocMatcherConfig()
+	cfg.Matcher.Workers = workers
+	return cfg
 }
 
-func cmdInfer(args []string) error {
+// runPipeline feeds the dataset through the engine in incremental windows
+// and runs one full re-inference — the same path the serve subcommand's
+// background jobs take, so batch and online runs cannot drift apart.
+func runPipeline(ctx context.Context, ds *model.Dataset, workers int) (*engine.Engine, error) {
+	e := engine.New(engineConfig(workers))
+	if err := e.IngestDataset(ctx, ds); err != nil {
+		return nil, err
+	}
+	if err := e.Reinfer(ctx); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func cmdInfer(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("infer", flag.ExitOnError)
 	data := fs.String("data", "data.json.gz", "dataset path")
 	out := fs.String("out", "locations.json", "output path for inferred locations")
@@ -139,27 +138,31 @@ func cmdInfer(args []string) error {
 	if err != nil {
 		return err
 	}
-	locs, err := trainAndInfer(ds, *workers)
+	e, err := runPipeline(ctx, ds, *workers)
 	if err != nil {
 		return err
 	}
+	locs := e.InferredLocations()
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	table := make(map[string][2]float64, len(locs))
 	for id, p := range locs {
 		table[fmt.Sprint(id)] = [2]float64{p.X, p.Y}
 	}
 	if err := json.NewEncoder(f).Encode(table); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("inferred %d delivery locations -> %s\n", len(locs), *out)
 	return nil
 }
 
-func cmdEval(args []string) error {
+func cmdEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	data := fs.String("data", "data.json.gz", "dataset path")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
@@ -168,10 +171,11 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	locs, err := trainAndInfer(ds, *workers)
+	e, err := runPipeline(ctx, ds, *workers)
 	if err != nil {
 		return err
 	}
+	locs := e.InferredLocations()
 	var errs []float64
 	for id, truth := range ds.Truth {
 		if pred, ok := locs[id]; ok {
@@ -184,25 +188,65 @@ func cmdEval(args []string) error {
 	return nil
 }
 
-func cmdServe(args []string) error {
+func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	data := fs.String("data", "data.json.gz", "dataset path")
+	data := fs.String("data", "data.json.gz", "dataset path (\"\" to start empty and POST /ingest)")
 	listen := fs.String("listen", ":8080", "HTTP listen address")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
+	snap := fs.String("snapshot", "", "snapshot path: restored on start if present, saved on shutdown")
 	fs.Parse(args)
-	ds, err := model.LoadFile(*data)
-	if err != nil {
-		return err
+
+	e := engine.New(engineConfig(*workers))
+	defer e.Close()
+
+	restored := false
+	if *snap != "" {
+		if _, err := os.Stat(*snap); err == nil {
+			if err := e.LoadSnapshotFile(*snap); err != nil {
+				return fmt.Errorf("restore snapshot %s: %w", *snap, err)
+			}
+			restored = true
+			fmt.Printf("restored serving state from %s\n", *snap)
+		}
 	}
-	locs, err := trainAndInfer(ds, *workers)
-	if err != nil {
-		return err
+	if *data != "" {
+		ds, err := model.LoadFile(*data)
+		if err != nil {
+			if !restored {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "dlinfma: serving from snapshot only; load %s: %v\n", *data, err)
+		} else {
+			if err := e.IngestDataset(ctx, ds); err != nil {
+				return err
+			}
+			// With a restored snapshot queries are already answerable; leave
+			// retraining to POST /reinfer so startup stays fast. Cold starts
+			// train synchronously before accepting traffic.
+			if !restored {
+				if err := e.Reinfer(ctx); err != nil {
+					return err
+				}
+			}
+		}
 	}
-	store := deploy.NewStore()
-	store.LoadDataset(ds)
-	for id, p := range locs {
-		store.Put(id, p)
+
+	st := e.Status()
+	fmt.Printf("serving %d inferred locations on %s (GET /location?addr=N, POST /ingest, POST /reinfer, GET /snapshot)\n",
+		st.Inferred, *listen)
+	srv := deploy.NewServer(*listen, deploy.Service(e))
+	err := deploy.Serve(ctx, srv)
+	if *snap != "" && e.Status().Ready {
+		if serr := e.SaveSnapshotFile(*snap); serr != nil {
+			if err == nil {
+				err = serr
+			}
+		} else {
+			fmt.Printf("saved serving state to %s\n", *snap)
+		}
 	}
-	fmt.Printf("serving %d inferred locations on %s (GET /location?addr=N)\n", store.Len(), *listen)
-	return http.ListenAndServe(*listen, deploy.Handler(store))
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
 }

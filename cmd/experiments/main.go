@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dlinfma/internal/core"
 	"dlinfma/internal/eval"
@@ -32,6 +35,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancels the context: in-flight training and pool
+	// builds abort at their next cooperative check instead of running on.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	profiles := selectProfiles(*profile, *quick)
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -39,7 +47,7 @@ func main() {
 	cfg.Workers = *workers
 	var prepared []*eval.Prepared
 	for _, p := range profiles {
-		pr, err := eval.Prepare(p, cfg)
+		pr, err := eval.Prepare(ctx, p, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -60,23 +68,23 @@ func main() {
 	}
 	if run("table2") {
 		for _, pr := range prepared {
-			rows := eval.Table2(pr, *variants)
+			rows := eval.Table2(ctx, pr, *variants)
 			eval.RenderMethodTable(os.Stdout, fmt.Sprintf("Table II (%s)", pr.Profile.Name), rows)
 		}
 	}
 	if run("fig10a") {
 		for _, pr := range prepared {
-			pts := eval.Fig10a(pr, []float64{20, 30, 40, 50, 60})
+			pts := eval.Fig10a(ctx, pr, []float64{20, 30, 40, 50, 60})
 			eval.RenderFig10a(os.Stdout, pr.Profile.Name, pts)
 		}
 	}
 	if run("fig10b") {
 		// The paper reports Figure 10(b) on DowBJ only.
-		eval.RenderFig10b(os.Stdout, prepared[0].Profile.Name, eval.Fig10b(prepared[0]))
+		eval.RenderFig10b(os.Stdout, prepared[0].Profile.Name, eval.Fig10b(ctx, prepared[0]))
 	}
 	if run("table3") {
 		for _, pr := range prepared {
-			res, err := eval.Table3(pr.Profile, []float64{0.2, 0.6, 1.0}, cfg)
+			res, err := eval.Table3(ctx, pr.Profile, []float64{0.2, 0.6, 1.0}, cfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -85,7 +93,7 @@ func main() {
 	}
 	if run("extension") {
 		for _, pr := range prepared {
-			r, err := eval.BuildingFallback(pr)
+			r, err := eval.BuildingFallback(ctx, pr)
 			if err != nil {
 				fatal(err)
 			}
@@ -94,7 +102,7 @@ func main() {
 	}
 	if run("staysweep") {
 		for _, pr := range prepared {
-			pts := eval.StaySweep(pr, []traj.StayPointConfig{
+			pts := eval.StaySweep(ctx, pr, []traj.StayPointConfig{
 				{DMax: 10, TMin: 30},
 				{DMax: 20, TMin: 30},
 				{DMax: 40, TMin: 30},
@@ -109,7 +117,7 @@ func main() {
 		if *quick {
 			sizes = []int{200, 400}
 		}
-		eval.RenderFig13(os.Stdout, prepared[0].Profile.Name, eval.Fig13(prepared[0], sizes))
+		eval.RenderFig13(os.Stdout, prepared[0].Profile.Name, eval.Fig13(ctx, prepared[0], sizes))
 	}
 	if run("efficiency") {
 		counts := []int{1, 2, 4, 8}
@@ -119,7 +127,7 @@ func main() {
 			epochs = 3
 		}
 		for _, pr := range prepared {
-			eval.RenderEfficiency(os.Stdout, pr.Profile.Name, eval.Efficiency(pr, counts, epochs))
+			eval.RenderEfficiency(os.Stdout, pr.Profile.Name, eval.Efficiency(ctx, pr, counts, epochs))
 		}
 	}
 }

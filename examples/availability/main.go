@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -31,7 +32,10 @@ func main() {
 	}
 
 	// Infer delivery locations with DLInfMA.
-	pipe := core.NewPipeline(ds, core.DefaultConfig())
+	pipe, err := core.NewPipeline(context.Background(), ds, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	ids := make([]model.AddressID, len(ds.Addresses))
 	for i, a := range ds.Addresses {
 		ids[i] = a.ID
@@ -39,7 +43,7 @@ func main() {
 	samples := pipe.BuildSamples(ids, core.DefaultSampleOptions())
 	core.LabelSamples(samples, ds.Truth)
 	matcher := core.NewLocMatcher(eval.ExperimentLocMatcherConfig())
-	if _, err := matcher.Fit(samples, nil); err != nil {
+	if _, err := matcher.Fit(context.Background(), samples, nil); err != nil {
 		log.Fatal(err)
 	}
 	inferred := make(map[model.AddressID]geo.Point)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipe := core.NewPipeline(ds, core.DefaultConfig())
+	pipe, err := core.NewPipeline(context.Background(), ds, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	ids := make([]model.AddressID, len(ds.Addresses))
 	for i, a := range ds.Addresses {
 		ids[i] = a.ID
@@ -35,7 +39,7 @@ func main() {
 	samples := pipe.BuildSamples(ids, core.DefaultSampleOptions())
 	core.LabelSamples(samples, ds.Truth)
 	matcher := core.NewLocMatcher(eval.ExperimentLocMatcherConfig())
-	if _, err := matcher.Fit(samples, nil); err != nil {
+	if _, err := matcher.Fit(context.Background(), samples, nil); err != nil {
 		log.Fatal(err)
 	}
 	bySample := make(map[model.AddressID]*core.Sample)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,9 @@ func main() {
 	flushed := 0
 	for _, tr := range ds.Trips {
 		if tr.StartT >= windowEnd {
-			builder.AddWindow(batch)
+			if err := builder.AddWindow(context.Background(), batch); err != nil {
+				log.Fatal(err)
+			}
 			flushed++
 			fmt.Printf("  window %d: pool now has %d locations\n",
 				flushed, len(builder.Finalize().Locations))
@@ -63,7 +66,9 @@ func main() {
 		}
 		batch = append(batch, tr)
 	}
-	builder.AddWindow(batch)
+	if err := builder.AddWindow(context.Background(), batch); err != nil {
+		log.Fatal(err)
+	}
 	pool := builder.Finalize()
 	fmt.Printf("final pool: %d location candidates\n", len(pool.Locations))
 

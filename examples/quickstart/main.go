@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,10 @@ func main() {
 
 	// 2. Location candidate generation: stay points -> hierarchical
 	//    clustering (D = 40 m) -> temporal-upper-bound retrieval.
-	pipe := core.NewPipeline(ds, core.DefaultConfig())
+	pipe, err := core.NewPipeline(context.Background(), ds, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("candidate pool: %d locations\n", len(pipe.Pool.Locations))
 
 	// 3. Featurize and label every address; train LocMatcher.
@@ -41,7 +45,7 @@ func main() {
 	cfg.MaxEpochs = 30
 	matcher := core.NewLocMatcher(cfg)
 	nVal := len(samples) / 5
-	res, err := matcher.Fit(samples[nVal:], samples[:nVal])
+	res, err := matcher.Fit(context.Background(), samples[nVal:], samples[:nVal])
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,10 @@ func main() {
 	}
 
 	// Train DLInfMA and infer a location for every address.
-	pipe := core.NewPipeline(ds, core.DefaultConfig())
+	pipe, err := core.NewPipeline(context.Background(), ds, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	ids := make([]model.AddressID, len(ds.Addresses))
 	for i, a := range ds.Addresses {
 		ids[i] = a.ID
@@ -32,7 +36,7 @@ func main() {
 	samples := pipe.BuildSamples(ids, core.DefaultSampleOptions())
 	core.LabelSamples(samples, ds.Truth)
 	matcher := core.NewLocMatcher(eval.ExperimentLocMatcherConfig())
-	if _, err := matcher.Fit(samples, nil); err != nil {
+	if _, err := matcher.Fit(context.Background(), samples, nil); err != nil {
 		log.Fatal(err)
 	}
 	inferred := make(map[model.AddressID]geo.Point)

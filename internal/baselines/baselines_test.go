@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,11 @@ func env(t *testing.T) *Env {
 		}
 		testEnv.ds, testEnv.w = ds, w
 		testEnv.split = synth.SplitSpatial(ds, w, 0.6, 0.2)
-		testEnv.env = NewEnv(ds, core.DefaultConfig())
+		e, err := NewEnv(context.Background(), ds, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		testEnv.env = e
 	}
 	return testEnv.env
 }
@@ -76,7 +81,7 @@ func TestSimpleBaselinesPredict(t *testing.T) {
 	e := env(t)
 	addr := anyDeliveredAddr(t, e)
 	for _, m := range []Method{Geocoding{}, Annotation{}, GeoCloud{}, MinDist{}, MaxTC{}, MaxTCILC{}} {
-		if err := m.Fit(e, testEnv.split.Train, testEnv.split.Val); err != nil {
+		if err := m.Fit(context.Background(), e, testEnv.split.Train, testEnv.split.Val); err != nil {
 			t.Fatalf("%s fit: %v", m.Name(), err)
 		}
 		p, ok := m.Predict(e, addr)
@@ -120,7 +125,7 @@ func TestMinDistPicksNearestCandidate(t *testing.T) {
 func TestGeoRankFitAndPredict(t *testing.T) {
 	e := env(t)
 	g := &GeoRank{}
-	if err := g.Fit(e, testEnv.split.Train, testEnv.split.Val); err != nil {
+	if err := g.Fit(context.Background(), e, testEnv.split.Train, testEnv.split.Val); err != nil {
 		t.Fatal(err)
 	}
 	hits, total := 0, 0
@@ -184,7 +189,7 @@ func TestUNetRasterGeometry(t *testing.T) {
 func TestUNetTrainsAndPredicts(t *testing.T) {
 	e := env(t)
 	u := &UNetBased{Epochs: 4, Patience: 2}
-	if err := u.Fit(e, testEnv.split.Train, testEnv.split.Val); err != nil {
+	if err := u.Fit(context.Background(), e, testEnv.split.Train, testEnv.split.Val); err != nil {
 		t.Fatal(err)
 	}
 	addr := anyDeliveredAddr(t, e)
@@ -203,7 +208,7 @@ func TestClassifierVariants(t *testing.T) {
 	e := env(t)
 	for _, kind := range []ClassifierKind{KindGBDT, KindMLP} { // RF is slow; covered below
 		c := &Classifier{Kind: kind}
-		if err := c.Fit(e, testEnv.split.Train, testEnv.split.Val); err != nil {
+		if err := c.Fit(context.Background(), e, testEnv.split.Train, testEnv.split.Val); err != nil {
 			t.Fatalf("%s: %v", c.Name(), err)
 		}
 		addr := anyDeliveredAddr(t, e)
@@ -219,7 +224,7 @@ func TestRandomForestVariantSmall(t *testing.T) {
 	}
 	e := env(t)
 	c := &Classifier{Kind: KindRF}
-	if err := c.Fit(e, testEnv.split.Train[:min(40, len(testEnv.split.Train))], nil); err != nil {
+	if err := c.Fit(context.Background(), e, testEnv.split.Train[:min(40, len(testEnv.split.Train))], nil); err != nil {
 		t.Fatal(err)
 	}
 	if c.Name() != "DLInfMA-RF" {
@@ -235,7 +240,7 @@ func TestPairwiseRankers(t *testing.T) {
 	e := env(t)
 	for _, kind := range []RankKind{RankDT, RankNet} {
 		r := &PairwiseRanker{Kind: kind}
-		if err := r.Fit(e, testEnv.split.Train, testEnv.split.Val); err != nil {
+		if err := r.Fit(context.Background(), e, testEnv.split.Train, testEnv.split.Val); err != nil {
 			t.Fatalf("%s: %v", r.Name(), err)
 		}
 		addr := anyDeliveredAddr(t, e)
@@ -285,7 +290,7 @@ func TestDLInfMAEndToEnd(t *testing.T) {
 	d := NewDLInfMA()
 	d.Model.MaxEpochs = 10
 	d.Model.LR = 1e-3
-	if err := d.Fit(e, testEnv.split.Train, testEnv.split.Val); err != nil {
+	if err := d.Fit(context.Background(), e, testEnv.split.Train, testEnv.split.Val); err != nil {
 		t.Fatal(err)
 	}
 	addr := anyDeliveredAddr(t, e)

@@ -9,7 +9,10 @@
 package baselines
 
 import (
+	"context"
+
 	"dlinfma/internal/core"
+	"dlinfma/internal/engine"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
 )
@@ -18,8 +21,9 @@ import (
 type Method interface {
 	Name() string
 	// Fit trains on the labelled train/val addresses. Heuristic methods
-	// ignore the supervision and return nil.
-	Fit(env *Env, train, val []model.AddressID) error
+	// ignore the supervision and return nil. Cancelling ctx aborts training
+	// and returns ctx.Err().
+	Fit(ctx context.Context, env *Env, train, val []model.AddressID) error
 	// Predict returns the inferred delivery location of an address. ok is
 	// false when the method has no basis for a prediction (the evaluation
 	// then falls back to the geocode, as the deployed system does).
@@ -53,9 +57,14 @@ type annotation struct {
 	T   float64
 }
 
-// NewEnv builds the environment, constructing the main DLInfMA pipeline.
-func NewEnv(ds *model.Dataset, cfg core.Config) *Env {
-	return NewEnvWithPipeline(ds, core.NewPipeline(ds, cfg))
+// NewEnv builds the environment, constructing the main DLInfMA pipeline
+// through the engine layer. Cancelling ctx aborts the pool build.
+func NewEnv(ctx context.Context, ds *model.Dataset, cfg core.Config) (*Env, error) {
+	pipe, err := engine.BuildPipeline(ctx, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnvWithPipeline(ds, pipe), nil
 }
 
 // NewEnvWithPipeline wires a prebuilt pipeline.
@@ -79,37 +88,58 @@ func (e *Env) Info(addr model.AddressID) (model.AddressInfo, bool) {
 }
 
 // GridPipe returns (building on demand) the DLInfMA-Grid pipeline.
-func (e *Env) GridPipe() *core.Pipeline {
+// Cancelling ctx aborts a pending build; a cached pipeline returns
+// immediately.
+func (e *Env) GridPipe(ctx context.Context) (*core.Pipeline, error) {
 	if e.gridPipe == nil {
 		cfg := e.Pipe.Cfg
 		cfg.UseGridMerge = true
-		e.gridPipe = core.NewPipeline(e.DS, cfg)
+		pipe, err := engine.BuildPipeline(ctx, e.DS, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.gridPipe = pipe
 	}
-	return e.gridPipe
+	return e.gridPipe, nil
 }
 
 // Samples returns the featurized, labelled samples for the given options,
-// keyed by address. Results are cached.
+// keyed by address. Results are cached. It is SamplesCtx with a background
+// context (which cannot be cancelled, so no error can occur).
 func (e *Env) Samples(opt core.SampleOptions, grid bool) map[model.AddressID]*core.Sample {
+	m, _ := e.SamplesCtx(context.Background(), opt, grid)
+	return m
+}
+
+// SamplesCtx is Samples with cooperative cancellation through sample
+// featurization and the on-demand grid pool build.
+func (e *Env) SamplesCtx(ctx context.Context, opt core.SampleOptions, grid bool) (map[model.AddressID]*core.Sample, error) {
 	key := sampleKey{opt: opt, grid: grid}
 	if m, ok := e.samples[key]; ok {
-		return m
+		return m, nil
 	}
 	pipe := e.Pipe
 	if grid {
-		pipe = e.GridPipe()
+		var err error
+		if pipe, err = e.GridPipe(ctx); err != nil {
+			return nil, err
+		}
 	}
 	ids := make([]model.AddressID, len(e.DS.Addresses))
 	for i, a := range e.DS.Addresses {
 		ids[i] = a.ID
 	}
+	samples, err := pipe.BuildSamplesCtx(ctx, ids, opt)
+	if err != nil {
+		return nil, err
+	}
 	m := make(map[model.AddressID]*core.Sample)
-	for _, s := range pipe.BuildSamples(ids, opt) {
+	for _, s := range samples {
 		m[s.Addr] = s
 	}
 	core.LabelSamplesMap(m, e.DS.Truth)
 	e.samples[key] = m
-	return m
+	return m, nil
 }
 
 // Annotations returns, per address, the courier positions at the recorded

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -74,7 +75,7 @@ func diffFeats(a, b []float64) []float64 {
 
 // Fit implements Method: pairwise examples (positive minus negative labelled
 // 1, the reverse labelled 0) train the decision tree.
-func (g *GeoRank) Fit(env *Env, train, _ []model.AddressID) error {
+func (g *GeoRank) Fit(_ context.Context, env *Env, train, _ []model.AddressID) error {
 	var x [][]float64
 	var y []float64
 	for _, addr := range train {

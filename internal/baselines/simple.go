@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 
 	"dlinfma/internal/cluster"
@@ -17,7 +18,7 @@ type Geocoding struct{}
 func (Geocoding) Name() string { return "Geocoding" }
 
 // Fit implements Method (no training).
-func (Geocoding) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+func (Geocoding) Fit(context.Context, *Env, []model.AddressID, []model.AddressID) error { return nil }
 
 // Predict implements Method.
 func (Geocoding) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
@@ -33,7 +34,7 @@ type Annotation struct{}
 func (Annotation) Name() string { return "Annotation" }
 
 // Fit implements Method (no training).
-func (Annotation) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+func (Annotation) Fit(context.Context, *Env, []model.AddressID, []model.AddressID) error { return nil }
 
 // Predict implements Method.
 func (Annotation) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
@@ -57,7 +58,7 @@ type GeoCloud struct {
 func (GeoCloud) Name() string { return "GeoCloud" }
 
 // Fit implements Method (no training).
-func (GeoCloud) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+func (GeoCloud) Fit(context.Context, *Env, []model.AddressID, []model.AddressID) error { return nil }
 
 // Predict implements Method.
 func (g GeoCloud) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
@@ -81,7 +82,7 @@ type MinDist struct{}
 func (MinDist) Name() string { return "MinDist" }
 
 // Fit implements Method (no training).
-func (MinDist) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+func (MinDist) Fit(context.Context, *Env, []model.AddressID, []model.AddressID) error { return nil }
 
 // Predict implements Method.
 func (MinDist) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
@@ -106,7 +107,7 @@ type MaxTC struct{}
 func (MaxTC) Name() string { return "MaxTC" }
 
 // Fit implements Method (no training).
-func (MaxTC) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+func (MaxTC) Fit(context.Context, *Env, []model.AddressID, []model.AddressID) error { return nil }
 
 // Predict implements Method.
 func (MaxTC) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {
@@ -133,7 +134,7 @@ type MaxTCILC struct{}
 func (MaxTCILC) Name() string { return "MaxTC-ILC" }
 
 // Fit implements Method (no training).
-func (MaxTCILC) Fit(*Env, []model.AddressID, []model.AddressID) error { return nil }
+func (MaxTCILC) Fit(context.Context, *Env, []model.AddressID, []model.AddressID) error { return nil }
 
 // Predict implements Method.
 func (MaxTCILC) Predict(env *Env, addr model.AddressID) (geo.Point, bool) {

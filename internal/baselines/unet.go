@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -172,7 +173,7 @@ func (m *unetModel) forward(img *nn.Tensor) *nn.Tensor {
 // Fit implements Method: cross-entropy over the 81 pixels against the
 // ground-truth pixel, for train addresses whose truth lies inside the
 // window.
-func (u *UNetBased) Fit(env *Env, train, val []model.AddressID) error {
+func (u *UNetBased) Fit(_ context.Context, env *Env, train, val []model.AddressID) error {
 	u.defaults()
 	type ex struct {
 		r      raster

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -40,14 +41,17 @@ func (d *DLInfMA) Name() string {
 // Fit implements Method. When the model config leaves Workers unset, the
 // pipeline's Workers knob is inherited so one -workers flag parallelizes
 // both stages.
-func (d *DLInfMA) Fit(env *Env, train, val []model.AddressID) error {
-	samples := env.Samples(d.Opt, d.Grid)
+func (d *DLInfMA) Fit(ctx context.Context, env *Env, train, val []model.AddressID) error {
+	samples, err := env.SamplesCtx(ctx, d.Opt, d.Grid)
+	if err != nil {
+		return err
+	}
 	cfg := d.Model
 	if cfg.Workers == 0 {
 		cfg.Workers = env.Pipe.Cfg.Workers
 	}
 	d.matcher = core.NewLocMatcher(cfg)
-	_, err := d.matcher.Fit(pickSamples(samples, train), pickSamples(samples, val))
+	_, err = d.matcher.Fit(ctx, pickSamples(samples, train), pickSamples(samples, val))
 	return err
 }
 
@@ -104,9 +108,14 @@ func classWeight(y float64) float64 {
 	return 0.2
 }
 
-// Fit implements Method.
-func (c *Classifier) Fit(env *Env, train, _ []model.AddressID) error {
-	samples := pickSamples(env.Samples(core.DefaultSampleOptions(), false), train)
+// Fit implements Method. ctx is checked via the shared sample build; the
+// tree/MLP fits themselves are short and run to completion.
+func (c *Classifier) Fit(ctx context.Context, env *Env, train, _ []model.AddressID) error {
+	all, err := env.SamplesCtx(ctx, core.DefaultSampleOptions(), false)
+	if err != nil {
+		return err
+	}
+	samples := pickSamples(all, train)
 	var x [][]float64
 	var y, w []float64
 	for _, s := range samples {
@@ -214,8 +223,12 @@ func (r *PairwiseRanker) Name() string {
 }
 
 // Fit implements Method.
-func (r *PairwiseRanker) Fit(env *Env, train, _ []model.AddressID) error {
-	samples := pickSamples(env.Samples(core.DefaultSampleOptions(), false), train)
+func (r *PairwiseRanker) Fit(ctx context.Context, env *Env, train, _ []model.AddressID) error {
+	all, err := env.SamplesCtx(ctx, core.DefaultSampleOptions(), false)
+	if err != nil {
+		return err
+	}
+	samples := pickSamples(all, train)
 	type pair struct {
 		pos, neg []float64
 	}

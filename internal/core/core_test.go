@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +26,11 @@ func tiny(t *testing.T) (*model.Dataset, *synth.World, *Pipeline) {
 			t.Fatal(err)
 		}
 		tinyData.ds, tinyData.w = ds, w
-		tinyData.pipe = NewPipeline(ds, DefaultConfig())
+		pipe, err := NewPipeline(context.Background(), ds, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tinyData.pipe = pipe
 	}
 	return tinyData.ds, tinyData.w, tinyData.pipe
 }
@@ -104,8 +109,14 @@ func TestIncrementalPoolMatchesSingleShotApproximately(t *testing.T) {
 	cfgOnce := DefaultConfig()
 	cfgOnce.PoolWindowSeconds = 0
 	cfgInc := DefaultConfig() // 14-day windows
-	pOnce := BuildPool(ds, cfgOnce)
-	pInc := BuildPool(ds, cfgInc)
+	pOnce, err := BuildPool(context.Background(), ds, cfgOnce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pInc, err := BuildPool(context.Background(), ds, cfgInc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ratio := float64(len(pInc.Locations)) / float64(len(pOnce.Locations))
 	if ratio < 0.7 || ratio > 1.4 {
 		t.Errorf("incremental pool size %d vs single-shot %d (ratio %.2f)",
@@ -118,7 +129,10 @@ func TestGridPoolLargerThanHierarchical(t *testing.T) {
 	ds, _, pipe := tiny(t)
 	cfg := DefaultConfig()
 	cfg.UseGridMerge = true
-	grid := BuildPool(ds, cfg)
+	grid, err := BuildPool(context.Background(), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(grid.Locations) < len(pipe.Pool.Locations) {
 		t.Errorf("grid pool %d smaller than hierarchical %d",
 			len(grid.Locations), len(pipe.Pool.Locations))
@@ -357,7 +371,7 @@ func TestLocMatcherTrainsAndPredicts(t *testing.T) {
 	cfg.MaxEpochs = 15
 	cfg.LR = 1e-3 // tiny data: larger rate converges within the epoch budget
 	m := NewLocMatcher(cfg)
-	res, err := m.Fit(train, val)
+	res, err := m.Fit(context.Background(), train, val)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +428,7 @@ func TestLocMatcherNoContextVariant(t *testing.T) {
 	cfg.NoContext = true
 	cfg.MaxEpochs = 2
 	m := NewLocMatcher(cfg)
-	if _, err := m.Fit(samples, nil); err != nil {
+	if _, err := m.Fit(context.Background(), samples, nil); err != nil {
 		t.Fatal(err)
 	}
 	if p := m.Predict(samples[0]); p < 0 || p >= len(samples[0].Cands) {
@@ -424,7 +438,7 @@ func TestLocMatcherNoContextVariant(t *testing.T) {
 
 func TestLocMatcherFitRequiresLabels(t *testing.T) {
 	m := NewLocMatcher(DefaultLocMatcherConfig())
-	if _, err := m.Fit(nil, nil); err == nil {
+	if _, err := m.Fit(context.Background(), nil, nil); err == nil {
 		t.Error("expected error for empty training set")
 	}
 }
@@ -447,7 +461,7 @@ func TestLocMatcherExplain(t *testing.T) {
 	cfg := DefaultLocMatcherConfig()
 	cfg.MaxEpochs = 3
 	m := NewLocMatcher(cfg)
-	if _, err := m.Fit(samples, nil); err != nil {
+	if _, err := m.Fit(context.Background(), samples, nil); err != nil {
 		t.Fatal(err)
 	}
 	s := samples[0]
@@ -484,7 +498,7 @@ func TestLocMatcherPermutationInvariance(t *testing.T) {
 	cfg := DefaultLocMatcherConfig()
 	cfg.MaxEpochs = 3
 	m := NewLocMatcher(cfg)
-	if _, err := m.Fit(samples, nil); err != nil {
+	if _, err := m.Fit(context.Background(), samples, nil); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(9))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"dlinfma/internal/geo"
@@ -71,10 +72,15 @@ type Pipeline struct {
 }
 
 // NewPipeline builds the pool and all retrieval indexes for a dataset.
-func NewPipeline(ds *model.Dataset, cfg Config) *Pipeline {
-	p := &Pipeline{Cfg: cfg, DS: ds, Pool: BuildPool(ds, cfg)}
+// Cancelling ctx aborts the pool build and returns ctx.Err().
+func NewPipeline(ctx context.Context, ds *model.Dataset, cfg Config) (*Pipeline, error) {
+	pool, err := BuildPool(ctx, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{Cfg: cfg, DS: ds, Pool: pool}
 	p.buildIndexes()
-	return p
+	return p, nil
 }
 
 // NewPipelineWithPool wires a prebuilt pool (used by tests and by pool
@@ -270,21 +276,31 @@ func (p *Pipeline) BuildSample(addr model.AddressID, opt SampleOptions) *Sample 
 }
 
 // BuildSamples featurizes the given addresses in parallel (Cfg.Workers
-// goroutines; 0 means GOMAXPROCS), dropping those without candidates. The
-// result keeps address order regardless of scheduling: samples land in an
-// index-aligned slot array that is compacted serially.
+// goroutines; 0 means GOMAXPROCS), dropping those without candidates. It is
+// BuildSamplesCtx with a background context.
 func (p *Pipeline) BuildSamples(addrs []model.AddressID, opt SampleOptions) []*Sample {
+	out, _ := p.BuildSamplesCtx(context.Background(), addrs, opt)
+	return out
+}
+
+// BuildSamplesCtx is BuildSamples with cooperative cancellation between
+// addresses. The result keeps address order regardless of scheduling: samples
+// land in an index-aligned slot array that is compacted serially.
+func (p *Pipeline) BuildSamplesCtx(ctx context.Context, addrs []model.AddressID, opt SampleOptions) ([]*Sample, error) {
 	slots := make([]*Sample, len(addrs))
-	nn.ParallelFor(p.Cfg.workers(), len(addrs), func(i int) {
+	err := nn.ParallelForCtx(ctx, p.Cfg.workers(), len(addrs), func(i int) {
 		slots[i] = p.BuildSample(addrs[i], opt)
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []*Sample
 	for _, s := range slots {
 		if s != nil {
 			out = append(out, s)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Label attaches supervision to a sample: the candidate nearest the

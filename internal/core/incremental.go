@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"dlinfma/internal/cluster"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/nn"
 	"dlinfma/internal/traj"
 )
 
@@ -54,20 +56,29 @@ func NewIncrementalPoolBuilder(cfg Config) *IncrementalPoolBuilder {
 	return &IncrementalPoolBuilder{cfg: cfg}
 }
 
-// AddWindow ingests one window of trips: extracts stay points, clusters them
-// within the window, and merges the window's candidates into the pool. Trips
-// must be appended across calls in the same order they will appear in the
-// dataset handed to the pipeline.
-func (b *IncrementalPoolBuilder) AddWindow(trips []model.Trip) {
+// AddWindow ingests one window of trips: extracts stay points (in parallel,
+// bounded by Config.Workers), clusters them within the window, and merges
+// the window's candidates into the pool. Trips must be appended across calls
+// in the same order they will appear in the dataset handed to the pipeline.
+// Cancelling ctx aborts before the builder state is touched, so a cancelled
+// AddWindow leaves the pool exactly as it was.
+func (b *IncrementalPoolBuilder) AddWindow(ctx context.Context, trips []model.Trip) error {
 	// Extract and cluster this window's stay points.
 	type stay struct {
 		sp      traj.StayPoint
 		trip    int // window-relative
 		courier model.CourierID
 	}
+	perTrip := make([][]traj.StayPoint, len(trips))
+	err := nn.ParallelForCtx(ctx, b.cfg.workers(), len(trips), func(ti int) {
+		perTrip[ti] = traj.ExtractStayPoints(trips[ti].Traj, b.cfg.Noise, b.cfg.Stay)
+	})
+	if err != nil {
+		return err
+	}
 	var stays []stay
 	for ti := range trips {
-		for _, sp := range traj.ExtractStayPoints(trips[ti].Traj, b.cfg.Noise, b.cfg.Stay) {
+		for _, sp := range perTrip[ti] {
 			stays = append(stays, stay{sp: sp, trip: ti, courier: trips[ti].Courier})
 		}
 	}
@@ -113,6 +124,7 @@ func (b *IncrementalPoolBuilder) AddWindow(trips []model.Trip) {
 	}
 
 	b.mergeAlive()
+	return nil
 }
 
 // mergeAlive re-clusters all alive item centroids (weighted) and merges any
@@ -203,7 +215,7 @@ func (b *IncrementalPoolBuilder) Finalize() *Pool {
 // configured length and runs the builder over them — functionally comparable
 // to BuildPool with PoolWindowSeconds set, exposed for the production
 // append-only pattern and its tests.
-func BuildPoolIncrementally(ds *model.Dataset, cfg Config) *Pool {
+func BuildPoolIncrementally(ctx context.Context, ds *model.Dataset, cfg Config) (*Pool, error) {
 	window := cfg.PoolWindowSeconds
 	if window <= 0 {
 		window = 14 * 86400
@@ -216,7 +228,9 @@ func BuildPoolIncrementally(ds *model.Dataset, cfg Config) *Pool {
 			windowEnd = tr.StartT + window
 		}
 		if tr.StartT >= windowEnd {
-			b.AddWindow(batch)
+			if err := b.AddWindow(ctx, batch); err != nil {
+				return nil, err
+			}
 			batch = nil
 			for tr.StartT >= windowEnd {
 				windowEnd += window
@@ -225,7 +239,9 @@ func BuildPoolIncrementally(ds *model.Dataset, cfg Config) *Pool {
 		batch = append(batch, tr)
 	}
 	if len(batch) > 0 {
-		b.AddWindow(batch)
+		if err := b.AddWindow(ctx, batch); err != nil {
+			return nil, err
+		}
 	}
-	return b.Finalize()
+	return b.Finalize(), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,14 @@ import (
 	"dlinfma/internal/model"
 	"dlinfma/internal/traj"
 )
+
+// addWindow feeds one window into the builder, failing the test on error.
+func addWindow(t *testing.T, b *IncrementalPoolBuilder, trips []model.Trip) {
+	t.Helper()
+	if err := b.AddWindow(context.Background(), trips); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // dwellTrip builds a trip that dwells at each of the given locations for
 // 90 s with GPS jitter, starting at t0.
@@ -33,8 +42,8 @@ func TestIncrementalBuilderMergesAcrossWindows(t *testing.T) {
 	other := geo.Point{X: 500, Y: 100}
 	b := NewIncrementalPoolBuilder(DefaultConfig())
 	// Window 1 visits site; window 2 visits site (slightly offset) and other.
-	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 0, site)})
-	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 14*86400, site.Add(geo.Point{X: 5, Y: 0}), other)})
+	addWindow(t, b, []model.Trip{dwellTrip(rng, 0, 0, site)})
+	addWindow(t, b, []model.Trip{dwellTrip(rng, 0, 14*86400, site.Add(geo.Point{X: 5, Y: 0}), other)})
 	pool := b.Finalize()
 
 	if len(pool.Locations) != 2 {
@@ -71,8 +80,8 @@ func TestIncrementalBuilderCourierProfileMerges(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	site := geo.Point{X: 50, Y: 50}
 	b := NewIncrementalPoolBuilder(DefaultConfig())
-	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 0, site)})
-	b.AddWindow([]model.Trip{dwellTrip(rng, 1, 14*86400, site)})
+	addWindow(t, b, []model.Trip{dwellTrip(rng, 0, 0, site)})
+	addWindow(t, b, []model.Trip{dwellTrip(rng, 1, 14*86400, site)})
 	pool := b.Finalize()
 	id, _ := pool.Nearest(site)
 	if pool.Locations[id].NCouriers != 2 {
@@ -81,41 +90,76 @@ func TestIncrementalBuilderCourierProfileMerges(t *testing.T) {
 }
 
 func TestBuildPoolIncrementallyMatchesOneShot(t *testing.T) {
+	// The incremental builder must stay equivalent to the one-shot build
+	// whatever the window size: the same per-trip visit counts exactly, and
+	// a pool of comparable size (merge order differs, so only approximately).
 	ds, _, _ := tiny(t)
-	cfg := DefaultConfig()
-	inc := BuildPoolIncrementally(ds, cfg)
-	one := BuildPool(ds, cfg)
-
-	if len(inc.Visits) != len(one.Visits) {
-		t.Fatalf("visit lists %d vs %d", len(inc.Visits), len(one.Visits))
-	}
-	for ti := range inc.Visits {
-		if len(inc.Visits[ti]) != len(one.Visits[ti]) {
-			t.Fatalf("trip %d: %d vs %d visits", ti, len(inc.Visits[ti]), len(one.Visits[ti]))
-		}
-	}
-	ratio := float64(len(inc.Locations)) / float64(len(one.Locations))
-	if ratio < 0.7 || ratio > 1.4 {
-		t.Errorf("incremental pool %d vs one-shot %d", len(inc.Locations), len(one.Locations))
+	ctx := context.Background()
+	cfgOne := DefaultConfig()
+	cfgOne.PoolWindowSeconds = 0
+	one, err := BuildPool(ctx, ds, cfgOne)
+	if err != nil {
+		t.Fatal(err)
 	}
 
-	// The pipeline works end to end on the incremental pool.
-	pipe := NewPipelineWithPool(ds, cfg, inc)
-	found := false
-	for _, a := range ds.Addresses {
-		if len(pipe.RetrieveCandidates(a.ID)) > 0 {
-			found = true
-			break
+	for _, windowDays := range []float64{3, 7, 14, 60} {
+		cfg := DefaultConfig()
+		cfg.PoolWindowSeconds = windowDays * 86400
+		inc, err := BuildPoolIncrementally(ctx, ds, cfg)
+		if err != nil {
+			t.Fatalf("window %.0fd: %v", windowDays, err)
+		}
+
+		if len(inc.Visits) != len(one.Visits) {
+			t.Fatalf("window %.0fd: visit lists %d vs %d", windowDays, len(inc.Visits), len(one.Visits))
+		}
+		for ti := range inc.Visits {
+			if len(inc.Visits[ti]) != len(one.Visits[ti]) {
+				t.Fatalf("window %.0fd trip %d: %d vs %d visits",
+					windowDays, ti, len(inc.Visits[ti]), len(one.Visits[ti]))
+			}
+		}
+		ratio := float64(len(inc.Locations)) / float64(len(one.Locations))
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("window %.0fd: incremental pool %d vs one-shot %d",
+				windowDays, len(inc.Locations), len(one.Locations))
+		}
+
+		// The pipeline works end to end on the incremental pool.
+		pipe := NewPipelineWithPool(ds, cfg, inc)
+		found := false
+		for _, a := range ds.Addresses {
+			if len(pipe.RetrieveCandidates(a.ID)) > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("window %.0fd: no candidates retrievable from the incremental pool", windowDays)
 		}
 	}
-	if !found {
-		t.Error("no candidates retrievable from the incremental pool")
+}
+
+func TestBuildPoolIncrementallyCancel(t *testing.T) {
+	ds, _, _ := tiny(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildPoolIncrementally(ctx, ds, DefaultConfig()); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	b := NewIncrementalPoolBuilder(DefaultConfig())
+	if err := b.AddWindow(ctx, ds.Trips[:1]); err != context.Canceled {
+		t.Fatalf("AddWindow on cancelled ctx: got %v, want context.Canceled", err)
+	}
+	// The builder is untouched by the failed window.
+	if pool := b.Finalize(); len(pool.Locations) != 0 {
+		t.Errorf("cancelled window leaked %d locations into the builder", len(pool.Locations))
 	}
 }
 
 func TestIncrementalBuilderEmptyWindow(t *testing.T) {
 	b := NewIncrementalPoolBuilder(DefaultConfig())
-	b.AddWindow(nil)
+	addWindow(t, b, nil)
 	pool := b.Finalize()
 	if len(pool.Locations) != 0 {
 		t.Errorf("empty builder produced %d locations", len(pool.Locations))
@@ -125,9 +169,9 @@ func TestIncrementalBuilderEmptyWindow(t *testing.T) {
 func TestIncrementalBuilderSnapshotSemantics(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	b := NewIncrementalPoolBuilder(DefaultConfig())
-	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 0, geo.Point{X: 10, Y: 10})})
+	addWindow(t, b, []model.Trip{dwellTrip(rng, 0, 0, geo.Point{X: 10, Y: 10})})
 	p1 := b.Finalize()
-	b.AddWindow([]model.Trip{dwellTrip(rng, 0, 14*86400, geo.Point{X: 900, Y: 900})})
+	addWindow(t, b, []model.Trip{dwellTrip(rng, 0, 14*86400, geo.Point{X: 900, Y: 900})})
 	p2 := b.Finalize()
 	if len(p1.Locations) != 1 || len(p2.Locations) != 2 {
 		t.Errorf("snapshots: %d then %d locations, want 1 then 2", len(p1.Locations), len(p2.Locations))

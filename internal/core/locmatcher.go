@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -272,7 +273,13 @@ type TrainResult struct {
 // step is taken per batch — the same update schedule as the serial path, so
 // loss trajectories are statistically equivalent and reproducible for a
 // fixed worker count.
-func (m *LocMatcher) Fit(train, val []*Sample) (TrainResult, error) {
+//
+// Cancellation is cooperative: ctx is checked between batches (serial path)
+// or between per-batch parallel runs (data-parallel path) and between
+// epochs; on cancellation Fit returns ctx.Err() promptly without stepping
+// the optimizer on a partial batch, leaving the parameters at the last
+// completed update.
+func (m *LocMatcher) Fit(ctx context.Context, train, val []*Sample) (TrainResult, error) {
 	train = labelled(train)
 	val = labelled(val)
 	if len(train) == 0 {
@@ -327,12 +334,15 @@ func (m *LocMatcher) Fit(train, val []*Sample) (TrainResult, error) {
 				hi := min(lo+batchSize, len(idx))
 				batch := idx[lo:hi]
 				dp.Sync()
-				dp.Run(len(batch), func(w, j int) {
+				err := dp.RunCtx(ctx, len(batch), func(w, j int) {
 					r := replicas[w]
 					s := train[batch[j]]
 					nn.Backward(nn.CrossEntropy(r.forward(s, true, tapes[w], r.rng), s.Label))
 					tapes[w].Reset()
 				})
+				if err != nil {
+					return res, err
+				}
 				dp.Reduce()
 				opt.Step(params, float64(len(batch)))
 				nn.ZeroGrads(params)
@@ -341,6 +351,11 @@ func (m *LocMatcher) Fit(train, val []*Sample) (TrainResult, error) {
 			nn.ZeroGrads(params)
 			inBatch := 0
 			for _, i := range idx {
+				if inBatch == 0 {
+					if err := ctx.Err(); err != nil {
+						return res, err
+					}
+				}
 				s := train[i]
 				loss := nn.CrossEntropy(m.forward(s, true, tape, m.rng), s.Label)
 				nn.Backward(loss)
@@ -359,9 +374,14 @@ func (m *LocMatcher) Fit(train, val []*Sample) (TrainResult, error) {
 		}
 		res.Epochs = epoch + 1
 
-		vl := m.meanLoss(val)
+		vl, err := m.meanLoss(ctx, val)
+		if err != nil {
+			return res, err
+		}
 		if len(val) == 0 {
-			vl = m.meanLoss(train)
+			if vl, err = m.meanLoss(ctx, train); err != nil {
+				return res, err
+			}
 		}
 		stop, improved := stopper.Observe(vl)
 		if improved {
@@ -391,22 +411,25 @@ func labelled(samples []*Sample) []*Sample {
 // per-sample forwards across inferWorkers() goroutines. The per-sample
 // losses land in an index-ordered slice that is summed serially, so the
 // result is bit-identical at any worker count.
-func (m *LocMatcher) meanLoss(samples []*Sample) float64 {
+func (m *LocMatcher) meanLoss(ctx context.Context, samples []*Sample) (float64, error) {
 	if len(samples) == 0 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	losses := make([]float64, len(samples))
-	nn.ParallelFor(m.inferWorkers(), len(samples), func(i int) {
+	err := nn.ParallelForCtx(ctx, m.inferWorkers(), len(samples), func(i int) {
 		s := samples[i]
 		tape := m.getTape()
 		losses[i] = nn.CrossEntropy(m.forward(s, false, tape, nil), s.Label).Value()
 		m.putTape(tape)
 	})
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
 	for _, l := range losses {
 		sum += l
 	}
-	return sum / float64(len(samples))
+	return sum / float64(len(samples)), nil
 }
 
 // Predict returns the index of the candidate with maximum predicted
@@ -429,13 +452,17 @@ func (m *LocMatcher) Predict(s *Sample) int {
 }
 
 // PredictAll runs Predict over a batch of samples on inferWorkers()
-// goroutines and returns the predictions in sample order.
-func (m *LocMatcher) PredictAll(samples []*Sample) []int {
+// goroutines and returns the predictions in sample order. Cancelling ctx
+// stops the fan-out between samples and returns ctx.Err().
+func (m *LocMatcher) PredictAll(ctx context.Context, samples []*Sample) ([]int, error) {
 	out := make([]int, len(samples))
-	nn.ParallelFor(m.inferWorkers(), len(samples), func(i int) {
+	err := nn.ParallelForCtx(ctx, m.inferWorkers(), len(samples), func(i int) {
 		out[i] = m.Predict(samples[i])
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Probabilities returns the softmax distribution over candidates.
@@ -451,12 +478,16 @@ func (m *LocMatcher) Probabilities(s *Sample) []float64 {
 
 // ProbabilitiesAll runs Probabilities over a batch of samples on
 // inferWorkers() goroutines and returns the distributions in sample order.
-func (m *LocMatcher) ProbabilitiesAll(samples []*Sample) [][]float64 {
+// Cancelling ctx stops the fan-out between samples and returns ctx.Err().
+func (m *LocMatcher) ProbabilitiesAll(ctx context.Context, samples []*Sample) ([][]float64, error) {
 	out := make([][]float64, len(samples))
-	nn.ParallelFor(m.inferWorkers(), len(samples), func(i int) {
+	err := nn.ParallelForCtx(ctx, m.inferWorkers(), len(samples), func(i int) {
 		out[i] = m.Probabilities(samples[i])
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CandidateScore pairs a candidate with its predicted probability and the

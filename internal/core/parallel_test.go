@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -29,7 +30,7 @@ func quickCfg(workers int) LocMatcherConfig {
 func fitParams(t *testing.T, cfg LocMatcherConfig, samples []*Sample) (*LocMatcher, []*nn.Tensor) {
 	t.Helper()
 	m := NewLocMatcher(cfg)
-	if _, err := m.Fit(samples, nil); err != nil {
+	if _, err := m.Fit(context.Background(), samples, nil); err != nil {
 		t.Fatal(err)
 	}
 	return m, m.Params()
@@ -67,7 +68,10 @@ func TestFitParallelReproducible(t *testing.T) {
 	_, pb := fitParams(t, quickCfg(4), samples)
 	requireSameParams(t, pa, pb, "two Workers=4 runs")
 
-	preds := ma.PredictAll(samples)
+	preds, err := ma.PredictAll(context.Background(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, s := range samples {
 		if preds[i] < 0 || preds[i] >= len(s.Cands) {
 			t.Fatalf("sample %d: invalid parallel-trained prediction %d", i, preds[i])
@@ -83,7 +87,7 @@ func TestFitParallelLearns(t *testing.T) {
 	cfg := quickCfg(4)
 	cfg.MaxEpochs = 10
 	m := NewLocMatcher(cfg)
-	res, err := m.Fit(samples, nil)
+	res, err := m.Fit(context.Background(), samples, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +97,7 @@ func TestFitParallelLearns(t *testing.T) {
 	scfg := quickCfg(1)
 	scfg.MaxEpochs = 10
 	sm := NewLocMatcher(scfg)
-	sres, err := sm.Fit(samples, nil)
+	sres, err := sm.Fit(context.Background(), samples, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,19 +111,34 @@ func TestFitParallelLearns(t *testing.T) {
 func TestInferenceIndependentOfWorkers(t *testing.T) {
 	samples := trainSamples(t)
 	m, _ := fitParams(t, quickCfg(1), samples)
+	ctx := context.Background()
 
 	m.Cfg.Workers = 1
 	serialPreds := make([]int, len(samples))
 	for i, s := range samples {
 		serialPreds[i] = m.Predict(s)
 	}
-	serialProbs := m.ProbabilitiesAll(samples)
-	serialLoss := m.meanLoss(samples)
+	serialProbs, err := m.ProbabilitiesAll(ctx, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialLoss, err := m.meanLoss(ctx, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	m.Cfg.Workers = 4
-	preds := m.PredictAll(samples)
-	probs := m.ProbabilitiesAll(samples)
-	if loss := m.meanLoss(samples); loss != serialLoss {
+	preds, err := m.PredictAll(ctx, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := m.ProbabilitiesAll(ctx, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss, err := m.meanLoss(ctx, samples); err != nil {
+		t.Fatal(err)
+	} else if loss != serialLoss {
 		t.Fatalf("meanLoss with 4 workers %v != serial %v", loss, serialLoss)
 	}
 	for i := range samples {
@@ -162,6 +181,27 @@ func TestBuildSamplesParallelMatchesSerial(t *testing.T) {
 			if got[i].Cands[j] != want[i].Cands[j] {
 				t.Fatalf("sample %d candidate %d differs", i, j)
 			}
+		}
+	}
+}
+
+// Cancelling mid-training must abort promptly with context.Canceled on both
+// the serial and data-parallel paths, and the inference fan-outs must refuse
+// a dead context instead of computing.
+func TestFitAndInferenceCancelled(t *testing.T) {
+	samples := trainSamples(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		m := NewLocMatcher(quickCfg(workers))
+		if _, err := m.Fit(ctx, samples, nil); err != context.Canceled {
+			t.Fatalf("Fit workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if _, err := m.PredictAll(ctx, samples); err != context.Canceled {
+			t.Fatalf("PredictAll workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if _, err := m.ProbabilitiesAll(ctx, samples); err != context.Canceled {
+			t.Fatalf("ProbabilitiesAll workers=%d: got %v, want context.Canceled", workers, err)
 		}
 	}
 }

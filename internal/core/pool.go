@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -93,13 +94,17 @@ type stayRecord struct {
 
 // ExtractAllStayPoints runs noise filtering and stay-point detection over
 // every trip in parallel (the paper's trajectory-level parallelization,
-// Section V-F).
-func ExtractAllStayPoints(ds *model.Dataset, cfg Config) [][]traj.StayPoint {
+// Section V-F). Cancelling ctx stops the fan-out between trips and returns
+// ctx.Err().
+func ExtractAllStayPoints(ctx context.Context, ds *model.Dataset, cfg Config) ([][]traj.StayPoint, error) {
 	out := make([][]traj.StayPoint, len(ds.Trips))
-	nn.ParallelFor(cfg.workers(), len(ds.Trips), func(i int) {
+	err := nn.ParallelForCtx(ctx, cfg.workers(), len(ds.Trips), func(i int) {
 		out[i] = traj.ExtractStayPoints(ds.Trips[i].Traj, cfg.Noise, cfg.Stay)
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // workers resolves Config.Workers, mapping 0 to GOMAXPROCS.
@@ -113,33 +118,40 @@ func (cfg Config) workers() int {
 // BuildPool constructs the candidate pool from a dataset: stay-point
 // extraction, clustering (hierarchical with cutoff D, optionally per time
 // window with incremental merging, or grid merging for the variant), and
-// profile computation.
-func BuildPool(ds *model.Dataset, cfg Config) *Pool {
+// profile computation. Cancelling ctx aborts between trips during
+// extraction and between windows during clustering, returning ctx.Err().
+func BuildPool(ctx context.Context, ds *model.Dataset, cfg Config) (*Pool, error) {
 	if cfg.ClusterDistance <= 0 {
 		cfg.ClusterDistance = 40
 	}
-	stays := ExtractAllStayPoints(ds, cfg)
+	stays, err := ExtractAllStayPoints(ctx, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
 	var records []stayRecord
 	for t, sps := range stays {
 		for _, sp := range sps {
 			records = append(records, stayRecord{sp: sp, trip: t, courier: ds.Trips[t].Courier})
 		}
 	}
-	assign := clusterStays(records, cfg)
-	return assemblePool(ds, records, assign)
+	assign, err := clusterStays(ctx, records, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return assemblePool(ds, records, assign), nil
 }
 
 // clusterStays returns, for each stay record, the id of its pool location.
-func clusterStays(records []stayRecord, cfg Config) []int {
+func clusterStays(ctx context.Context, records []stayRecord, cfg Config) ([]int, error) {
 	pts := make([]geo.Point, len(records))
 	for i, r := range records {
 		pts[i] = r.sp.Loc
 	}
 	if cfg.UseGridMerge {
-		return labelsFromClusters(cluster.GridMerge(pts, cfg.ClusterDistance), len(records))
+		return labelsFromClusters(cluster.GridMerge(pts, cfg.ClusterDistance), len(records)), nil
 	}
 	if cfg.PoolWindowSeconds <= 0 {
-		return labelsFromClusters(cluster.Hierarchical(pts, cfg.ClusterDistance), len(records))
+		return labelsFromClusters(cluster.Hierarchical(pts, cfg.ClusterDistance), len(records)), nil
 	}
 	// Incremental mode: cluster each time window independently, then merge
 	// window-level candidates by re-clustering their weighted centroids —
@@ -158,6 +170,9 @@ func clusterStays(records []stayRecord, cfg Config) []int {
 	var wpts []cluster.WeightedPoint
 	var wmembers [][]int // stay indices behind each window-level candidate
 	for _, idxs := range byWindow {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sub := make([]geo.Point, len(idxs))
 		for j, i := range idxs {
 			sub[j] = records[i].sp.Loc
@@ -179,7 +194,7 @@ func clusterStays(records []stayRecord, cfg Config) []int {
 			}
 		}
 	}
-	return assign
+	return assign, nil
 }
 
 func labelsFromClusters(cs []cluster.Cluster, n int) []int {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -18,7 +19,7 @@ func TestLocMatcherSaveLoadRoundTrip(t *testing.T) {
 	cfg.MaxEpochs = 3
 	cfg.LR = 1e-3
 	m := NewLocMatcher(cfg)
-	if _, err := m.Fit(samples, nil); err != nil {
+	if _, err := m.Fit(context.Background(), samples, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -57,7 +58,7 @@ func TestLocMatcherSaveLoadLSTMVariant(t *testing.T) {
 	cfg.UseLSTM = true
 	cfg.MaxEpochs = 2
 	m := NewLocMatcher(cfg)
-	if _, err := m.Fit(samples, nil); err != nil {
+	if _, err := m.Fit(context.Background(), samples, nil); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

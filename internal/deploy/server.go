@@ -1,7 +1,6 @@
 package deploy
 
 import (
-	"encoding/json"
 	"net/http"
 	"strconv"
 
@@ -16,28 +15,28 @@ type QueryResponse struct {
 	Source string  `json:"source"`
 }
 
-// Handler returns the HTTP handler of the online delivery-location query
-// API (Figure 14): GET /location?addr=<id> answers from the store with the
-// address -> building -> geocode fallback chain.
+// Handler returns the read-only HTTP handler over a bare Store:
+// GET /location?addr=<id> answers with the address -> building -> geocode
+// fallback chain. The engine-backed Service supersedes it for serving; it
+// remains for store-only embedding (evaluation harnesses, examples).
 func Handler(s *Store) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/location", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}
 		id, err := strconv.ParseInt(r.URL.Query().Get("addr"), 10, 32)
 		if err != nil {
-			http.Error(w, "invalid addr parameter", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "invalid addr parameter")
 			return
 		}
 		loc, src := s.Query(model.AddressID(id))
 		if src == SourceNone {
-			http.Error(w, "unknown address", http.StatusNotFound)
+			jsonError(w, http.StatusNotFound, "unknown address")
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(QueryResponse{Addr: id, X: loc.X, Y: loc.Y, Source: src.String()})
+		writeJSON(w, http.StatusOK, QueryResponse{Addr: id, X: loc.X, Y: loc.Y, Source: src.String()})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

@@ -1,0 +1,247 @@
+package deploy
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// Engine is deploy's view of the serving engine (implemented by
+// internal/engine): the lifecycle owner behind the ingest / reinfer /
+// query / snapshot endpoints. deploy defines the interface rather than
+// importing the engine so the dependency points engine -> deploy.
+type Engine interface {
+	// Query answers a delivery-location request from the currently served
+	// store snapshot; SourceNone before the first re-inference or restore.
+	Query(addr model.AddressID) (geo.Point, Source)
+	// Ingest appends a window of trips (plus any new addresses and ground
+	// truth) to the accumulating dataset.
+	Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error
+	// StartReinfer launches a background retrain + re-infer job. It returns
+	// ErrReinferRunning (with the running job's status) when one is active.
+	StartReinfer() (JobStatus, error)
+	// ReinferStatus reports the latest job; ok is false before the first.
+	ReinferStatus() (JobStatus, bool)
+	// Status summarizes engine state for health checks.
+	Status() EngineStatus
+	// WriteSnapshot streams the serving state (addresses, inferred
+	// locations, trained model) to w.
+	WriteSnapshot(w io.Writer) error
+}
+
+// ErrReinferRunning is returned by Engine.StartReinfer while a re-inference
+// job is already in flight; the service maps it to 409 Conflict.
+var ErrReinferRunning = errors.New("deploy: re-inference already running")
+
+// EngineStatus is the /healthz payload: a summary of the engine's serving
+// and ingest state.
+type EngineStatus struct {
+	Dataset string `json:"dataset,omitempty"`
+	// Ready is true once a (pool, model, store) triple is being served —
+	// after the first completed re-inference or a snapshot restore.
+	Ready bool `json:"ready"`
+	// Addresses counts addresses registered through ingest.
+	Addresses int `json:"addresses"`
+	// Inferred counts address-level entries in the served store.
+	Inferred      int `json:"inferred"`
+	PoolLocations int `json:"pool_locations"`
+	// PendingTrips counts trips ingested after the serving state was built.
+	PendingTrips   int  `json:"pending_trips"`
+	Reinfers       int  `json:"reinfers"`
+	ReinferRunning bool `json:"reinfer_running"`
+}
+
+// Job states of a background re-inference.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus describes one background re-inference job.
+type JobStatus struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Inferred is the number of addresses the finished job produced.
+	Inferred int `json:"inferred,omitempty"`
+}
+
+// IngestRequest is the POST /ingest payload: one window of trips with any
+// new address metadata. Truth is keyed by stringified address id (JSON
+// object keys must be strings), matching the dataset file format.
+type IngestRequest struct {
+	Trips     []model.Trip          `json:"trips"`
+	Addresses []model.AddressInfo   `json:"addresses"`
+	Truth     map[string][2]float64 `json:"truth,omitempty"`
+}
+
+// errorResponse is the JSON error body every endpoint uses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// maxIngestBytes bounds one ingest request body (64 MiB) so a runaway
+// client cannot exhaust memory.
+const maxIngestBytes = 64 << 20
+
+// Service returns the engine-backed HTTP API of the deployed system
+// (Section VI, Figure 14, grown to the full online lifecycle):
+//
+//	GET  /location?addr=<id>  query with the address->building->geocode chain
+//	POST /ingest              append a window of trips (IngestRequest)
+//	POST /reinfer             start a background retrain+re-infer job (202)
+//	GET  /reinfer             poll the latest job's status
+//	GET  /snapshot            stream the serving state for on-disk persistence
+//	GET  /healthz             EngineStatus; 200 when ready, 503 before
+func Service(e Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/location", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		id, err := strconv.ParseInt(r.URL.Query().Get("addr"), 10, 32)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "invalid addr parameter")
+			return
+		}
+		loc, src := e.Query(model.AddressID(id))
+		if src == SourceNone {
+			jsonError(w, http.StatusNotFound, "unknown address")
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{Addr: id, X: loc.X, Y: loc.Y, Source: src.String()})
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		var req IngestRequest
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxIngestBytes))
+		if err := dec.Decode(&req); err != nil {
+			jsonError(w, http.StatusBadRequest, fmt.Sprintf("decode ingest request: %v", err))
+			return
+		}
+		truth := make(map[model.AddressID]geo.Point, len(req.Truth))
+		for k, v := range req.Truth {
+			var id model.AddressID
+			if _, err := fmt.Sscan(k, &id); err != nil {
+				jsonError(w, http.StatusBadRequest, fmt.Sprintf("bad truth key %q", k))
+				return
+			}
+			truth[id] = geo.Point{X: v[0], Y: v[1]}
+		}
+		if err := e.Ingest(r.Context(), req.Trips, req.Addresses, truth); err != nil {
+			jsonError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, e.Status())
+	})
+	mux.HandleFunc("/reinfer", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			job, err := e.StartReinfer()
+			if errors.Is(err, ErrReinferRunning) {
+				writeJSON(w, http.StatusConflict, job)
+				return
+			}
+			if err != nil {
+				jsonError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusAccepted, job)
+		case http.MethodGet:
+			job, ok := e.ReinferStatus()
+			if !ok {
+				jsonError(w, http.StatusNotFound, "no re-inference job yet")
+				return
+			}
+			writeJSON(w, http.StatusOK, job)
+		default:
+			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		if !e.Status().Ready {
+			jsonError(w, http.StatusServiceUnavailable, "engine not ready")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := e.WriteSnapshot(w); err != nil {
+			// Headers are gone; the truncated body is the best signal left.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := e.Status()
+		code := http.StatusOK
+		if !st.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, st)
+	})
+	return mux
+}
+
+// NewServer wraps a handler in an http.Server with production timeouts: a
+// short header read deadline against slowloris clients, bounded read/write
+// deadlines sized for ingest uploads and snapshot downloads, and a keep-alive
+// idle timeout.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// Serve runs srv until ctx is cancelled (SIGINT/SIGTERM in cmdServe wires a
+// signal context), then shuts down gracefully with a 10 s drain deadline.
+// It returns nil after a clean shutdown, otherwise the listener error.
+func Serve(ctx context.Context, srv *http.Server) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,373 @@
+// Package engine owns the full DLInfMA serving lifecycle of Section V-F /
+// Figure 14: incremental dataset ingest (bi-weekly trip windows appended to
+// the candidate pool without reprocessing history), LocMatcher training,
+// full re-inference, snapshot persistence, and atomic hot-swap of the
+// (pool, model, store) triple so queries never block on retraining.
+//
+// Concurrency contract: three small lock domains, never held across model
+// compute.
+//
+//   - mu guards the accumulating dataset (trips, addresses, truth, the
+//     IncrementalPoolBuilder). Ingest mutates it; Reinfer snapshots it.
+//   - stateMu guards the immutable serving triple. Reinfer builds a fresh
+//     state off-lock and swaps the pointer under a brief write lock;
+//     Query takes a read lock only to load the pointer.
+//   - jobMu guards background re-inference bookkeeping.
+//
+// Cancellation contract: every long-running stage (pool build, sample
+// featurization, training, batch inference) threads context.Context into
+// the worker pools and returns ctx.Err() promptly on cancellation, leaving
+// the served state untouched. Close cancels the engine's root context,
+// aborting any background re-inference.
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// Config bundles the engine's pipeline, model, and training knobs.
+type Config struct {
+	Core    core.Config
+	Matcher core.LocMatcherConfig
+	Sample  core.SampleOptions
+	// ValFraction is the share of labelled samples held out for early
+	// stopping during re-inference training (0 trains on everything).
+	ValFraction float64
+}
+
+// DefaultConfig returns the paper's defaults with a 20% validation holdout.
+func DefaultConfig() Config {
+	return Config{
+		Core:        core.DefaultConfig(),
+		Matcher:     core.DefaultLocMatcherConfig(),
+		Sample:      core.DefaultSampleOptions(),
+		ValFraction: 0.2,
+	}
+}
+
+// state is one immutable serving snapshot: everything a query or snapshot
+// write needs. Fields are never mutated after the swap; a restored snapshot
+// has pipe == nil (the pool cannot be reconstructed from inferred locations
+// alone).
+type state struct {
+	pipe    *core.Pipeline
+	matcher *core.LocMatcher
+	store   *deploy.Store
+	locs    map[model.AddressID]geo.Point
+}
+
+// Engine owns the DLInfMA lifecycle. The zero value is not usable; call New.
+type Engine struct {
+	cfg Config
+
+	// rootCtx bounds background jobs; Close cancels it.
+	rootCtx context.Context
+	cancel  context.CancelFunc
+
+	// mu guards the accumulating ingest state.
+	mu       sync.Mutex
+	name     string
+	builder  *core.IncrementalPoolBuilder
+	trips    []model.Trip
+	addrs    []model.AddressInfo
+	addrSeen map[model.AddressID]bool
+	truth    map[model.AddressID]geo.Point
+	// pending counts trips ingested after the served state was built.
+	pending int
+
+	// stateMu guards the hot-swapped serving state.
+	stateMu  sync.RWMutex
+	st       *state
+	reinfers int
+
+	// jobMu guards the background re-inference job.
+	jobMu  sync.Mutex
+	jobSeq int
+	job    *deploy.JobStatus
+}
+
+// New returns an empty engine. Close it to cancel background work.
+func New(cfg Config) *Engine {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Engine{
+		cfg:      cfg,
+		rootCtx:  ctx,
+		cancel:   cancel,
+		builder:  core.NewIncrementalPoolBuilder(cfg.Core),
+		addrSeen: make(map[model.AddressID]bool),
+		truth:    make(map[model.AddressID]geo.Point),
+	}
+}
+
+// Close cancels the engine's root context, aborting any background
+// re-inference. The served state stays queryable.
+func (e *Engine) Close() { e.cancel() }
+
+// SetName labels the accumulating dataset (used in status and snapshots).
+func (e *Engine) SetName(name string) {
+	e.mu.Lock()
+	e.name = name
+	e.mu.Unlock()
+}
+
+// Ingest appends one window of trips plus any new addresses and ground
+// truth. The window is clustered and merged into the candidate pool
+// immediately (the paper's bi-weekly pool maintenance); the served state is
+// not touched until the next Reinfer. Cancelling ctx mid-window returns
+// ctx.Err() with the pool unchanged.
+func (e *Engine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, a := range addrs {
+		if !e.addrSeen[a.ID] {
+			e.addrSeen[a.ID] = true
+			e.addrs = append(e.addrs, a)
+		}
+	}
+	for id, p := range truth {
+		e.truth[id] = p
+	}
+	if len(trips) == 0 {
+		return nil
+	}
+	if err := e.builder.AddWindow(ctx, trips); err != nil {
+		return err
+	}
+	e.trips = append(e.trips, trips...)
+	e.pending += len(trips)
+	return nil
+}
+
+// IngestDataset feeds a whole dataset through Ingest in PoolWindowSeconds
+// windows — the offline path (cmd infer/eval) and the serve subcommand's
+// initial load use it so batch and online runs share one code path.
+func (e *Engine) IngestDataset(ctx context.Context, ds *model.Dataset) error {
+	e.mu.Lock()
+	if e.name == "" {
+		e.name = ds.Name
+	}
+	e.mu.Unlock()
+	if err := e.Ingest(ctx, nil, ds.Addresses, ds.Truth); err != nil {
+		return err
+	}
+	window := e.cfg.Core.PoolWindowSeconds
+	if window <= 0 {
+		window = 14 * 86400
+	}
+	var batch []model.Trip
+	var windowEnd float64
+	for i, tr := range ds.Trips {
+		if i == 0 {
+			windowEnd = tr.StartT + window
+		}
+		if tr.StartT >= windowEnd {
+			if err := e.Ingest(ctx, batch, nil, nil); err != nil {
+				return err
+			}
+			batch = nil
+			for tr.StartT >= windowEnd {
+				windowEnd += window
+			}
+		}
+		batch = append(batch, tr)
+	}
+	if len(batch) > 0 {
+		return e.Ingest(ctx, batch, nil, nil)
+	}
+	return nil
+}
+
+// Reinfer runs the full second stage over everything ingested so far:
+// finalize the incremental pool, featurize every address, train a fresh
+// LocMatcher, predict every address, and atomically swap the new
+// (pool, model, store) triple into service. Queries keep hitting the old
+// state until the swap. Cancelling ctx aborts at the next cooperative
+// check and leaves the served state untouched.
+func (e *Engine) Reinfer(ctx context.Context) error {
+	// Snapshot the ingest state under mu; all compute happens off-lock on
+	// the snapshot (builder.Finalize itself is cheap relative to training
+	// and must run under mu since Ingest mutates the builder).
+	e.mu.Lock()
+	if len(e.trips) == 0 {
+		e.mu.Unlock()
+		return errors.New("engine: no trips ingested")
+	}
+	pool := e.builder.Finalize()
+	ds := &model.Dataset{
+		Name:      e.name,
+		Trips:     e.trips[:len(e.trips):len(e.trips)],
+		Addresses: append([]model.AddressInfo(nil), e.addrs...),
+		Truth:     make(map[model.AddressID]geo.Point, len(e.truth)),
+	}
+	for id, p := range e.truth {
+		ds.Truth[id] = p
+	}
+	nTrips := len(e.trips)
+	e.mu.Unlock()
+
+	pipe := core.NewPipelineWithPool(ds, e.cfg.Core, pool)
+	ids := make([]model.AddressID, len(ds.Addresses))
+	for i, a := range ds.Addresses {
+		ids[i] = a.ID
+	}
+	samples, err := pipe.BuildSamplesCtx(ctx, ids, e.cfg.Sample)
+	if err != nil {
+		return err
+	}
+	core.LabelSamples(samples, ds.Truth)
+
+	var labelled []*core.Sample
+	for _, s := range samples {
+		if s.Label >= 0 {
+			labelled = append(labelled, s)
+		}
+	}
+	nVal := int(float64(len(labelled)) * e.cfg.ValFraction)
+	mcfg := e.cfg.Matcher
+	if mcfg.Workers == 0 {
+		mcfg.Workers = e.cfg.Core.Workers
+	}
+	matcher := core.NewLocMatcher(mcfg)
+	if _, err := matcher.Fit(ctx, labelled[nVal:], labelled[:nVal]); err != nil {
+		return err
+	}
+	preds, err := matcher.PredictAll(ctx, samples)
+	if err != nil {
+		return err
+	}
+
+	store := deploy.NewStore()
+	store.LoadDataset(ds)
+	locs := make(map[model.AddressID]geo.Point, len(samples))
+	for i, s := range samples {
+		loc := s.PredictedLocation(preds[i])
+		store.Put(s.Addr, loc)
+		locs[s.Addr] = loc
+	}
+
+	e.stateMu.Lock()
+	e.st = &state{pipe: pipe, matcher: matcher, store: store, locs: locs}
+	e.reinfers++
+	e.stateMu.Unlock()
+
+	e.mu.Lock()
+	e.pending = len(e.trips) - nTrips
+	e.mu.Unlock()
+	return nil
+}
+
+// StartReinfer launches Reinfer on the engine's root context in a
+// background goroutine. While a job is running it returns that job's
+// status with deploy.ErrReinferRunning.
+func (e *Engine) StartReinfer() (deploy.JobStatus, error) {
+	e.jobMu.Lock()
+	if e.job != nil && e.job.State == deploy.JobRunning {
+		js := *e.job
+		e.jobMu.Unlock()
+		return js, deploy.ErrReinferRunning
+	}
+	e.jobSeq++
+	job := &deploy.JobStatus{ID: e.jobSeq, State: deploy.JobRunning}
+	e.job = job
+	e.jobMu.Unlock()
+
+	go func() {
+		err := e.Reinfer(e.rootCtx)
+		e.jobMu.Lock()
+		defer e.jobMu.Unlock()
+		if err != nil {
+			job.State = deploy.JobFailed
+			job.Error = err.Error()
+			return
+		}
+		job.State = deploy.JobDone
+		job.Inferred = len(e.InferredLocations())
+	}()
+	return *job, nil
+}
+
+// ReinferStatus reports the latest background job; ok is false before the
+// first StartReinfer.
+func (e *Engine) ReinferStatus() (deploy.JobStatus, bool) {
+	e.jobMu.Lock()
+	defer e.jobMu.Unlock()
+	if e.job == nil {
+		return deploy.JobStatus{}, false
+	}
+	return *e.job, true
+}
+
+// Query answers from the currently served store. It returns SourceNone
+// before the first completed re-inference or snapshot restore. The read
+// lock covers only the pointer load — queries never wait on retraining.
+func (e *Engine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
+	e.stateMu.RLock()
+	st := e.st
+	e.stateMu.RUnlock()
+	if st == nil {
+		return geo.Point{}, deploy.SourceNone
+	}
+	return st.store.Query(addr)
+}
+
+// InferredLocations returns the served address->location map (nil before
+// the first re-inference or restore). The map is part of an immutable
+// snapshot; callers must not mutate it.
+func (e *Engine) InferredLocations() map[model.AddressID]geo.Point {
+	e.stateMu.RLock()
+	st := e.st
+	e.stateMu.RUnlock()
+	if st == nil {
+		return nil
+	}
+	return st.locs
+}
+
+// Matcher returns the served trained model (nil before the first
+// re-inference or restore without a saved model).
+func (e *Engine) Matcher() *core.LocMatcher {
+	e.stateMu.RLock()
+	st := e.st
+	e.stateMu.RUnlock()
+	if st == nil {
+		return nil
+	}
+	return st.matcher
+}
+
+// Status implements the deploy.Engine health summary.
+func (e *Engine) Status() deploy.EngineStatus {
+	e.stateMu.RLock()
+	st := e.st
+	reinfers := e.reinfers
+	e.stateMu.RUnlock()
+	e.mu.Lock()
+	s := deploy.EngineStatus{
+		Dataset:      e.name,
+		Addresses:    len(e.addrs),
+		PendingTrips: e.pending,
+		Reinfers:     reinfers,
+	}
+	e.mu.Unlock()
+	if st != nil {
+		s.Ready = true
+		s.Inferred = len(st.locs)
+		if st.pipe != nil {
+			s.PoolLocations = len(st.pipe.Pool.Locations)
+		}
+	}
+	e.jobMu.Lock()
+	s.ReinferRunning = e.job != nil && e.job.State == deploy.JobRunning
+	e.jobMu.Unlock()
+	return s
+}
+
+// statically assert that Engine satisfies deploy's interface.
+var _ deploy.Engine = (*Engine)(nil)

@@ -1,0 +1,368 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/engine"
+	"dlinfma/internal/model"
+	"dlinfma/internal/synth"
+)
+
+// quickConfig caps training so lifecycle tests run in seconds.
+func quickConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.Matcher.MaxEpochs = 2
+	cfg.Matcher.LR = 1e-3
+	return cfg
+}
+
+// tinyShared memoizes the generated dataset and one fully re-inferred engine
+// for the read-only tests (training it once keeps the package fast).
+var tinyShared struct {
+	once sync.Once
+	ds   *model.Dataset
+	e    *engine.Engine
+	err  error
+}
+
+func tinyEngine(t *testing.T) (*model.Dataset, *engine.Engine) {
+	t.Helper()
+	tinyShared.once.Do(func() {
+		ds, _, err := synth.Generate(synth.Tiny())
+		if err != nil {
+			tinyShared.err = err
+			return
+		}
+		e := engine.New(quickConfig())
+		if err := e.IngestDataset(context.Background(), ds); err != nil {
+			tinyShared.err = err
+			return
+		}
+		if err := e.Reinfer(context.Background()); err != nil {
+			tinyShared.err = err
+			return
+		}
+		tinyShared.ds, tinyShared.e = ds, e
+	})
+	if tinyShared.err != nil {
+		t.Fatal(tinyShared.err)
+	}
+	return tinyShared.ds, tinyShared.e
+}
+
+func deliveredAddr(t *testing.T, ds *model.Dataset) model.AddressID {
+	t.Helper()
+	for _, tr := range ds.Trips {
+		if len(tr.Waybills) > 0 {
+			return tr.Waybills[0].Addr
+		}
+	}
+	t.Fatal("no delivered address")
+	return 0
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	ds, _, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(quickConfig())
+	defer e.Close()
+	ctx := context.Background()
+
+	if _, src := e.Query(deliveredAddr(t, ds)); src != deploy.SourceNone {
+		t.Fatalf("empty engine answered with source %v", src)
+	}
+	if st := e.Status(); st.Ready {
+		t.Fatal("empty engine reports ready")
+	}
+	if err := e.Reinfer(ctx); err == nil {
+		t.Fatal("Reinfer on an empty engine must fail")
+	}
+
+	if err := e.IngestDataset(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Status()
+	if st.Ready || st.Addresses != len(ds.Addresses) || st.PendingTrips != len(ds.Trips) {
+		t.Fatalf("post-ingest status %+v", st)
+	}
+
+	if err := e.Reinfer(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Status()
+	if !st.Ready || st.Inferred == 0 || st.PoolLocations == 0 {
+		t.Fatalf("post-reinfer status %+v", st)
+	}
+	if st.PendingTrips != 0 {
+		t.Errorf("%d trips still pending after re-inference", st.PendingTrips)
+	}
+	if st.Reinfers != 1 {
+		t.Errorf("Reinfers = %d, want 1", st.Reinfers)
+	}
+	if _, src := e.Query(deliveredAddr(t, ds)); src == deploy.SourceNone {
+		t.Error("no answer for a delivered address after re-inference")
+	}
+	if e.Matcher() == nil {
+		t.Error("no served matcher after re-inference")
+	}
+}
+
+func TestEngineReinferCancelled(t *testing.T) {
+	ds, _ := tinyEngine(t)
+	e := engine.New(quickConfig())
+	defer e.Close()
+	if err := e.IngestDataset(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-cancelled: the first cooperative check aborts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Reinfer(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Reinfer: got %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-flight: featurization + training take well over 5 ms on
+	// the tiny profile, so the cancel lands while compute is running.
+	ctx, cancel = context.WithCancel(context.Background())
+	time.AfterFunc(5*time.Millisecond, cancel)
+	start := time.Now()
+	err := e.Reinfer(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: got %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancelled Reinfer took %v to return", d)
+	}
+	// The served state is untouched by the aborted runs.
+	if st := e.Status(); st.Ready || st.Reinfers != 0 {
+		t.Errorf("aborted re-inference leaked state: %+v", st)
+	}
+}
+
+func TestEngineIngestCancelled(t *testing.T) {
+	ds, _ := tinyEngine(t)
+	e := engine.New(quickConfig())
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.Ingest(ctx, ds.Trips[:2], ds.Addresses, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if st := e.Status(); st.PendingTrips != 0 {
+		t.Errorf("cancelled ingest left %d pending trips", st.PendingTrips)
+	}
+}
+
+func TestEngineHotSwapUnderLoad(t *testing.T) {
+	ds, _ := tinyEngine(t)
+	e := engine.New(quickConfig())
+	defer e.Close()
+	ctx := context.Background()
+	if err := e.IngestDataset(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reinfer(ctx); err != nil {
+		t.Fatal(err)
+	}
+	addr := deliveredAddr(t, ds)
+	if _, src := e.Query(addr); src == deploy.SourceNone {
+		t.Fatal("no served answer before the swap test")
+	}
+
+	// Hammer Query from many goroutines while a full re-inference swaps the
+	// serving state underneath them: every query must get an answer, before,
+	// during, and after the swap (run with -race to check the lock domains).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, src := e.Query(addr); src == deploy.SourceNone {
+					select {
+					case errs <- errors.New("query lost its answer during hot swap"):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	if err := e.Reinfer(ctx); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if st := e.Status(); st.Reinfers != 2 {
+		t.Errorf("Reinfers = %d, want 2", st.Reinfers)
+	}
+	if _, src := e.Query(addr); src == deploy.SourceNone {
+		t.Error("no answer after the swap")
+	}
+}
+
+func TestEngineBackgroundReinfer(t *testing.T) {
+	ds, _ := tinyEngine(t)
+	e := engine.New(quickConfig())
+	defer e.Close()
+	if err := e.IngestDataset(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.ReinferStatus(); ok {
+		t.Fatal("job status before any job")
+	}
+	job, err := e.StartReinfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != deploy.JobRunning || job.ID != 1 {
+		t.Fatalf("started job %+v", job)
+	}
+	// A second start while the first is in flight reports the running job.
+	if again, err := e.StartReinfer(); !errors.Is(err, deploy.ErrReinferRunning) {
+		t.Fatalf("concurrent StartReinfer: %+v, %v", again, err)
+	} else if again.ID != job.ID {
+		t.Fatalf("conflict reported job %d, want %d", again.ID, job.ID)
+	}
+
+	deadline := time.After(2 * time.Minute)
+	for {
+		js, ok := e.ReinferStatus()
+		if !ok {
+			t.Fatal("job status vanished")
+		}
+		if js.State == deploy.JobDone {
+			if js.Inferred == 0 {
+				t.Errorf("finished job inferred nothing: %+v", js)
+			}
+			break
+		}
+		if js.State == deploy.JobFailed {
+			t.Fatalf("background job failed: %s", js.Error)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background re-inference did not finish")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if st := e.Status(); !st.Ready || st.ReinferRunning {
+		t.Errorf("status after background job %+v", st)
+	}
+}
+
+func TestEngineCloseAbortsBackgroundJob(t *testing.T) {
+	ds, _ := tinyEngine(t)
+	e := engine.New(quickConfig())
+	if err := e.IngestDataset(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.StartReinfer(); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	deadline := time.After(30 * time.Second)
+	for {
+		js, _ := e.ReinferStatus()
+		if js.State == deploy.JobFailed {
+			break // aborted by the cancelled root context
+		}
+		if js.State == deploy.JobDone {
+			break // the job beat the cancel; also fine
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job still running after Close")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	ds, e := tinyEngine(t)
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := engine.New(quickConfig())
+	defer restored.Close()
+	if err := restored.WriteSnapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot of an empty engine must fail")
+	}
+	if err := restored.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	st := restored.Status()
+	if !st.Ready || st.Inferred != e.Status().Inferred || st.Addresses != len(ds.Addresses) {
+		t.Fatalf("restored status %+v vs original %+v", st, e.Status())
+	}
+	if restored.Matcher() == nil {
+		t.Error("trained matcher lost in the snapshot round trip")
+	}
+	// Every served location survives bit-for-bit.
+	orig, rest := e.InferredLocations(), restored.InferredLocations()
+	if len(rest) != len(orig) {
+		t.Fatalf("restored %d locations, want %d", len(rest), len(orig))
+	}
+	for id, p := range orig {
+		if rest[id] != p {
+			t.Fatalf("address %d restored at %v, want %v", id, rest[id], p)
+		}
+	}
+	addr := deliveredAddr(t, ds)
+	a, asrc := e.Query(addr)
+	b, bsrc := restored.Query(addr)
+	if a != b || asrc != bsrc {
+		t.Errorf("query diverges after restore: %v/%v vs %v/%v", a, asrc, b, bsrc)
+	}
+
+	if err := restored.RestoreSnapshot(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestEngineSnapshotFile(t *testing.T) {
+	ds, e := tinyEngine(t)
+	path := t.TempDir() + "/state.json"
+	if err := e.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := engine.New(quickConfig())
+	defer restored.Close()
+	if err := restored.LoadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	addr := deliveredAddr(t, ds)
+	a, _ := e.Query(addr)
+	b, _ := restored.Query(addr)
+	if a != b {
+		t.Errorf("file round trip: %v vs %v", a, b)
+	}
+	if err := restored.LoadSnapshotFile(path + ".missing"); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+}

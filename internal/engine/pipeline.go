@@ -1,0 +1,17 @@
+package engine
+
+import (
+	"context"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/model"
+)
+
+// BuildPipeline is the one pipeline-construction entry point the rest of
+// the repo (eval.Prepare*, baselines.NewEnv, cmds, examples) goes through,
+// so pool construction policy lives in a single place instead of being
+// hand-wired per caller. Cancelling ctx aborts the pool build and returns
+// ctx.Err().
+func BuildPipeline(ctx context.Context, ds *model.Dataset, cfg core.Config) (*core.Pipeline, error) {
+	return core.NewPipeline(ctx, ds, cfg)
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// snapshot is the serialized serving state: address metadata, inferred
+// locations (string-keyed like the dataset file format), and the trained
+// matcher via core's own serialization. The candidate pool is not included
+// — it is derived from trips, which a snapshot deliberately omits; after a
+// restore the engine serves queries immediately but needs fresh ingest
+// before the next re-inference.
+type snapshot struct {
+	Name      string                `json:"name"`
+	Addresses []model.AddressInfo   `json:"addresses"`
+	Locations map[string][2]float64 `json:"locations"`
+	Matcher   json.RawMessage       `json:"matcher,omitempty"`
+}
+
+// WriteSnapshot streams the current serving state to w. It fails before the
+// first completed re-inference or restore.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	e.stateMu.RLock()
+	st := e.st
+	e.stateMu.RUnlock()
+	if st == nil {
+		return errors.New("engine: nothing to snapshot before the first re-inference")
+	}
+	e.mu.Lock()
+	sn := snapshot{
+		Name:      e.name,
+		Addresses: append([]model.AddressInfo(nil), e.addrs...),
+		Locations: make(map[string][2]float64, len(st.locs)),
+	}
+	e.mu.Unlock()
+	for id, p := range st.locs {
+		sn.Locations[fmt.Sprint(id)] = [2]float64{p.X, p.Y}
+	}
+	if st.matcher != nil {
+		var buf bytes.Buffer
+		if err := st.matcher.Save(&buf); err != nil {
+			return err
+		}
+		sn.Matcher = json.RawMessage(buf.Bytes())
+	}
+	return json.NewEncoder(w).Encode(&sn)
+}
+
+// RestoreSnapshot loads a snapshot written by WriteSnapshot and swaps a
+// store-only serving state into place: queries are answered from the
+// restored locations (with the building/geocode fallback chain rebuilt from
+// the address metadata), and the trained matcher is available again. The
+// restored addresses also seed the ingest state so later windows extend the
+// same address universe.
+func (e *Engine) RestoreSnapshot(r io.Reader) error {
+	var sn snapshot
+	if err := json.NewDecoder(r).Decode(&sn); err != nil {
+		return fmt.Errorf("engine: decode snapshot: %w", err)
+	}
+	store := deploy.NewStore()
+	locs := make(map[model.AddressID]geo.Point, len(sn.Locations))
+	for _, a := range sn.Addresses {
+		store.RegisterAddress(a.ID, a.Building, a.Geocode)
+	}
+	for k, v := range sn.Locations {
+		var id model.AddressID
+		if _, err := fmt.Sscan(k, &id); err != nil {
+			return fmt.Errorf("engine: bad snapshot location key %q", k)
+		}
+		p := geo.Point{X: v[0], Y: v[1]}
+		store.Put(id, p)
+		locs[id] = p
+	}
+	var matcher *core.LocMatcher
+	if len(sn.Matcher) > 0 {
+		m, err := core.LoadLocMatcher(bytes.NewReader(sn.Matcher))
+		if err != nil {
+			return err
+		}
+		matcher = m
+	}
+
+	e.mu.Lock()
+	if e.name == "" {
+		e.name = sn.Name
+	}
+	for _, a := range sn.Addresses {
+		if !e.addrSeen[a.ID] {
+			e.addrSeen[a.ID] = true
+			e.addrs = append(e.addrs, a)
+		}
+	}
+	e.mu.Unlock()
+
+	e.stateMu.Lock()
+	e.st = &state{matcher: matcher, store: store, locs: locs}
+	e.stateMu.Unlock()
+	return nil
+}
+
+// SaveSnapshotFile writes the snapshot to path atomically (temp file +
+// rename), so a crash mid-write never corrupts the previous snapshot.
+func (e *Engine) SaveSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := e.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshotFile restores from a snapshot file written by
+// SaveSnapshotFile.
+func (e *Engine) LoadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return e.RestoreSnapshot(f)
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -70,7 +71,7 @@ var tinyPrep *Prepared
 func prep(t *testing.T) *Prepared {
 	t.Helper()
 	if tinyPrep == nil {
-		p, err := Prepare(synth.Tiny(), core.DefaultConfig())
+		p, err := Prepare(context.Background(), synth.Tiny(), core.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func TestEvaluateMethodFallsBackToGeocode(t *testing.T) {
 	p := prep(t)
 	// Geocoding never fails, so evaluate it as a sanity check: MAE must be
 	// positive and finite.
-	rows := EvaluateAll(p.Env, Table2Methods(), p.Split.Train, p.Split.Val, p.Split.Test)
+	rows := EvaluateAll(context.Background(), p.Env, Table2Methods(), p.Split.Train, p.Split.Val, p.Split.Test)
 	if len(rows) == 0 {
 		t.Fatal("no results")
 	}
@@ -157,7 +158,7 @@ func TestComparativeShape(t *testing.T) {
 	//   - DLInfMA is the best method on Beta50,
 	//   - MinDist beats Geocoding (Table II's observation).
 	p := prep(t)
-	rows := EvaluateAll(p.Env, Table2Methods(), p.Split.Train, p.Split.Val, p.Split.Test)
+	rows := EvaluateAll(context.Background(), p.Env, Table2Methods(), p.Split.Train, p.Split.Val, p.Split.Test)
 	byName := map[string]MethodResult{}
 	for _, r := range rows {
 		byName[r.Name] = r
@@ -185,7 +186,7 @@ func TestComparativeShape(t *testing.T) {
 
 func TestFig10bGroupsPartitionTestSet(t *testing.T) {
 	p := prep(t)
-	r := Fig10b(p)
+	r := Fig10b(context.Background(), p)
 	if len(r.Methods) != 5 {
 		t.Fatalf("got %d methods, want 5", len(r.Methods))
 	}
@@ -203,7 +204,7 @@ func TestFig10bGroupsPartitionTestSet(t *testing.T) {
 
 func TestFig13Linearity(t *testing.T) {
 	p := prep(t)
-	pts := Fig13(p, []int{200, 400})
+	pts := Fig13(context.Background(), p, []int{200, 400})
 	byMethod := map[string][]Fig13Point{}
 	for _, pt := range pts {
 		byMethod[pt.Method] = append(byMethod[pt.Method], pt)
@@ -238,7 +239,7 @@ func TestRenderers(t *testing.T) {
 
 func TestBuildingFallback(t *testing.T) {
 	p := prep(t)
-	r, err := BuildingFallback(p)
+	r, err := BuildingFallback(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestBuildingFallback(t *testing.T) {
 type failingMethod struct{}
 
 func (failingMethod) Name() string { return "Failing" }
-func (failingMethod) Fit(*baselines.Env, []model.AddressID, []model.AddressID) error {
+func (failingMethod) Fit(context.Context, *baselines.Env, []model.AddressID, []model.AddressID) error {
 	return errFail
 }
 func (failingMethod) Predict(*baselines.Env, model.AddressID) (geo.Point, bool) {
@@ -275,7 +276,7 @@ var errFail = errors.New("nope")
 
 func TestEvaluateAllToleratesFitFailure(t *testing.T) {
 	p := prep(t)
-	rows := EvaluateAll(p.Env, []baselines.Method{failingMethod{}, baselines.Geocoding{}},
+	rows := EvaluateAll(context.Background(), p.Env, []baselines.Method{failingMethod{}, baselines.Geocoding{}},
 		p.Split.Train, p.Split.Val, p.Split.Test)
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
@@ -286,7 +287,7 @@ func TestEvaluateAllToleratesFitFailure(t *testing.T) {
 	if math.IsNaN(rows[1].MAE) {
 		t.Error("healthy method should still evaluate")
 	}
-	if _, err := EvaluateMethod(p.Env, failingMethod{}, nil, nil, nil); err == nil {
+	if _, err := EvaluateMethod(context.Background(), p.Env, failingMethod{}, nil, nil, nil); err == nil {
 		t.Error("EvaluateMethod should surface fit errors")
 	}
 }
@@ -315,7 +316,7 @@ func TestBootstrapCI(t *testing.T) {
 
 func TestStaySweep(t *testing.T) {
 	p := prep(t)
-	pts := StaySweep(p, []traj.StayPointConfig{
+	pts := StaySweep(context.Background(), p, []traj.StayPointConfig{
 		{DMax: 20, TMin: 30},
 		{DMax: 40, TMin: 30},
 		{DMax: 20, TMin: 120},
@@ -345,7 +346,7 @@ func TestStaySweep(t *testing.T) {
 
 func TestMethodResultCI(t *testing.T) {
 	p := prep(t)
-	r, err := EvaluateMethod(p.Env, baselines.Geocoding{}, nil, nil, p.Split.Test)
+	r, err := EvaluateMethod(context.Background(), p.Env, baselines.Geocoding{}, nil, nil, p.Split.Test)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestMethodResultCI(t *testing.T) {
 
 func TestFig10aStructure(t *testing.T) {
 	p := prep(t)
-	pts := Fig10a(p, []float64{20, 60})
+	pts := Fig10a(context.Background(), p, []float64{20, 60})
 	if len(pts) != 2 {
 		t.Fatalf("got %d points", len(pts))
 	}

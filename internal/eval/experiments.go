@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -37,33 +38,37 @@ type Prepared struct {
 
 // Prepare generates a dataset from the profile (with its organic delays)
 // and builds the shared pipeline and split.
-func Prepare(p synth.Profile, cfg core.Config) (*Prepared, error) {
+func Prepare(ctx context.Context, p synth.Profile, cfg core.Config) (*Prepared, error) {
 	ds, w, err := synth.Generate(p)
 	if err != nil {
 		return nil, err
 	}
-	return prepared(p, ds, w, cfg), nil
+	return prepared(ctx, p, ds, w, cfg)
 }
 
 // PrepareWithDelay generates the clean dataset and injects delays at the
 // given probability (Table III's synthetic datasets).
-func PrepareWithDelay(p synth.Profile, pd float64, cfg core.Config) (*Prepared, error) {
+func PrepareWithDelay(ctx context.Context, p synth.Profile, pd float64, cfg core.Config) (*Prepared, error) {
 	clean, w, err := synth.GenerateClean(p)
 	if err != nil {
 		return nil, err
 	}
 	ds := synth.InjectDelays(clean, pd, p.DelayBatches, p.Seed+2)
-	return prepared(p, ds, w, cfg), nil
+	return prepared(ctx, p, ds, w, cfg)
 }
 
-func prepared(p synth.Profile, ds *model.Dataset, w *synth.World, cfg core.Config) *Prepared {
+func prepared(ctx context.Context, p synth.Profile, ds *model.Dataset, w *synth.World, cfg core.Config) (*Prepared, error) {
+	env, err := baselines.NewEnv(ctx, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Prepared{
 		Profile: p,
 		DS:      ds,
 		World:   w,
 		Split:   synth.SplitSpatial(ds, w, 0.6, 0.2),
-		Env:     baselines.NewEnv(ds, cfg),
-	}
+		Env:     env,
+	}, nil
 }
 
 // dlinfmaForExperiments returns the main method tuned for the harness.
@@ -262,7 +267,7 @@ func Table2Methods() []baselines.Method {
 
 // Table2 evaluates all baselines (and optionally all variants and
 // ablations) on a prepared dataset.
-func Table2(p *Prepared, includeVariants bool) []MethodResult {
+func Table2(ctx context.Context, p *Prepared, includeVariants bool) []MethodResult {
 	methods := Table2Methods()
 	if includeVariants {
 		for _, name := range baselines.AllVariantNames() {
@@ -272,7 +277,7 @@ func Table2(p *Prepared, includeVariants bool) []MethodResult {
 			}
 		}
 	}
-	return EvaluateAll(p.Env, methods, p.Split.Train, p.Split.Val, p.Split.Test)
+	return EvaluateAll(ctx, p.Env, methods, p.Split.Train, p.Split.Val, p.Split.Test)
 }
 
 // Fig10aPoint is one sweep point of Figure 10(a).
@@ -283,14 +288,17 @@ type Fig10aPoint struct {
 }
 
 // Fig10a sweeps the clustering distance D and reports DLInfMA's MAE.
-func Fig10a(p *Prepared, ds []float64) []Fig10aPoint {
+func Fig10a(ctx context.Context, p *Prepared, ds []float64) []Fig10aPoint {
 	var out []Fig10aPoint
 	for _, d := range ds {
 		cfg := p.Env.Pipe.Cfg
 		cfg.ClusterDistance = d
-		env := baselines.NewEnv(p.DS, cfg)
+		env, err := baselines.NewEnv(ctx, p.DS, cfg)
+		if err != nil {
+			return out
+		}
 		m := dlinfmaForExperiments()
-		res, err := EvaluateMethod(env, m, p.Split.Train, p.Split.Val, p.Split.Test)
+		res, err := EvaluateMethod(ctx, env, m, p.Split.Train, p.Split.Val, p.Split.Test)
 		pt := Fig10aPoint{D: d, NPoolLocs: len(env.Pipe.Pool.Locations)}
 		if err == nil {
 			pt.MAE = res.MAE
@@ -312,7 +320,7 @@ type Fig10bResult struct {
 
 // Fig10b divides test addresses into three equal-frequency groups by number
 // of deliveries and reports MAE per group for the representative methods.
-func Fig10b(p *Prepared) Fig10bResult {
+func Fig10b(ctx context.Context, p *Prepared) Fig10bResult {
 	counts := deliveriesPerAddress(p.DS)
 	// Sort test addresses by delivery count.
 	test := append([]model.AddressID(nil), p.Split.Test...)
@@ -338,7 +346,7 @@ func Fig10b(p *Prepared) Fig10bResult {
 		res.Methods = append(res.Methods, m.Name())
 		var row [3]float64
 		// Fit once on the full train set, evaluate per group.
-		if err := m.Fit(p.Env, p.Split.Train, p.Split.Val); err == nil {
+		if err := m.Fit(ctx, p.Env, p.Split.Train, p.Split.Val); err == nil {
 			for g := 0; g < 3; g++ {
 				var errs []float64
 				for _, addr := range groups[g] {
@@ -372,14 +380,14 @@ type Table3Result struct {
 
 // Table3 evaluates the baselines under injected delays pd on the profile's
 // clean data (the paper's synthetic datasets, Section V-D).
-func Table3(p synth.Profile, pds []float64, cfg core.Config) ([]Table3Result, error) {
+func Table3(ctx context.Context, p synth.Profile, pds []float64, cfg core.Config) ([]Table3Result, error) {
 	var out []Table3Result
 	for _, pd := range pds {
-		prep, err := PrepareWithDelay(p, pd, cfg)
+		prep, err := PrepareWithDelay(ctx, p, pd, cfg)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Table3Result{PD: pd, Results: Table2(prep, false)})
+		out = append(out, Table3Result{PD: pd, Results: Table2(ctx, prep, false)})
 	}
 	return out, nil
 }
@@ -401,7 +409,7 @@ type EfficiencyRow struct {
 // worker count on the prepared dataset. Training is capped at maxEpochs
 // (early stopping disabled by the cap being small) so rows are comparable;
 // the candidate pool is reused across rows — clustering is not re-run.
-func Efficiency(p *Prepared, workerCounts []int, maxEpochs int) []EfficiencyRow {
+func Efficiency(ctx context.Context, p *Prepared, workerCounts []int, maxEpochs int) []EfficiencyRow {
 	ids := make([]model.AddressID, len(p.DS.Addresses))
 	for i, a := range p.DS.Addresses {
 		ids[i] = a.ID
@@ -413,13 +421,18 @@ func Efficiency(p *Prepared, workerCounts []int, maxEpochs int) []EfficiencyRow 
 		cfg.Workers = w
 
 		t0 := time.Now()
-		core.ExtractAllStayPoints(p.DS, cfg)
+		if _, err := core.ExtractAllStayPoints(ctx, p.DS, cfg); err != nil {
+			return out
+		}
 		row.StayExtract = time.Since(t0)
 
 		pipe := *p.Env.Pipe
 		pipe.Cfg.Workers = w
 		t0 = time.Now()
-		samples := pipe.BuildSamples(ids, core.DefaultSampleOptions())
+		samples, err := pipe.BuildSamplesCtx(ctx, ids, core.DefaultSampleOptions())
+		if err != nil {
+			return out
+		}
 		row.BuildSamples = time.Since(t0)
 
 		core.LabelSamples(samples, p.DS.Truth)
@@ -428,15 +441,20 @@ func Efficiency(p *Prepared, workerCounts []int, maxEpochs int) []EfficiencyRow 
 		mcfg.MaxEpochs = maxEpochs
 		m := core.NewLocMatcher(mcfg)
 		t0 = time.Now()
-		res, err := m.Fit(samples, nil)
+		res, err := m.Fit(ctx, samples, nil)
 		row.Fit = time.Since(t0)
 		if err != nil {
+			if ctx.Err() != nil {
+				return out
+			}
 			continue
 		}
 		row.Epochs = res.Epochs
 
 		t0 = time.Now()
-		m.PredictAll(samples)
+		if _, err := m.PredictAll(ctx, samples); err != nil {
+			return out
+		}
 		row.Predict = time.Since(t0)
 		out = append(out, row)
 	}
@@ -453,7 +471,7 @@ type Fig13Point struct {
 
 // Fig13 measures inference time as the number of addresses grows, cycling
 // through the test set to reach each size. Methods are fitted once.
-func Fig13(p *Prepared, sizes []int) []Fig13Point {
+func Fig13(ctx context.Context, p *Prepared, sizes []int) []Fig13Point {
 	methods := []baselines.Method{
 		baselines.GeoCloud{},
 		baselines.MaxTCILC{},
@@ -463,7 +481,10 @@ func Fig13(p *Prepared, sizes []int) []Fig13Point {
 	}
 	var out []Fig13Point
 	for _, m := range methods {
-		if err := m.Fit(p.Env, p.Split.Train, p.Split.Val); err != nil {
+		if err := m.Fit(ctx, p.Env, p.Split.Train, p.Split.Val); err != nil {
+			if ctx.Err() != nil {
+				return out
+			}
 			continue
 		}
 		// Warm the sample caches so we time inference, not featurization of

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,7 +35,7 @@ type BuildingFallbackResult struct {
 // fallback the paper describes for real-time cases. (The spatial test split
 // cannot exercise this chain: it holds out whole buildings, which never have
 // known siblings.)
-func BuildingFallback(p *Prepared) (BuildingFallbackResult, error) {
+func BuildingFallback(ctx context.Context, p *Prepared) (BuildingFallbackResult, error) {
 	var res BuildingFallbackResult
 
 	// Hold out the highest-ID address of each building with >= 2 addresses.
@@ -60,7 +61,7 @@ func BuildingFallback(p *Prepared) (BuildingFallbackResult, error) {
 	}
 	nVal := len(known) / 5
 	m := dlinfmaForExperiments()
-	if err := m.Fit(p.Env, known[nVal:], known[:nVal]); err != nil {
+	if err := m.Fit(ctx, p.Env, known[nVal:], known[:nVal]); err != nil {
 		return res, err
 	}
 
@@ -131,12 +132,15 @@ type StaySweepPoint struct {
 
 // StaySweep rebuilds the pipeline for each stay-point configuration and
 // measures pool size, labelling ceiling, and the heuristic selector's MAE.
-func StaySweep(p *Prepared, configs []traj.StayPointConfig) []StaySweepPoint {
+func StaySweep(ctx context.Context, p *Prepared, configs []traj.StayPointConfig) []StaySweepPoint {
 	var out []StaySweepPoint
 	for _, sc := range configs {
 		cfg := p.Env.Pipe.Cfg
 		cfg.Stay = sc
-		env := baselines.NewEnv(p.DS, cfg)
+		env, err := baselines.NewEnv(ctx, p.DS, cfg)
+		if err != nil {
+			return out
+		}
 		pt := StaySweepPoint{DMax: sc.DMax, TMin: sc.TMin, NPoolLocs: len(env.Pipe.Pool.Locations)}
 
 		samples := env.Samples(core.DefaultSampleOptions(), false)
@@ -149,7 +153,7 @@ func StaySweep(p *Prepared, configs []traj.StayPointConfig) []StaySweepPoint {
 		pt.CeilingMAE = Compute(ceil).MAE
 
 		m := baselines.MaxTCILC{}
-		if res, err := EvaluateMethod(env, m, p.Split.Train, p.Split.Val, p.Split.Test); err == nil {
+		if res, err := EvaluateMethod(ctx, env, m, p.Split.Train, p.Split.Val, p.Split.Test); err == nil {
 			pt.HeuristicMAE = res.MAE
 		}
 		out = append(out, pt)

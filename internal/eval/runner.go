@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,10 +37,11 @@ func (r MethodResult) AddrPerSecond() float64 {
 // EvaluateMethod fits a method on the train/val addresses and measures its
 // errors on the test addresses. Addresses the method cannot answer fall back
 // to the geocoded location, mirroring the deployed system's final fallback.
-func EvaluateMethod(env *baselines.Env, m baselines.Method, train, val, test []model.AddressID) (MethodResult, error) {
+// Cancelling ctx aborts training and returns the wrapped ctx error.
+func EvaluateMethod(ctx context.Context, env *baselines.Env, m baselines.Method, train, val, test []model.AddressID) (MethodResult, error) {
 	res := MethodResult{Name: m.Name()}
 	t0 := time.Now()
-	if err := m.Fit(env, train, val); err != nil {
+	if err := m.Fit(ctx, env, train, val); err != nil {
 		return res, fmt.Errorf("eval: fit %s: %w", m.Name(), err)
 	}
 	res.FitTime = time.Since(t0)
@@ -69,11 +71,15 @@ func EvaluateMethod(env *baselines.Env, m baselines.Method, train, val, test []m
 
 // EvaluateAll runs several methods over the same split, returning one row
 // each. Methods whose Fit fails are reported with NaN metrics rather than
-// aborting the table.
-func EvaluateAll(env *baselines.Env, methods []baselines.Method, train, val, test []model.AddressID) []MethodResult {
+// aborting the table — except cancellation, which stops the sweep early and
+// returns the rows finished so far.
+func EvaluateAll(ctx context.Context, env *baselines.Env, methods []baselines.Method, train, val, test []model.AddressID) []MethodResult {
 	out := make([]MethodResult, 0, len(methods))
 	for _, m := range methods {
-		r, err := EvaluateMethod(env, m, train, val, test)
+		if ctx.Err() != nil {
+			return out
+		}
+		r, err := EvaluateMethod(ctx, env, m, train, val, test)
 		if err != nil {
 			r = MethodResult{Name: m.Name()}
 			r.Metrics = Compute(nil)

@@ -1,43 +1,74 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
 
 // ParallelFor runs fn(i) for every i in [0, n) on a fixed pool of workers
+// goroutines — the non-cancellable form used by pure compute kernels (matrix
+// multiplication rows) where a context check per index would be dead weight.
+// It is ParallelForCtx with a background context.
+func ParallelFor(workers, n int, fn func(i int)) {
+	_ = ParallelForCtx(context.Background(), workers, n, fn)
+}
+
+// ParallelForCtx runs fn(i) for every i in [0, n) on a fixed pool of workers
 // goroutines pulling indices from a shared channel — a bounded fan-out that
 // never spawns more than workers goroutines no matter how large n is (the
 // goroutine-per-item pattern does, and DowBJ-scale inputs have tens of
 // thousands of trips). workers <= 1 (or n <= 1) runs inline, preserving the
 // exact serial execution order. fn must be safe to call concurrently for
 // distinct i; iterations must not depend on each other.
-func ParallelFor(workers, n int, fn func(i int)) {
+//
+// Cancellation is cooperative: each worker checks ctx before starting the
+// next index and stops pulling once ctx is done, so the call returns after
+// at most one in-flight fn per worker. The returned error is ctx.Err() when
+// the context was cancelled (some indices then never ran), nil otherwise.
+func ParallelForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		done := ctx.Done()
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	idx := make(chan int, n)
 	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // DataParallel coordinates data-parallel training over worker-local
@@ -112,13 +143,30 @@ func (dp *DataParallel) Reduce() {
 // one goroutine per worker. The static assignment keeps each worker's
 // sample set (and therefore its RNG consumption and gradient sum) fixed for
 // a given worker count, which is what makes parallel training reproducible.
+// It is RunCtx with a background context.
 func (dp *DataParallel) Run(n int, fn func(worker, i int)) {
+	_ = dp.RunCtx(context.Background(), n, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: every worker checks ctx
+// before each index and abandons its remaining shard once ctx is done.
+// Returns ctx.Err() when cancelled — the accumulated gradients are then
+// incomplete and the caller must not step the optimizer with them.
+func (dp *DataParallel) RunCtx(ctx context.Context, n int, fn func(worker, i int)) error {
 	w := len(dp.replicas)
+	done := ctx.Done()
 	if w <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(0, i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -126,9 +174,17 @@ func (dp *DataParallel) Run(n int, fn func(worker, i int)) {
 		go func(k int) {
 			defer wg.Done()
 			for i := k; i < n; i += w {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				fn(k, i)
 			}
 		}(k)
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCtxRunsAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		var n int64
+		hit := make([]int32, 57)
+		if err := ParallelForCtx(context.Background(), workers, len(hit), func(i int) {
+			atomic.AddInt64(&n, 1)
+			atomic.AddInt32(&hit[i], 1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n != int64(len(hit)) {
+			t.Fatalf("workers=%d: ran %d of %d indices", workers, n, len(hit))
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var n int64
+		err := ParallelForCtx(ctx, workers, 1000, func(i int) { atomic.AddInt64(&n, 1) })
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n != 0 {
+			t.Fatalf("workers=%d: %d iterations ran on a pre-cancelled context", workers, n)
+		}
+	}
+}
+
+func TestParallelForCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int64
+	err := ParallelForCtx(ctx, 4, 10000, func(i int) {
+		if atomic.AddInt64(&n, 1) == 8 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// Each worker may have had one fn in flight at cancellation, no more.
+	if got := atomic.LoadInt64(&n); got > 8+4 {
+		t.Errorf("%d iterations ran after mid-flight cancel", got)
+	}
+}
+
+func TestDataParallelRunCtxCancelled(t *testing.T) {
+	master := []*Tensor{ZeroParam(2)}
+	mkRep := func() []*Tensor { return []*Tensor{ZeroParam(2)} }
+	for _, replicas := range [][][]*Tensor{{mkRep()}, {mkRep(), mkRep(), mkRep()}} {
+		dp := NewDataParallel(master, replicas...)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var n int64
+		err := dp.RunCtx(ctx, 500, func(worker, i int) { atomic.AddInt64(&n, 1) })
+		if err != context.Canceled {
+			t.Fatalf("%d replicas: got %v, want context.Canceled", dp.Workers(), err)
+		}
+		if n != 0 {
+			t.Fatalf("%d replicas: %d iterations ran on a pre-cancelled context", dp.Workers(), n)
+		}
+		if err := dp.RunCtx(context.Background(), 500, func(worker, i int) { atomic.AddInt64(&n, 1) }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 500 {
+			t.Fatalf("%d replicas: ran %d of 500 after un-cancelled rerun", dp.Workers(), n)
+		}
+	}
+}
