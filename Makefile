@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/...
+	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/...
 
 vet:
 	$(GO) vet ./...

@@ -26,6 +26,7 @@ import (
 	"dlinfma/internal/eval"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/shard"
 	"dlinfma/internal/synth"
 	"dlinfma/internal/traj"
 )
@@ -429,12 +430,13 @@ func BenchmarkAblationStayThresholds(b *testing.B) {
 
 // BenchmarkServeQueries measures the engine-backed HTTP service's query
 // throughput under concurrent load (the Section V-F deployment: one query
-// per dispatched waybill). The engine serves a restored store-only state so
-// the benchmark isolates the serving path from training cost.
+// per dispatched waybill) across shard counts. Every engine serves a
+// restored store-only state — shards=1 restores the legacy single-engine
+// snapshot directly, the sharded runs migrate the same document through the
+// geohash router — so the benchmark isolates the serving/routing path from
+// training cost.
 func BenchmarkServeQueries(b *testing.B) {
 	p := tinyPrepared(b)
-	e := engine.New(engine.DefaultConfig())
-	defer e.Close()
 	sn := struct {
 		Name      string                `json:"name"`
 		Addresses []model.AddressInfo   `json:"addresses"`
@@ -447,32 +449,47 @@ func BenchmarkServeQueries(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := e.RestoreSnapshot(bytes.NewReader(doc)); err != nil {
-		b.Fatal(err)
-	}
-	srv := httptest.NewServer(deploy.Service(e))
-	defer srv.Close()
-	addrs := p.DS.Addresses
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		i := 0
-		for pb.Next() {
-			resp, err := http.Get(fmt.Sprintf("%s/location?addr=%d", srv.URL, addrs[i%len(addrs)].ID))
-			if err != nil {
-				b.Error(err)
-				return
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var e engine.Runtime
+			if shards == 1 {
+				e = engine.New(engine.DefaultConfig())
+			} else {
+				r, err := shard.NewRouter(shards, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e = engine.NewSharded(engine.DefaultConfig(), r)
 			}
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				b.Errorf("status %d", resp.StatusCode)
-				return
+			defer e.Close()
+			if err := e.RestoreSnapshot(bytes.NewReader(doc)); err != nil {
+				b.Fatal(err)
 			}
-			i++
-		}
-	})
-	b.StopTimer()
-	if sec := b.Elapsed().Seconds(); sec > 0 {
-		b.ReportMetric(float64(b.N)/sec, "queries/sec")
+			srv := httptest.NewServer(deploy.Service(e))
+			defer srv.Close()
+			addrs := p.DS.Addresses
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					resp, err := http.Get(fmt.Sprintf("%s/location?addr=%d", srv.URL, addrs[i%len(addrs)].ID))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d", resp.StatusCode)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "queries/sec")
+			}
+		})
 	}
 }

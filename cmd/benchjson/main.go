@@ -19,8 +19,13 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Shards is the shard-count dimension parsed from a "shards=N" sub-
+	// benchmark segment (BenchmarkServeQueries/shards=4-8), so per-shard
+	// throughput rows can be charted without re-parsing names. Zero when the
+	// benchmark has no shard dimension.
+	Shards     int                `json:"shards,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -91,7 +96,7 @@ func parseBench(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: fields[0], Iterations: iters}
+	r := Result{Name: fields[0], Iterations: iters, Shards: parseShards(fields[0])}
 	// The rest alternate value/unit.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -113,4 +118,23 @@ func parseBench(line string) (Result, bool) {
 		}
 	}
 	return r, true
+}
+
+// parseShards extracts N from a "shards=N" segment of a benchmark name
+// (segments are separated by '/', with the trailing "-GOMAXPROCS" suffix on
+// the last one). Returns 0 when the name carries no shard dimension.
+func parseShards(name string) int {
+	i := strings.Index(name, "shards=")
+	if i < 0 {
+		return 0
+	}
+	rest := name[i+len("shards="):]
+	if j := strings.IndexAny(rest, "-/"); j >= 0 {
+		rest = rest[:j]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0
+	}
+	return n
 }

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	r, ok := parseBench("BenchmarkFitParallel/workers=2-8  12  94811304 ns/op  1200 B/op  24 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkFitParallel/workers=2-8" || r.Iterations != 12 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.NsPerOp != 94811304 || r.BytesPerOp != 1200 || r.AllocsOp != 24 {
+		t.Errorf("metrics %+v", r)
+	}
+	if r.Shards != 0 {
+		t.Errorf("worker benchmark got shards=%d", r.Shards)
+	}
+
+	r, ok = parseBench("BenchmarkServeQueries/shards=4-8  5000  240124 ns/op  4164 queries/sec")
+	if !ok {
+		t.Fatal("sharded line not parsed")
+	}
+	if r.Shards != 4 {
+		t.Errorf("shards = %d, want 4", r.Shards)
+	}
+	if r.Extra["queries/sec"] != 4164 {
+		t.Errorf("extra metric lost: %+v", r.Extra)
+	}
+
+	if _, ok := parseBench("BenchmarkBroken notanumber"); ok {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	cases := map[string]int{
+		"BenchmarkServeQueries/shards=1-8":   1,
+		"BenchmarkServeQueries/shards=16-4":  16,
+		"BenchmarkServeQueries/shards=2/hot": 2,
+		"BenchmarkServeQueries":              0,
+		"BenchmarkServeQueries/shards=x-8":   0,
+		"BenchmarkFitParallel/workers=2-8":   0,
+	}
+	for name, want := range cases {
+		if got := parseShards(name); got != want {
+			t.Errorf("parseShards(%q) = %d, want %d", name, got, want)
+		}
+	}
+}

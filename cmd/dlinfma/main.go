@@ -26,6 +26,7 @@ import (
 	"dlinfma/internal/eval"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/shard"
 	"dlinfma/internal/synth"
 )
 
@@ -114,15 +115,43 @@ func engineConfig(workers int) engine.Config {
 	return cfg
 }
 
+// shardFlags adds the shard topology flags shared by infer, eval, and serve.
+func shardFlags(fs *flag.FlagSet) (shards, precision *int) {
+	shards = fs.Int("shards", 1, "geographic shards (1 = single global engine)")
+	precision = fs.Int("shard-precision", 0,
+		fmt.Sprintf("geohash precision of the shard routing key (0 = default %d)", shard.DefaultPrecision))
+	return shards, precision
+}
+
+// newEngine picks the engine shape from the shard flags: one global engine,
+// or N regional shards behind a geohash router. Both satisfy engine.Runtime,
+// so every subcommand drives them identically.
+func newEngine(workers, shards, precision int) (engine.Runtime, error) {
+	cfg := engineConfig(workers)
+	if shards <= 1 {
+		return engine.New(cfg), nil
+	}
+	r, err := shard.NewRouter(shards, precision)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSharded(cfg, r), nil
+}
+
 // runPipeline feeds the dataset through the engine in incremental windows
 // and runs one full re-inference — the same path the serve subcommand's
 // background jobs take, so batch and online runs cannot drift apart.
-func runPipeline(ctx context.Context, ds *model.Dataset, workers int) (*engine.Engine, error) {
-	e := engine.New(engineConfig(workers))
+func runPipeline(ctx context.Context, ds *model.Dataset, workers, shards, precision int) (engine.Runtime, error) {
+	e, err := newEngine(workers, shards, precision)
+	if err != nil {
+		return nil, err
+	}
 	if err := e.IngestDataset(ctx, ds); err != nil {
+		e.Close()
 		return nil, err
 	}
 	if err := e.Reinfer(ctx); err != nil {
+		e.Close()
 		return nil, err
 	}
 	return e, nil
@@ -133,15 +162,17 @@ func cmdInfer(ctx context.Context, args []string) error {
 	data := fs.String("data", "data.json.gz", "dataset path")
 	out := fs.String("out", "locations.json", "output path for inferred locations")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
+	shards, precision := shardFlags(fs)
 	fs.Parse(args)
 	ds, err := model.LoadFile(*data)
 	if err != nil {
 		return err
 	}
-	e, err := runPipeline(ctx, ds, *workers)
+	e, err := runPipeline(ctx, ds, *workers, *shards, *precision)
 	if err != nil {
 		return err
 	}
+	defer e.Close()
 	locs := e.InferredLocations()
 	f, err := os.Create(*out)
 	if err != nil {
@@ -166,15 +197,17 @@ func cmdEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	data := fs.String("data", "data.json.gz", "dataset path")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
+	shards, precision := shardFlags(fs)
 	fs.Parse(args)
 	ds, err := model.LoadFile(*data)
 	if err != nil {
 		return err
 	}
-	e, err := runPipeline(ctx, ds, *workers)
+	e, err := runPipeline(ctx, ds, *workers, *shards, *precision)
 	if err != nil {
 		return err
 	}
+	defer e.Close()
 	locs := e.InferredLocations()
 	var errs []float64
 	for id, truth := range ds.Truth {
@@ -194,9 +227,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	listen := fs.String("listen", ":8080", "HTTP listen address")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
 	snap := fs.String("snapshot", "", "snapshot path: restored on start if present, saved on shutdown")
+	shards, precision := shardFlags(fs)
 	fs.Parse(args)
 
-	e := engine.New(engineConfig(*workers))
+	e, err := newEngine(*workers, *shards, *precision)
+	if err != nil {
+		return err
+	}
 	defer e.Close()
 
 	restored := false
@@ -232,10 +269,21 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 
 	st := e.Status()
+	if n := len(st.Shards); n > 0 {
+		p := *precision
+		if p == 0 {
+			p = shard.DefaultPrecision
+		}
+		fmt.Printf("sharded engine: %d shards at geohash precision %d\n", n, p)
+	}
 	fmt.Printf("serving %d inferred locations on %s (GET /location?addr=N, POST /ingest, POST /reinfer, GET /snapshot)\n",
 		st.Inferred, *listen)
 	srv := deploy.NewServer(*listen, deploy.Service(e))
-	err := deploy.Serve(ctx, srv)
+	err = deploy.Serve(ctx, srv)
+	// Join any in-flight background re-inference before persisting, so the
+	// snapshot observes a settled engine (Close is idempotent; the deferred
+	// call becomes a no-op).
+	e.Close()
 	if *snap != "" && e.Status().Ready {
 		if serr := e.SaveSnapshotFile(*snap); serr != nil {
 			if err == nil {

@@ -199,7 +199,11 @@ func (p *Pipeline) LocationCommonality(loc int, addr model.AddressID, perAddress
 	for _, t := range excluded {
 		exSet[t] = struct{}{}
 	}
-	den := len(p.DS.Trips) - len(exSet)
+	total := p.Cfg.LCTotalTrips
+	if total <= 0 {
+		total = len(p.DS.Trips)
+	}
+	den := total - len(exSet)
 	if den <= 0 {
 		return 0
 	}

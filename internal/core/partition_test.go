@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+func partAddr(id model.AddressID) model.AddressInfo {
+	return model.AddressInfo{ID: id, Geocode: geo.Point{X: float64(id)}}
+}
+
+func tripFor(addrs ...model.AddressID) model.Trip {
+	tr := model.Trip{}
+	for _, a := range addrs {
+		tr.Waybills = append(tr.Waybills, model.Waybill{Addr: a})
+	}
+	return tr
+}
+
+func TestPartitionWindowRoutesAddressesAndTruth(t *testing.T) {
+	shardOf := func(id model.AddressID) (int, bool) {
+		if id >= 100 {
+			return 0, false
+		}
+		return int(id) % 3, true
+	}
+	addrs := []model.AddressInfo{partAddr(0), partAddr(1), partAddr(2), partAddr(4), partAddr(100)}
+	truth := map[model.AddressID]geo.Point{1: {X: 10}, 4: {X: 40}, 100: {X: 1}}
+	parts := PartitionWindow(3, nil, addrs, truth, shardOf, nil)
+	if len(parts) != 3 {
+		t.Fatalf("%d partitions", len(parts))
+	}
+	if len(parts[0].Addrs) != 1 || parts[0].Addrs[0].ID != 0 {
+		t.Errorf("shard 0 addrs %+v", parts[0].Addrs)
+	}
+	if len(parts[1].Addrs) != 2 {
+		t.Errorf("shard 1 addrs %+v", parts[1].Addrs)
+	}
+	if _, ok := parts[1].Truth[1]; !ok {
+		t.Error("truth for addr 1 missing on shard 1")
+	}
+	if _, ok := parts[1].Truth[4]; !ok {
+		t.Error("truth for addr 4 missing on shard 1")
+	}
+	// The unknown address 100 is dropped rather than misrouted.
+	for i, p := range parts {
+		for _, a := range p.Addrs {
+			if a.ID == 100 {
+				t.Errorf("unknown addr on shard %d", i)
+			}
+		}
+		if _, ok := p.Truth[100]; ok {
+			t.Errorf("unknown truth on shard %d", i)
+		}
+	}
+}
+
+// TestPartitionWindowReplicatesTrips: a trip serving addresses on two shards
+// appears on both (each shard needs the full trajectory to retrieve its own
+// addresses' candidates) but never twice on one.
+func TestPartitionWindowReplicatesTrips(t *testing.T) {
+	shardOf := func(id model.AddressID) (int, bool) { return int(id) % 2, true }
+	trips := []model.Trip{
+		tripFor(0, 2, 4),    // all shard 0
+		tripFor(1, 2),       // spans both
+		tripFor(3, 3, 5, 1), // shard 1 only, duplicate waybills
+	}
+	parts := PartitionWindow(2, trips, nil, nil, shardOf, nil)
+	if got := len(parts[0].Trips); got != 2 {
+		t.Errorf("shard 0 got %d trips, want 2", got)
+	}
+	if got := len(parts[1].Trips); got != 2 {
+		t.Errorf("shard 1 got %d trips, want 2", got)
+	}
+	// Input order is preserved per shard.
+	if len(parts[1].Trips) == 2 && parts[1].Trips[0].Waybills[0].Addr != 1 {
+		t.Error("shard 1 trips out of input order")
+	}
+}
+
+// TestPartitionWindowFallbackTrip: a trip with no known waybill addresses
+// routes by tripShard instead of being dropped.
+func TestPartitionWindowFallbackTrip(t *testing.T) {
+	shardOf := func(model.AddressID) (int, bool) { return 0, false }
+	calls := 0
+	tripShard := func(model.Trip) int { calls++; return 1 }
+	parts := PartitionWindow(2, []model.Trip{tripFor(7)}, nil, nil, shardOf, tripShard)
+	if calls != 1 {
+		t.Fatalf("tripShard called %d times", calls)
+	}
+	if len(parts[1].Trips) != 1 || len(parts[0].Trips) != 0 {
+		t.Errorf("fallback routing: shard0=%d shard1=%d trips", len(parts[0].Trips), len(parts[1].Trips))
+	}
+}
+
+// TestPartitionWindowSingleShard: n=1 passes everything through untouched,
+// without consulting the routing callbacks for trips.
+func TestPartitionWindowSingleShard(t *testing.T) {
+	shardOf := func(model.AddressID) (int, bool) { return 0, true }
+	trips := []model.Trip{tripFor(1), tripFor(2)}
+	parts := PartitionWindow(1, trips, []model.AddressInfo{partAddr(1)}, nil, shardOf, nil)
+	if len(parts[0].Trips) != 2 || len(parts[0].Addrs) != 1 {
+		t.Errorf("single shard partition %+v", parts[0])
+	}
+	if parts[0].Empty() {
+		t.Error("Empty() on a loaded partition")
+	}
+	if !(WindowPartition{}).Empty() {
+		t.Error("Empty() false on zero partition")
+	}
+}
+
+func TestPartitionDataset(t *testing.T) {
+	ds := &model.Dataset{
+		Name:      "p",
+		Trips:     []model.Trip{tripFor(0), tripFor(1), tripFor(0, 1)},
+		Addresses: []model.AddressInfo{partAddr(0), partAddr(1)},
+		Truth:     map[model.AddressID]geo.Point{0: {X: 1}, 1: {X: 2}},
+	}
+	parts := PartitionDataset(ds, 2,
+		func(a model.AddressInfo) int { return int(a.ID) % 2 },
+		func(model.Trip) int { return 0 })
+	if len(parts) != 2 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	for i, p := range parts {
+		if p.Name != "p" {
+			t.Errorf("part %d name %q", i, p.Name)
+		}
+		if len(p.Trips) != 2 || len(p.Addresses) != 1 || len(p.Truth) != 1 {
+			t.Errorf("part %d: %d trips, %d addrs, %d truth", i, len(p.Trips), len(p.Addresses), len(p.Truth))
+		}
+	}
+}
+
+// TestLCTotalTripsOverride: with the override set to the dataset's own size
+// the feature is unchanged; with a larger universe the denominator grows.
+func TestLCTotalTripsOverride(t *testing.T) {
+	ds, _, pipe := tiny(t)
+	pool := pipe.Pool
+	cfg := DefaultConfig()
+	base := NewPipelineWithPool(ds, cfg, pool)
+	cfg.LCTotalTrips = len(ds.Trips)
+	same := NewPipelineWithPool(ds, cfg, pool)
+	cfg.LCTotalTrips = len(ds.Trips) * 2
+	wide := NewPipelineWithPool(ds, cfg, pool)
+
+	addr, loc := model.AddressID(-1), -1
+	for _, a := range ds.Addresses {
+		if cands := base.RetrieveCandidates(a.ID); len(cands) > 0 {
+			addr, loc = a.ID, cands[0]
+			break
+		}
+	}
+	if loc < 0 {
+		t.Fatal("fixture produced no candidates for any address")
+	}
+	b := base.LocationCommonality(loc, addr, false)
+	if s := same.LocationCommonality(loc, addr, false); s != b {
+		t.Errorf("override = dataset size changed LC: %v vs %v", s, b)
+	}
+	if b > 0 {
+		if w := wide.LocationCommonality(loc, addr, false); w >= b {
+			t.Errorf("doubling the trip universe did not shrink LC: %v vs %v", w, b)
+		}
+	}
+}

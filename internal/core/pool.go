@@ -36,6 +36,11 @@ type Config struct {
 	UseGridMerge bool
 	// Workers bounds stay-point extraction parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// LCTotalTrips overrides the location-commonality denominator's trip
+	// universe (Equation 2). Zero uses the pipeline's own dataset size; a
+	// sharded engine sets the global trip count here so per-shard pipelines
+	// normalize LC exactly like one global pipeline would.
+	LCTotalTrips int
 }
 
 // DefaultConfig returns the paper's settings: D_max = 20 m, T_min = 30 s,

@@ -57,6 +57,18 @@ type EngineStatus struct {
 	PendingTrips   int  `json:"pending_trips"`
 	Reinfers       int  `json:"reinfers"`
 	ReinferRunning bool `json:"reinfer_running"`
+	// Shards lists per-shard summaries when the serving engine is sharded
+	// (engine.ShardedEngine); empty for a single global engine. The
+	// top-level counters are then sums over the shards, and Ready is true
+	// as soon as any shard serves — one shard's failed retrain degrades
+	// its own region only.
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// ShardStatus is one shard's EngineStatus inside a sharded /healthz payload.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	EngineStatus
 }
 
 // Job states of a background re-inference.

@@ -5,6 +5,7 @@ package deploy_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"dlinfma/internal/deploy"
 	"dlinfma/internal/engine"
 	"dlinfma/internal/model"
+	"dlinfma/internal/shard"
 	"dlinfma/internal/synth"
 )
 
@@ -223,4 +225,80 @@ func TestServiceErrorPaths(t *testing.T) {
 	check(resp, http.StatusMethodNotAllowed, "DELETE /reinfer")
 	resp = postJSON(t, c, srv.URL+"/snapshot", nil)
 	check(resp, http.StatusMethodNotAllowed, "POST /snapshot")
+}
+
+// TestServiceShardedHealthz serves a ShardedEngine through the same handler:
+// /healthz carries the per-shard breakdown, queries route to the owning
+// shard, and /snapshot streams a manifest a fresh sharded engine restores.
+func TestServiceShardedHealthz(t *testing.T) {
+	ds, _, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.DefaultConfig()
+	cfg.Matcher.MaxEpochs = 2
+	cfg.Matcher.LR = 1e-3
+	newSharded := func() *engine.ShardedEngine {
+		r, err := shard.NewRouter(3, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := engine.NewSharded(cfg, r)
+		t.Cleanup(s.Close)
+		return s
+	}
+	s := newSharded()
+	if err := s.IngestDataset(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reinfer(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(deploy.Service(s))
+	t.Cleanup(srv.Close)
+	c := srv.Client()
+
+	var st deploy.EngineStatus
+	getJSON(t, c, srv.URL+"/healthz", http.StatusOK, &st)
+	if !st.Ready {
+		t.Fatalf("sharded healthz %+v", st)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("healthz lists %d shards, want 3", len(st.Shards))
+	}
+	addrs, inferred := 0, 0
+	for i, sh := range st.Shards {
+		if sh.Shard != i {
+			t.Errorf("shard %d labelled %d", i, sh.Shard)
+		}
+		addrs += sh.Addresses
+		inferred += sh.Inferred
+	}
+	if addrs != st.Addresses || inferred != st.Inferred {
+		t.Errorf("shard sums %d/%d, top-level %d/%d", addrs, inferred, st.Addresses, st.Inferred)
+	}
+
+	addr := ds.Trips[0].Waybills[0].Addr
+	var qr deploy.QueryResponse
+	getJSON(t, c, fmt.Sprintf("%s/location?addr=%d", srv.URL, addr), http.StatusOK, &qr)
+	if qr.Source == "none" {
+		t.Fatalf("sharded query %+v", qr)
+	}
+
+	resp, err := c.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	restored := newSharded()
+	if err := restored.RestoreSnapshot(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	p, src := restored.Query(addr)
+	if src == deploy.SourceNone || p.X != qr.X || p.Y != qr.Y {
+		t.Errorf("restored sharded answer %v/%v, served (%v,%v)", p, src, qr.X, qr.Y)
+	}
 }

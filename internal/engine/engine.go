@@ -91,6 +91,9 @@ type Engine struct {
 	jobMu  sync.Mutex
 	jobSeq int
 	job    *deploy.JobStatus
+	// jobWG tracks the background goroutine itself so Close can join it:
+	// cancellation alone would let a snapshot save race a mid-swap state.
+	jobWG sync.WaitGroup
 }
 
 // New returns an empty engine. Close it to cancel background work.
@@ -106,9 +109,14 @@ func New(cfg Config) *Engine {
 	}
 }
 
-// Close cancels the engine's root context, aborting any background
-// re-inference. The served state stays queryable.
-func (e *Engine) Close() { e.cancel() }
+// Close cancels the engine's root context and joins any in-flight background
+// re-inference, so after Close returns no goroutine can swap serving state —
+// a subsequent SaveSnapshotFile observes a settled engine. The served state
+// stays queryable.
+func (e *Engine) Close() {
+	e.cancel()
+	e.jobWG.Wait()
+}
 
 // SetName labels the accumulating dataset (used in status and snapshots).
 func (e *Engine) SetName(name string) {
@@ -157,18 +165,27 @@ func (e *Engine) IngestDataset(ctx context.Context, ds *model.Dataset) error {
 	if err := e.Ingest(ctx, nil, ds.Addresses, ds.Truth); err != nil {
 		return err
 	}
-	window := e.cfg.Core.PoolWindowSeconds
+	return forEachWindow(ds.Trips, e.cfg.Core.PoolWindowSeconds, func(batch []model.Trip) error {
+		return e.Ingest(ctx, batch, nil, nil)
+	})
+}
+
+// forEachWindow splits trips into PoolWindowSeconds batches anchored at the
+// first trip's start and feeds each batch to ingest. The sharded engine uses
+// the same splitter before routing, so window boundaries are global — a
+// shard's windows never drift from the windows one global engine would see.
+func forEachWindow(trips []model.Trip, window float64, ingest func([]model.Trip) error) error {
 	if window <= 0 {
 		window = 14 * 86400
 	}
 	var batch []model.Trip
 	var windowEnd float64
-	for i, tr := range ds.Trips {
+	for i, tr := range trips {
 		if i == 0 {
 			windowEnd = tr.StartT + window
 		}
 		if tr.StartT >= windowEnd {
-			if err := e.Ingest(ctx, batch, nil, nil); err != nil {
+			if err := ingest(batch); err != nil {
 				return err
 			}
 			batch = nil
@@ -179,7 +196,7 @@ func (e *Engine) IngestDataset(ctx context.Context, ds *model.Dataset) error {
 		batch = append(batch, tr)
 	}
 	if len(batch) > 0 {
-		return e.Ingest(ctx, batch, nil, nil)
+		return ingest(batch)
 	}
 	return nil
 }
@@ -210,14 +227,17 @@ func (e *Engine) Reinfer(ctx context.Context) error {
 		ds.Truth[id] = p
 	}
 	nTrips := len(e.trips)
+	// Snapshot the config under mu: a sharded owner may adjust the LC
+	// normalization (setLCTotalTrips) between re-inferences.
+	cfg := e.cfg
 	e.mu.Unlock()
 
-	pipe := core.NewPipelineWithPool(ds, e.cfg.Core, pool)
+	pipe := core.NewPipelineWithPool(ds, cfg.Core, pool)
 	ids := make([]model.AddressID, len(ds.Addresses))
 	for i, a := range ds.Addresses {
 		ids[i] = a.ID
 	}
-	samples, err := pipe.BuildSamplesCtx(ctx, ids, e.cfg.Sample)
+	samples, err := pipe.BuildSamplesCtx(ctx, ids, cfg.Sample)
 	if err != nil {
 		return err
 	}
@@ -229,10 +249,10 @@ func (e *Engine) Reinfer(ctx context.Context) error {
 			labelled = append(labelled, s)
 		}
 	}
-	nVal := int(float64(len(labelled)) * e.cfg.ValFraction)
-	mcfg := e.cfg.Matcher
+	nVal := int(float64(len(labelled)) * cfg.ValFraction)
+	mcfg := cfg.Matcher
 	if mcfg.Workers == 0 {
-		mcfg.Workers = e.cfg.Core.Workers
+		mcfg.Workers = cfg.Core.Workers
 	}
 	matcher := core.NewLocMatcher(mcfg)
 	if _, err := matcher.Fit(ctx, labelled[nVal:], labelled[:nVal]); err != nil {
@@ -278,7 +298,9 @@ func (e *Engine) StartReinfer() (deploy.JobStatus, error) {
 	e.job = job
 	e.jobMu.Unlock()
 
+	e.jobWG.Add(1)
 	go func() {
+		defer e.jobWG.Done()
 		err := e.Reinfer(e.rootCtx)
 		e.jobMu.Lock()
 		defer e.jobMu.Unlock()
@@ -367,6 +389,24 @@ func (e *Engine) Status() deploy.EngineStatus {
 	s.ReinferRunning = e.job != nil && e.job.State == deploy.JobRunning
 	e.jobMu.Unlock()
 	return s
+}
+
+// tripCount reports how many trips have been ingested so far; the sharded
+// engine uses it to skip re-inference on shards with nothing to train on.
+func (e *Engine) tripCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.trips)
+}
+
+// setLCTotalTrips overrides the location-commonality trip universe for the
+// next Reinfer. The sharded engine sets the global distinct-trip count here
+// so each shard's pipeline normalizes Equation (2) exactly like one global
+// pipeline over all shards would.
+func (e *Engine) setLCTotalTrips(n int) {
+	e.mu.Lock()
+	e.cfg.Core.LCTotalTrips = n
+	e.mu.Unlock()
 }
 
 // statically assert that Engine satisfies deploy's interface.

@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"context"
+	"io"
+
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// Runtime is the full lifecycle surface shared by the single Engine and the
+// ShardedEngine: everything deploy.Engine serves over HTTP plus the batch /
+// persistence operations cmd/dlinfma drives directly. Callers pick the shape
+// at startup (-shards) and use the rest of the lifecycle identically.
+type Runtime interface {
+	deploy.Engine
+
+	SetName(name string)
+	IngestDataset(ctx context.Context, ds *model.Dataset) error
+	Reinfer(ctx context.Context) error
+	InferredLocations() map[model.AddressID]geo.Point
+	RestoreSnapshot(r io.Reader) error
+	SaveSnapshotFile(path string) error
+	LoadSnapshotFile(path string) error
+	Close()
+}
+
+var (
+	_ Runtime = (*Engine)(nil)
+	_ Runtime = (*ShardedEngine)(nil)
+)

@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/shard"
+)
+
+// ShardedEngine owns one Engine per geographic shard behind a shard.Router.
+// Addresses and ground truth are routed by the router's address key; each
+// trip is replicated to every shard owning one of its waybill addresses, so
+// a shard always holds the complete trajectory evidence for its own
+// addresses even when stay points straddle routing-cell edges. Re-inference
+// runs per shard in parallel (bounded by the Workers knob) and each shard
+// hot-swaps its own (pool, model, store) triple independently — one shard's
+// failed retrain never touches the others' served state.
+//
+// Location commonality (Equation 2) is normalized by the global distinct
+// trip count, not the shard-local one, so per-shard features match what one
+// global engine would compute on partition-aligned data.
+type ShardedEngine struct {
+	cfg    Config
+	router *shard.Router
+	shards []*Engine
+	// lcAuto: the caller left Core.LCTotalTrips at 0, so Reinfer maintains
+	// the global trip universe on each shard automatically.
+	lcAuto bool
+
+	// rootCtx bounds background jobs; Close cancels it.
+	rootCtx context.Context
+	cancel  context.CancelFunc
+
+	// mu guards routing state; RLock on the query path.
+	mu        sync.RWMutex
+	name      string
+	addrShard map[model.AddressID]int
+	nTrips    int
+	reinfers  int
+
+	// jobMu guards the background re-inference job.
+	jobMu  sync.Mutex
+	jobSeq int
+	job    *deploy.JobStatus
+	jobWG  sync.WaitGroup
+}
+
+// NewSharded returns an empty sharded engine with r.N() shards, each a full
+// Engine with cfg. Close it to cancel and join background work.
+func NewSharded(cfg Config, r *shard.Router) *ShardedEngine {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &ShardedEngine{
+		cfg:       cfg,
+		router:    r,
+		shards:    make([]*Engine, r.N()),
+		lcAuto:    cfg.Core.LCTotalTrips == 0,
+		rootCtx:   ctx,
+		cancel:    cancel,
+		addrShard: make(map[model.AddressID]int),
+	}
+	for i := range s.shards {
+		s.shards[i] = New(cfg)
+	}
+	return s
+}
+
+// Router returns the router the engine shards by.
+func (s *ShardedEngine) Router() *shard.Router { return s.router }
+
+// NumShards returns the shard count.
+func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's engine (for tests and diagnostics).
+func (s *ShardedEngine) Shard(i int) *Engine { return s.shards[i] }
+
+// Close cancels background work, joins any in-flight re-inference, and
+// closes every shard. Served state stays queryable.
+func (s *ShardedEngine) Close() {
+	s.cancel()
+	s.jobWG.Wait()
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+}
+
+// SetName labels the dataset on the manifest and every shard.
+func (s *ShardedEngine) SetName(name string) {
+	s.mu.Lock()
+	s.name = name
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.SetName(name)
+	}
+}
+
+// Ingest routes one window across the shards: addresses and truth by the
+// router's address key, trips replicated to every shard owning one of their
+// waybill addresses (address-less trips by trajectory key). Cancelling ctx
+// mid-window leaves already-ingested shards with the window and the rest
+// without; re-inference tolerates the imbalance, but callers wanting a clean
+// window boundary should retry the whole window.
+func (s *ShardedEngine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error {
+	s.mu.Lock()
+	for _, a := range addrs {
+		if _, ok := s.addrShard[a.ID]; !ok {
+			s.addrShard[a.ID] = s.router.AddressShard(a)
+		}
+	}
+	lookup := func(id model.AddressID) (int, bool) {
+		sh, ok := s.addrShard[id]
+		return sh, ok
+	}
+	parts := core.PartitionWindow(len(s.shards), trips, addrs, truth, lookup, s.router.TripShard)
+	s.nTrips += len(trips)
+	s.mu.Unlock()
+
+	for i, p := range parts {
+		if p.Empty() {
+			continue
+		}
+		if err := s.shards[i].Ingest(ctx, p.Trips, p.Addrs, p.Truth); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// IngestDataset feeds a whole dataset through Ingest in PoolWindowSeconds
+// windows. Window boundaries are computed globally before routing, so every
+// shard sees the same window grid one unsharded engine would.
+func (s *ShardedEngine) IngestDataset(ctx context.Context, ds *model.Dataset) error {
+	s.mu.Lock()
+	if s.name == "" {
+		s.name = ds.Name
+	}
+	name := s.name
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.SetName(name)
+	}
+	if err := s.Ingest(ctx, nil, ds.Addresses, ds.Truth); err != nil {
+		return err
+	}
+	return forEachWindow(ds.Trips, s.cfg.Core.PoolWindowSeconds, func(batch []model.Trip) error {
+		return s.Ingest(ctx, batch, nil, nil)
+	})
+}
+
+// Reinfer retrains and re-infers every non-empty shard concurrently, at most
+// Workers shards at a time (0 = GOMAXPROCS). Each shard that succeeds swaps
+// its serving state independently; failures are joined into the returned
+// error with their shard index and do not disturb the other shards' swaps or
+// the failing shard's previously served state.
+func (s *ShardedEngine) Reinfer(ctx context.Context) error {
+	s.mu.RLock()
+	total := s.nTrips
+	s.mu.RUnlock()
+	if s.lcAuto {
+		// The per-shard trip universe for LC normalization is the global
+		// distinct trip count: replicas exist on several shards, but each is
+		// one trip of one global dataset.
+		for _, sh := range s.shards {
+			sh.setLCTotalTrips(total)
+		}
+	}
+
+	workers := s.cfg.Core.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(s.shards))
+	ran := make([]bool, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		if sh.tripCount() == 0 {
+			continue // empty region: nothing to train, keep any served state
+		}
+		ran[i] = true
+		wg.Add(1)
+		go func(i int, sh *Engine) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := sh.Reinfer(ctx); err != nil {
+				errs[i] = fmt.Errorf("engine: shard %d: %w", i, err)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	any, swapped := false, false
+	var failed []error
+	for i := range s.shards {
+		if !ran[i] {
+			continue
+		}
+		any = true
+		if errs[i] != nil {
+			failed = append(failed, errs[i])
+		} else {
+			swapped = true
+		}
+	}
+	if !any {
+		return errors.New("engine: no trips ingested")
+	}
+	if swapped {
+		s.mu.Lock()
+		s.reinfers++
+		s.mu.Unlock()
+	}
+	return errors.Join(failed...)
+}
+
+// StartReinfer launches Reinfer on the engine's root context in a background
+// goroutine. While a job is running it returns that job's status with
+// deploy.ErrReinferRunning.
+func (s *ShardedEngine) StartReinfer() (deploy.JobStatus, error) {
+	s.jobMu.Lock()
+	if s.job != nil && s.job.State == deploy.JobRunning {
+		js := *s.job
+		s.jobMu.Unlock()
+		return js, deploy.ErrReinferRunning
+	}
+	s.jobSeq++
+	job := &deploy.JobStatus{ID: s.jobSeq, State: deploy.JobRunning}
+	s.job = job
+	s.jobMu.Unlock()
+
+	s.jobWG.Add(1)
+	go func() {
+		defer s.jobWG.Done()
+		err := s.Reinfer(s.rootCtx)
+		s.jobMu.Lock()
+		defer s.jobMu.Unlock()
+		if err != nil {
+			job.State = deploy.JobFailed
+			job.Error = err.Error()
+			return
+		}
+		job.State = deploy.JobDone
+		job.Inferred = len(s.InferredLocations())
+	}()
+	return *job, nil
+}
+
+// ReinferStatus reports the latest background job; ok is false before the
+// first StartReinfer.
+func (s *ShardedEngine) ReinferStatus() (deploy.JobStatus, bool) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	if s.job == nil {
+		return deploy.JobStatus{}, false
+	}
+	return *s.job, true
+}
+
+// Query routes an address to its shard's served store. Unknown addresses —
+// never ingested and absent from any restored manifest — answer SourceNone.
+func (s *ShardedEngine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
+	s.mu.RLock()
+	sh, ok := s.addrShard[addr]
+	s.mu.RUnlock()
+	if !ok {
+		return geo.Point{}, deploy.SourceNone
+	}
+	return s.shards[sh].Query(addr)
+}
+
+// InferredLocations merges every shard's served address->location map into a
+// fresh map (nil before any shard serves). Shards own disjoint addresses, so
+// the merge is a disjoint union.
+func (s *ShardedEngine) InferredLocations() map[model.AddressID]geo.Point {
+	var out map[model.AddressID]geo.Point
+	for _, sh := range s.shards {
+		locs := sh.InferredLocations()
+		if len(locs) == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[model.AddressID]geo.Point, len(locs)*len(s.shards))
+		}
+		for id, p := range locs {
+			out[id] = p
+		}
+	}
+	return out
+}
+
+// Status aggregates the shard statuses: counters are sums, Ready is true as
+// soon as any shard serves, and the per-shard breakdown rides along for
+// /healthz.
+func (s *ShardedEngine) Status() deploy.EngineStatus {
+	s.mu.RLock()
+	out := deploy.EngineStatus{
+		Dataset:  s.name,
+		Reinfers: s.reinfers,
+		Shards:   make([]deploy.ShardStatus, 0, len(s.shards)),
+	}
+	s.mu.RUnlock()
+	for i, sh := range s.shards {
+		st := sh.Status()
+		out.Addresses += st.Addresses
+		out.Inferred += st.Inferred
+		out.PoolLocations += st.PoolLocations
+		out.PendingTrips += st.PendingTrips
+		if st.Ready {
+			out.Ready = true
+		}
+		out.Shards = append(out.Shards, deploy.ShardStatus{Shard: i, EngineStatus: st})
+	}
+	s.jobMu.Lock()
+	out.ReinferRunning = s.job != nil && s.job.State == deploy.JobRunning
+	s.jobMu.Unlock()
+	return out
+}
+
+// statically assert that ShardedEngine satisfies deploy's interface.
+var _ deploy.Engine = (*ShardedEngine)(nil)

@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// shardManifest is the version-2 snapshot format: the routing state plus one
+// single-engine snapshot per shard, inline (Shards, the streaming /snapshot
+// form) or as sibling files (Files, the on-disk form where each shard file
+// is itself written atomically). A shard that has never served has a null /
+// empty entry and simply stays cold after restore.
+type shardManifest struct {
+	Version    int    `json:"version"`
+	Name       string `json:"name,omitempty"`
+	ShardCount int    `json:"shard_count"`
+	// Precision records the router's geohash precision for operators;
+	// restored addresses keep their pinned shard from AddrShards either way.
+	Precision  int               `json:"precision,omitempty"`
+	AddrShards map[string]int    `json:"addr_shards"`
+	Shards     []json.RawMessage `json:"shards,omitempty"`
+	Files      []string          `json:"files,omitempty"`
+}
+
+// WriteSnapshot streams a version-2 manifest with every ready shard's
+// snapshot inline. It fails while no shard has anything to serve.
+func (s *ShardedEngine) WriteSnapshot(w io.Writer) error {
+	m, err := s.newManifest()
+	if err != nil {
+		return err
+	}
+	ready := false
+	m.Shards = make([]json.RawMessage, len(s.shards))
+	for i, sh := range s.shards {
+		var buf bytes.Buffer
+		if err := sh.WriteSnapshot(&buf); err != nil {
+			m.Shards[i] = json.RawMessage("null")
+			continue
+		}
+		ready = true
+		m.Shards[i] = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	if !ready {
+		return errors.New("engine: nothing to snapshot before the first re-inference")
+	}
+	return json.NewEncoder(w).Encode(m)
+}
+
+// newManifest captures the routing state common to both snapshot forms.
+func (s *ShardedEngine) newManifest() (*shardManifest, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := &shardManifest{
+		Version:    snapshotVersionSharded,
+		Name:       s.name,
+		ShardCount: len(s.shards),
+		Precision:  s.router.Precision(),
+		AddrShards: make(map[string]int, len(s.addrShard)),
+	}
+	for id, sh := range s.addrShard {
+		m.AddrShards[fmt.Sprint(id)] = sh
+	}
+	return m, nil
+}
+
+// RestoreSnapshot loads a snapshot stream: a version-2 manifest with inline
+// shard snapshots, or a legacy single-engine snapshot (version 0/1), which
+// is migrated by routing its addresses through the router — every shard then
+// serves its own slice of the old global state (sharing the old global
+// model) until its next retrain. Unknown versions are rejected.
+func (s *ShardedEngine) RestoreSnapshot(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("engine: read snapshot: %w", err)
+	}
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("engine: decode snapshot: %w", err)
+	}
+	switch probe.Version {
+	case snapshotVersionSharded:
+		var m shardManifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("engine: decode sharded manifest: %w", err)
+		}
+		if len(m.Files) > 0 && len(m.Shards) == 0 {
+			return errors.New("engine: manifest references shard files; restore it with LoadSnapshotFile")
+		}
+		if err := s.applyManifestMeta(&m); err != nil {
+			return err
+		}
+		for i, raw := range m.Shards {
+			if i >= len(s.shards) {
+				break
+			}
+			if len(raw) == 0 || bytes.Equal(bytes.TrimSpace(raw), []byte("null")) {
+				continue
+			}
+			if err := s.shards[i].RestoreSnapshot(bytes.NewReader(raw)); err != nil {
+				return fmt.Errorf("engine: shard %d: %w", i, err)
+			}
+		}
+		return nil
+	case 0, snapshotVersionSingle:
+		return s.migrateLegacy(data)
+	default:
+		return fmt.Errorf("engine: unsupported snapshot version %d (max %d)", probe.Version, snapshotVersionSharded)
+	}
+}
+
+// applyManifestMeta validates a manifest against the engine's topology and
+// installs its routing state.
+func (s *ShardedEngine) applyManifestMeta(m *shardManifest) error {
+	if m.ShardCount != len(s.shards) {
+		return fmt.Errorf("engine: manifest has %d shards, engine is configured with %d (restart with -shards %d)",
+			m.ShardCount, len(s.shards), m.ShardCount)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.name == "" {
+		s.name = m.Name
+	}
+	for k, shardIdx := range m.AddrShards {
+		var id model.AddressID
+		if _, err := fmt.Sscan(k, &id); err != nil {
+			return fmt.Errorf("engine: bad manifest address key %q", k)
+		}
+		if shardIdx < 0 || shardIdx >= len(s.shards) {
+			return fmt.Errorf("engine: manifest routes address %s to shard %d of %d", k, shardIdx, len(s.shards))
+		}
+		s.addrShard[id] = shardIdx
+	}
+	return nil
+}
+
+// migrateLegacy partitions a single-engine snapshot across the shards.
+func (s *ShardedEngine) migrateLegacy(data []byte) error {
+	var sn snapshot
+	if err := json.Unmarshal(data, &sn); err != nil {
+		return fmt.Errorf("engine: decode snapshot: %w", err)
+	}
+	parts := make([]snapshot, len(s.shards))
+	for i := range parts {
+		parts[i] = snapshot{
+			Version:   snapshotVersionSingle,
+			Name:      sn.Name,
+			Locations: make(map[string][2]float64),
+			Matcher:   sn.Matcher, // every shard serves the old global model
+		}
+	}
+	route := make(map[model.AddressID]int, len(sn.Addresses))
+	for _, a := range sn.Addresses {
+		sh := s.router.AddressShard(a)
+		route[a.ID] = sh
+		parts[sh].Addresses = append(parts[sh].Addresses, a)
+	}
+	for k, v := range sn.Locations {
+		var id model.AddressID
+		if _, err := fmt.Sscan(k, &id); err != nil {
+			return fmt.Errorf("engine: bad snapshot location key %q", k)
+		}
+		sh, ok := route[id]
+		if !ok {
+			// Location without address metadata: route by the point itself.
+			sh = s.router.ShardOfPoint(geo.Point{X: v[0], Y: v[1]})
+			route[id] = sh
+		}
+		parts[sh].Locations[k] = v
+	}
+	for i, part := range parts {
+		if len(part.Addresses) == 0 && len(part.Locations) == 0 {
+			continue
+		}
+		doc, err := json.Marshal(part)
+		if err != nil {
+			return err
+		}
+		if err := s.shards[i].RestoreSnapshot(bytes.NewReader(doc)); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	if s.name == "" {
+		s.name = sn.Name
+	}
+	for id, sh := range route {
+		s.addrShard[id] = sh
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveSnapshotFile writes one snapshot file per ready shard next to path
+// (path.shardN, each atomic) plus the manifest at path (atomic), so a crash
+// at any point leaves the previous generation loadable.
+func (s *ShardedEngine) SaveSnapshotFile(path string) error {
+	m, err := s.newManifest()
+	if err != nil {
+		return err
+	}
+	dir, base := filepath.Split(path)
+	m.Files = make([]string, len(s.shards))
+	ready := false
+	for i, sh := range s.shards {
+		name := fmt.Sprintf("%s.shard%d", base, i)
+		if err := sh.SaveSnapshotFile(filepath.Join(dir, name)); err != nil {
+			continue // shard not ready (or I/O failure): leave its entry empty
+		}
+		ready = true
+		m.Files[i] = name
+	}
+	if !ready {
+		return errors.New("engine: nothing to snapshot before the first re-inference")
+	}
+	doc, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshotFile restores from a manifest (or legacy snapshot) file.
+func (s *ShardedEngine) LoadSnapshotFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var probe struct {
+		Version int               `json:"version"`
+		Files   []string          `json:"files"`
+		Shards  []json.RawMessage `json:"shards"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("engine: decode snapshot: %w", err)
+	}
+	if probe.Version != snapshotVersionSharded || len(probe.Files) == 0 {
+		// Inline manifest or legacy snapshot: the stream path handles both.
+		return s.RestoreSnapshot(bytes.NewReader(data))
+	}
+	var m shardManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("engine: decode sharded manifest: %w", err)
+	}
+	if err := s.applyManifestMeta(&m); err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	for i, name := range m.Files {
+		if name == "" || i >= len(s.shards) {
+			continue
+		}
+		if err := s.shards[i].LoadSnapshotFile(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,450 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/engine"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/shard"
+	"dlinfma/internal/traj"
+)
+
+// testRouter shards at precision 8 (cells ~38 m x 19 m at the projector's
+// equatorial anchor) so the tiny synthetic world actually spreads across
+// shards instead of collapsing into one coarse cell.
+func testRouter(t *testing.T, n int) *shard.Router {
+	t.Helper()
+	r, err := shard.NewRouter(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// shardedShared memoizes one fully re-inferred 3-shard engine over the same
+// dataset tinyEngine trains on, for the read-only sharded tests.
+var shardedShared struct {
+	once sync.Once
+	s    *engine.ShardedEngine
+	err  error
+}
+
+func tinySharded(t *testing.T) (*model.Dataset, *engine.ShardedEngine) {
+	t.Helper()
+	ds, _ := tinyEngine(t)
+	shardedShared.once.Do(func() {
+		r, err := shard.NewRouter(3, 8)
+		if err != nil {
+			shardedShared.err = err
+			return
+		}
+		s := engine.NewSharded(quickConfig(), r)
+		if err := s.IngestDataset(context.Background(), ds); err != nil {
+			shardedShared.err = err
+			return
+		}
+		if err := s.Reinfer(context.Background()); err != nil {
+			shardedShared.err = err
+			return
+		}
+		shardedShared.s = s
+	})
+	if shardedShared.err != nil {
+		t.Fatal(shardedShared.err)
+	}
+	return ds, shardedShared.s
+}
+
+func TestShardedLifecycleParity(t *testing.T) {
+	ds, s := tinySharded(t)
+	single := tinyShared.e
+
+	st := s.Status()
+	if !st.Ready {
+		t.Fatal("sharded engine not ready after re-inference")
+	}
+	if st.Addresses != len(ds.Addresses) {
+		t.Errorf("sharded addresses = %d, want %d", st.Addresses, len(ds.Addresses))
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("status lists %d shards, want 3", len(st.Shards))
+	}
+	sum := 0
+	loaded := 0
+	for i, sh := range st.Shards {
+		if sh.Shard != i {
+			t.Errorf("shard %d labelled %d", i, sh.Shard)
+		}
+		sum += sh.Addresses
+		if sh.Addresses > 0 {
+			loaded++
+		}
+	}
+	if sum != st.Addresses {
+		t.Errorf("per-shard addresses sum to %d, top-level says %d", sum, st.Addresses)
+	}
+	if loaded < 2 {
+		t.Fatalf("only %d shards got addresses; routing collapsed", loaded)
+	}
+
+	// Every address the single engine serves is served by exactly one shard,
+	// and the union covers the same address set.
+	orig := single.InferredLocations()
+	locs := s.InferredLocations()
+	if len(locs) != len(orig) {
+		t.Fatalf("sharded inferred %d addresses, single engine %d", len(locs), len(orig))
+	}
+	answered := 0
+	for id := range orig {
+		if _, src := s.Query(id); src != deploy.SourceNone {
+			answered++
+		}
+	}
+	if answered != len(orig) {
+		t.Errorf("sharded engine answered %d/%d addresses", answered, len(orig))
+	}
+	if _, src := s.Query(model.AddressID(1 << 30)); src != deploy.SourceNone {
+		t.Error("unknown address got an answer")
+	}
+}
+
+// TestShardedFailedShardIsolation: a shard whose region has trips but no
+// labelled addresses fails its retrain; the other shard still swaps and
+// serves, and the error names the failed shard.
+func TestShardedFailedShardIsolation(t *testing.T) {
+	ds, _ := tinyEngine(t)
+	// Clone the dataset keeping truth only for even addresses; route even
+	// addresses to shard 0 and odd to shard 1, so shard 1 trains labelless.
+	ds2 := &model.Dataset{
+		Name:      ds.Name,
+		Trips:     ds.Trips,
+		Addresses: ds.Addresses,
+		Truth:     make(map[model.AddressID]geo.Point),
+	}
+	for id, p := range ds.Truth {
+		if id%2 == 0 {
+			ds2.Truth[id] = p
+		}
+	}
+	r := testRouter(t, 2)
+	r.AssignAddress = func(a model.AddressInfo) int { return int(a.ID) % 2 }
+	s := engine.NewSharded(quickConfig(), r)
+	defer s.Close()
+	if err := s.IngestDataset(context.Background(), ds2); err != nil {
+		t.Fatal(err)
+	}
+
+	err := s.Reinfer(context.Background())
+	if err == nil {
+		t.Fatal("labelless shard did not fail")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("error does not name the failed shard: %v", err)
+	}
+	st := s.Status()
+	if !st.Ready {
+		t.Fatal("healthy shard's swap was lost to the other shard's failure")
+	}
+	if st.Reinfers != 1 {
+		t.Errorf("Reinfers = %d, want 1", st.Reinfers)
+	}
+	if !st.Shards[0].Ready || st.Shards[1].Ready {
+		t.Errorf("per-shard readiness: %v/%v, want true/false",
+			st.Shards[0].Ready, st.Shards[1].Ready)
+	}
+	// Shard 0's region answers; shard 1's region degrades to no answer.
+	even, odd := 0, 0
+	for _, a := range ds.Addresses {
+		_, src := s.Query(a.ID)
+		if a.ID%2 == 0 && src != deploy.SourceNone {
+			even++
+		}
+		if a.ID%2 == 1 && src != deploy.SourceNone {
+			odd++
+		}
+	}
+	if even == 0 {
+		t.Error("healthy shard serves nothing")
+	}
+	if odd != 0 {
+		t.Errorf("failed shard answered %d queries from a swap that never happened", odd)
+	}
+}
+
+// TestShardedBoundaryStays: an address whose delivery stay straddles a
+// geohash cell edge (fixes alternate across lng 0, the top-level cell split)
+// still gets its full trajectory evidence: the router assigns the trip by
+// the waybill address's key, never by individual trajectory points, even
+// when the trajectory midpoint falls in another shard's cell.
+func TestShardedBoundaryStays(t *testing.T) {
+	const addrID model.AddressID = 7
+	addr := model.AddressInfo{ID: addrID, Building: 1, Geocode: geo.Point{X: -150, Y: 0}}
+	truth := map[model.AddressID]geo.Point{addrID: {X: 0, Y: 0}}
+
+	// One delivery stay: 12 fixes alternating 8 m west / 8 m east of x=0
+	// (16 m jumps stay inside D_max=20 m of the anchor, 55 s > T_min=30 s),
+	// then a run east so the trajectory midpoint lands well inside the
+	// eastern cell.
+	mkTrip := func(t0 float64) model.Trip {
+		var tr traj.Trajectory
+		for i := 0; i < 12; i++ {
+			x := -8.0
+			if i%2 == 1 {
+				x = 8.0
+			}
+			tr = append(tr, traj.GPSPoint{P: geo.Point{X: x, Y: 0}, T: t0 + float64(i*5)})
+		}
+		for i := 0; i < 12; i++ {
+			tr = append(tr, traj.GPSPoint{P: geo.Point{X: 60 + float64(i)*40, Y: 0}, T: t0 + 60 + float64(i*5)})
+		}
+		return model.Trip{
+			Courier: 1,
+			StartT:  t0,
+			EndT:    t0 + 120,
+			Traj:    tr,
+			Waybills: []model.Waybill{{
+				Addr:              addrID,
+				ReceivedT:         t0,
+				RecordedDeliveryT: t0 + 100,
+				ActualDeliveryT:   t0 + 55,
+			}},
+		}
+	}
+	ds := &model.Dataset{
+		Name:      "boundary",
+		Trips:     []model.Trip{mkTrip(0), mkTrip(3600), mkTrip(7200)},
+		Addresses: []model.AddressInfo{addr},
+		Truth:     truth,
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a shard count where the address's cell and the trajectory
+	// midpoint's cell land on different shards, so per-point routing would
+	// demonstrably lose the trip.
+	var r *shard.Router
+	var home, away int
+	for n := 2; n <= 8; n++ {
+		cand := testRouter(t, n)
+		home = cand.AddressShard(addr)
+		away = cand.TripShard(ds.Trips[0])
+		if home != away {
+			r = cand
+			break
+		}
+	}
+	if r == nil {
+		t.Fatal("no shard count separates the address cell from the trip midpoint cell")
+	}
+
+	s := engine.NewSharded(quickConfig(), r)
+	defer s.Close()
+	if err := s.IngestDataset(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if got := st.Shards[home].PendingTrips; got != len(ds.Trips) {
+		t.Fatalf("address shard %d holds %d trips, want %d", home, got, len(ds.Trips))
+	}
+	if got := st.Shards[away].PendingTrips; got != 0 {
+		t.Fatalf("midpoint shard %d stole %d trips", away, got)
+	}
+
+	// The home shard's pipeline retrieves the straddling stay as a candidate
+	// within clustering distance of the true drop-off at the cell edge.
+	parts := core.PartitionDataset(ds, r.N(), r.AddressShard, r.TripShard)
+	pipe, err := core.NewPipeline(context.Background(), parts[home], quickConfig().Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := pipe.RetrieveCandidates(addrID)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for the boundary address on its home shard")
+	}
+	best := math.Inf(1)
+	for _, c := range cands {
+		if d := geo.Dist(pipe.Pool.Locations[c].Loc, truth[addrID]); d < best {
+			best = d
+		}
+	}
+	if best > 20 {
+		t.Errorf("nearest candidate %.1f m from the boundary stay centroid", best)
+	}
+
+	if err := s.Reinfer(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, src := s.Query(addrID); src == deploy.SourceNone {
+		t.Error("boundary address unanswered after re-inference")
+	}
+}
+
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	ds, s := tinySharded(t)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// An empty sharded engine has nothing to snapshot.
+	empty := engine.NewSharded(quickConfig(), testRouter(t, 3))
+	defer empty.Close()
+	if err := empty.WriteSnapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot of an empty sharded engine must fail")
+	}
+
+	restored := engine.NewSharded(quickConfig(), testRouter(t, 3))
+	defer restored.Close()
+	if err := restored.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	orig, rest := s.InferredLocations(), restored.InferredLocations()
+	if len(rest) != len(orig) {
+		t.Fatalf("restored %d locations, want %d", len(rest), len(orig))
+	}
+	for id, p := range orig {
+		if rest[id] != p {
+			t.Fatalf("address %d restored at %v, want %v", id, rest[id], p)
+		}
+	}
+	addr := deliveredAddr(t, ds)
+	a, asrc := s.Query(addr)
+	b, bsrc := restored.Query(addr)
+	if a != b || asrc != bsrc {
+		t.Errorf("query diverges after restore: %v/%v vs %v/%v", a, asrc, b, bsrc)
+	}
+
+	// Topology and version guards.
+	wrongN := engine.NewSharded(quickConfig(), testRouter(t, 2))
+	defer wrongN.Close()
+	if err := wrongN.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("3-shard manifest accepted by a 2-shard engine")
+	}
+	single := engine.New(quickConfig())
+	defer single.Close()
+	if err := single.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("sharded manifest accepted by a single engine")
+	}
+	if err := restored.RestoreSnapshot(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Error("unknown snapshot version accepted")
+	}
+}
+
+func TestShardedSnapshotFile(t *testing.T) {
+	ds, s := tinySharded(t)
+	dir := t.TempDir()
+	path := dir + "/state.json"
+	if err := s.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// The manifest sits next to one file per ready shard.
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardFiles := 0
+	for _, f := range names {
+		if strings.Contains(f.Name(), ".shard") {
+			shardFiles++
+		}
+	}
+	if shardFiles == 0 {
+		t.Fatal("no per-shard snapshot files written")
+	}
+
+	restored := engine.NewSharded(quickConfig(), testRouter(t, 3))
+	defer restored.Close()
+	if err := restored.LoadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	addr := deliveredAddr(t, ds)
+	a, _ := s.Query(addr)
+	b, _ := restored.Query(addr)
+	if a != b {
+		t.Errorf("file round trip: %v vs %v", a, b)
+	}
+	if err := restored.LoadSnapshotFile(path + ".missing"); err == nil {
+		t.Error("missing manifest accepted")
+	}
+}
+
+// TestShardedLegacyMigration: a version-1 single-engine snapshot restores
+// into a sharded engine by routing its addresses across the shards; every
+// previously served answer survives.
+func TestShardedLegacyMigration(t *testing.T) {
+	ds, e := tinyEngine(t)
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := engine.NewSharded(quickConfig(), testRouter(t, 3))
+	defer s.Close()
+	if err := s.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if !st.Ready {
+		t.Fatal("not ready after legacy migration")
+	}
+	orig := e.InferredLocations()
+	for id, p := range orig {
+		got, src := s.Query(id)
+		if src == deploy.SourceNone || got != p {
+			t.Fatalf("address %d: %v/%v after migration, want %v", id, got, src, p)
+		}
+	}
+	spread := 0
+	for _, sh := range st.Shards {
+		if sh.Inferred > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("migration put all state on %d shard(s)", spread)
+	}
+	_ = ds
+}
+
+func TestShardedBackgroundReinferAndClose(t *testing.T) {
+	ds, _ := tinyEngine(t)
+	s := engine.NewSharded(quickConfig(), testRouter(t, 3))
+	if err := s.IngestDataset(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ReinferStatus(); ok {
+		t.Fatal("job status before any job")
+	}
+	job, err := s.StartReinfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != deploy.JobRunning {
+		t.Fatalf("started job %+v", job)
+	}
+	// Close joins the in-flight job before returning: afterwards the job is
+	// settled and no goroutine can swap state anymore.
+	s.Close()
+	js, ok := s.ReinferStatus()
+	if !ok || js.State == deploy.JobRunning {
+		t.Fatalf("job still running after Close: %+v", js)
+	}
+	// Idempotent enough for deferred cleanup paths.
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("second Close hung")
+	}
+}

@@ -21,11 +21,22 @@ import (
 // restore the engine serves queries immediately but needs fresh ingest
 // before the next re-inference.
 type snapshot struct {
+	// Version identifies the snapshot format. Version 1 (and 0, the
+	// pre-versioning legacy encoding) is the single-engine snapshot below;
+	// version 2 is the sharded manifest (sharded_snapshot.go). Restore
+	// rejects anything else instead of silently mis-decoding.
+	Version   int                   `json:"version"`
 	Name      string                `json:"name"`
 	Addresses []model.AddressInfo   `json:"addresses"`
 	Locations map[string][2]float64 `json:"locations"`
 	Matcher   json.RawMessage       `json:"matcher,omitempty"`
 }
+
+// Snapshot format versions.
+const (
+	snapshotVersionSingle  = 1
+	snapshotVersionSharded = 2
+)
 
 // WriteSnapshot streams the current serving state to w. It fails before the
 // first completed re-inference or restore.
@@ -38,6 +49,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 	}
 	e.mu.Lock()
 	sn := snapshot{
+		Version:   snapshotVersionSingle,
 		Name:      e.name,
 		Addresses: append([]model.AddressInfo(nil), e.addrs...),
 		Locations: make(map[string][2]float64, len(st.locs)),
@@ -66,6 +78,13 @@ func (e *Engine) RestoreSnapshot(r io.Reader) error {
 	var sn snapshot
 	if err := json.NewDecoder(r).Decode(&sn); err != nil {
 		return fmt.Errorf("engine: decode snapshot: %w", err)
+	}
+	switch sn.Version {
+	case 0, snapshotVersionSingle: // 0 = legacy pre-versioning snapshots
+	case snapshotVersionSharded:
+		return errors.New("engine: snapshot version 2 is a sharded manifest; restore it with a sharded engine")
+	default:
+		return fmt.Errorf("engine: unsupported snapshot version %d (max %d)", sn.Version, snapshotVersionSharded)
 	}
 	store := deploy.NewStore()
 	locs := make(map[model.AddressID]geo.Point, len(sn.Locations))

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/engine"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/shard"
+	"dlinfma/internal/synth"
+)
+
+// ZoneAlignedProfile makes a profile suitable for shard-equivalence checks:
+// courier zones stripe whole communities (no locker or reception serves two
+// zones) and orders never cross zones, so a zone-aligned shard partition is
+// closed — every trip's evidence lives entirely inside one shard.
+func ZoneAlignedProfile(p synth.Profile) synth.Profile {
+	p.AlignZonesToCommunities = true
+	p.CrossZoneProb = 0
+	return p
+}
+
+// ShardEquivalenceResult reports how a zone-sharded engine compares against
+// its two references on the same dataset.
+type ShardEquivalenceResult struct {
+	Zones     int
+	Addresses int
+	// ReferenceMismatches counts addresses whose sharded output differs
+	// bit-for-bit from a single engine trained on the same zone partition.
+	// Zero means sharding is a pure re-arrangement: routing, trip
+	// replication, global windowing, and the global LC universe all line up.
+	ReferenceMismatches int
+	// GlobalAgreement is the fraction of addresses where the sharded engine
+	// and one global engine pick the exact same location. Not expected to be
+	// 1: the global model is trained across zones, so its feature scaler and
+	// weights differ from any per-zone model even on identical candidates.
+	GlobalAgreement float64
+	// ShardedMAE / GlobalMAE are the accuracy of both arrangements against
+	// ground truth, so agreement gaps can be read as better/worse, not just
+	// different.
+	ShardedMAE float64
+	GlobalMAE  float64
+}
+
+// ShardEquivalence generates a zone-aligned dataset and checks the sharded
+// engine invariant from two angles: (1) against per-zone single engines on
+// core.PartitionDataset partitions the sharded output must be bit-exact;
+// (2) against one global engine it reports exact-pick agreement and the MAE
+// of both, which quantifies what regional models trade against a global one.
+//
+// Pass a profile built with ZoneAlignedProfile; cross-zone orders would make
+// partitions overlap and the bit-exact reference meaningless.
+func ShardEquivalence(ctx context.Context, p synth.Profile, cfg engine.Config) (*ShardEquivalenceResult, error) {
+	ds, w, err := synth.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	n := w.NZones()
+	if n < 2 {
+		return nil, fmt.Errorf("eval: profile yields %d zone(s); nothing to shard", n)
+	}
+	// One deterministic training path per shard: the equivalence claim is
+	// about two runs on identical data, so intra-model data parallelism must
+	// not reorder float accumulation between them.
+	cfg.Matcher.Workers = 1
+
+	addrShard := func(a model.AddressInfo) int {
+		if z, ok := w.ZoneOfAddress(a.ID); ok {
+			return z
+		}
+		return 0
+	}
+	tripShard := func(t model.Trip) int { return int(t.Courier) }
+
+	r, err := shard.NewRouter(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.AssignAddress = addrShard
+	r.AssignTrip = tripShard
+	sharded := engine.NewSharded(cfg, r)
+	defer sharded.Close()
+	if err := sharded.IngestDataset(ctx, ds); err != nil {
+		return nil, err
+	}
+	if err := sharded.Reinfer(ctx); err != nil {
+		return nil, err
+	}
+	shardLocs := sharded.InferredLocations()
+
+	// Reference 1: one single engine per zone partition, with the LC trip
+	// universe pinned to the global count exactly as the sharded engine pins
+	// it for its shards.
+	refCfg := cfg
+	refCfg.Core.LCTotalTrips = len(ds.Trips)
+	refLocs := make(map[model.AddressID]geo.Point, len(shardLocs))
+	for zi, part := range core.PartitionDataset(ds, n, addrShard, tripShard) {
+		if len(part.Trips) == 0 {
+			continue // the sharded engine skips trip-less shards too
+		}
+		e := engine.New(refCfg)
+		if err := e.IngestDataset(ctx, part); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("eval: zone %d reference: %w", zi, err)
+		}
+		if err := e.Reinfer(ctx); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("eval: zone %d reference: %w", zi, err)
+		}
+		for id, pt := range e.InferredLocations() {
+			refLocs[id] = pt
+		}
+		e.Close()
+	}
+	mismatches := 0
+	for id, pt := range refLocs {
+		if got, ok := shardLocs[id]; !ok || got != pt {
+			mismatches++
+		}
+	}
+	for id := range shardLocs {
+		if _, ok := refLocs[id]; !ok {
+			mismatches++
+		}
+	}
+
+	// Reference 2: one global engine over the whole dataset.
+	global := engine.New(cfg)
+	defer global.Close()
+	if err := global.IngestDataset(ctx, ds); err != nil {
+		return nil, err
+	}
+	if err := global.Reinfer(ctx); err != nil {
+		return nil, err
+	}
+	globalLocs := global.InferredLocations()
+	agree := 0
+	for id, pt := range globalLocs {
+		if shardLocs[id] == pt {
+			agree++
+		}
+	}
+
+	res := &ShardEquivalenceResult{
+		Zones:               n,
+		Addresses:           len(shardLocs),
+		ReferenceMismatches: mismatches,
+		ShardedMAE:          locsMAE(shardLocs, ds.Truth),
+		GlobalMAE:           locsMAE(globalLocs, ds.Truth),
+	}
+	if len(globalLocs) > 0 {
+		res.GlobalAgreement = float64(agree) / float64(len(globalLocs))
+	}
+	return res, nil
+}
+
+// locsMAE is the mean error of inferred locations against ground truth.
+func locsMAE(locs map[model.AddressID]geo.Point, truth map[model.AddressID]geo.Point) float64 {
+	var errs []float64
+	for id, pt := range locs {
+		if tr, ok := truth[id]; ok {
+			errs = append(errs, geo.Dist(pt, tr))
+		}
+	}
+	return Compute(errs).MAE
+}

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dlinfma/internal/engine"
+	"dlinfma/internal/synth"
+)
+
+// TestShardEquivalence is the sharded engine's acceptance check: with
+// zone-aligned shards, the sharded pipeline's output is bit-for-bit the
+// per-zone reference output, and the comparison against one global engine
+// yields finite, comparable accuracy.
+func TestShardEquivalence(t *testing.T) {
+	p := ZoneAlignedProfile(synth.Tiny())
+	cfg := engine.DefaultConfig()
+	cfg.Matcher.MaxEpochs = 2
+	cfg.Matcher.LR = 1e-3
+
+	res, err := ShardEquivalence(context.Background(), p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Zones < 2 {
+		t.Fatalf("only %d zones; equivalence is vacuous", res.Zones)
+	}
+	if res.Addresses == 0 {
+		t.Fatal("sharded engine inferred nothing")
+	}
+	if res.ReferenceMismatches != 0 {
+		t.Errorf("%d/%d addresses differ from the per-zone reference",
+			res.ReferenceMismatches, res.Addresses)
+	}
+	if res.GlobalAgreement < 0 || res.GlobalAgreement > 1 {
+		t.Errorf("global agreement %v outside [0,1]", res.GlobalAgreement)
+	}
+	if math.IsNaN(res.ShardedMAE) || math.IsNaN(res.GlobalMAE) {
+		t.Errorf("MAE not computed: sharded %v, global %v", res.ShardedMAE, res.GlobalMAE)
+	}
+	// Regional models on a zone-closed dataset should stay in the same
+	// accuracy regime as the global model, not collapse.
+	if res.ShardedMAE > 4*res.GlobalMAE+50 {
+		t.Errorf("sharded MAE %.1f m far off global MAE %.1f m", res.ShardedMAE, res.GlobalMAE)
+	}
+}
+
+// TestZoneAlignedProfile: the helper only flips the two knobs that make
+// zone partitions closed.
+func TestZoneAlignedProfile(t *testing.T) {
+	base := synth.Tiny()
+	p := ZoneAlignedProfile(base)
+	if !p.AlignZonesToCommunities || p.CrossZoneProb != 0 {
+		t.Fatalf("helper produced %+v", p)
+	}
+	p.AlignZonesToCommunities = base.AlignZonesToCommunities
+	p.CrossZoneProb = base.CrossZoneProb
+	if p != base {
+		t.Error("helper changed unrelated profile fields")
+	}
+}

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"testing"
+
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/traj"
+)
+
+func mustRouter(t *testing.T, n, prec int) *Router {
+	t.Helper()
+	r, err := NewRouter(n, prec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(0, 6); err == nil {
+		t.Error("NewRouter(0, 6) accepted")
+	}
+	if _, err := NewRouter(4, 13); err == nil {
+		t.Error("NewRouter(4, 13) accepted")
+	}
+	r := mustRouter(t, 4, 0)
+	if r.Precision() != DefaultPrecision {
+		t.Errorf("default precision %d, want %d", r.Precision(), DefaultPrecision)
+	}
+	if r.N() != 4 {
+		t.Errorf("N() = %d", r.N())
+	}
+}
+
+// TestShardOfKeyDeterministicAndBounded: routing is a pure function of the
+// cell and always lands inside [0, N).
+func TestShardOfKeyDeterministicAndBounded(t *testing.T) {
+	r := mustRouter(t, 5, 6)
+	for dx := 0; dx < 40; dx++ {
+		p := geo.Point{X: float64(dx) * 900, Y: float64(dx%7) * 700}
+		s := r.ShardOfPoint(p)
+		if s < 0 || s >= 5 {
+			t.Fatalf("point %v routed to shard %d", p, s)
+		}
+		if again := r.ShardOfPoint(p); again != s {
+			t.Fatalf("point %v routed to %d then %d", p, s, again)
+		}
+	}
+}
+
+// TestSameCellSameShard: all points of one routing cell share a shard, and
+// with enough spread every shard of a small router receives traffic.
+func TestSameCellSameShard(t *testing.T) {
+	r := mustRouter(t, 3, 5)
+	a := geo.Point{X: 10, Y: 10}
+	b := geo.Point{X: 12, Y: 8}
+	if r.Key(a) != r.Key(b) {
+		t.Fatalf("expected one cell for %v and %v", a, b)
+	}
+	if r.ShardOfPoint(a) != r.ShardOfPoint(b) {
+		t.Error("same cell, different shards")
+	}
+	hit := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		hit[r.ShardOfPoint(geo.Point{X: float64(i) * 5100, Y: float64(i%13) * 4900})] = true
+	}
+	if len(hit) != 3 {
+		t.Errorf("200 spread cells hit %d of 3 shards", len(hit))
+	}
+}
+
+func TestAddressShardRoutesByGeocode(t *testing.T) {
+	r := mustRouter(t, 4, 6)
+	a := model.AddressInfo{ID: 1, Geocode: geo.Point{X: 100, Y: 200}}
+	if got, want := r.AddressShard(a), r.ShardOfPoint(a.Geocode); got != want {
+		t.Errorf("AddressShard = %d, want geocode shard %d", got, want)
+	}
+	r.AssignAddress = func(model.AddressInfo) int { return 99 }
+	if got := r.AddressShard(a); got != 3 {
+		t.Errorf("out-of-range override clamped to %d, want 3", got)
+	}
+	r.AssignAddress = func(ai model.AddressInfo) int { return int(ai.ID) % 4 }
+	if got := r.AddressShard(a); got != 1 {
+		t.Errorf("override AddressShard = %d, want 1", got)
+	}
+}
+
+func TestTripShardMidpointAndOverride(t *testing.T) {
+	r := mustRouter(t, 4, 6)
+	tr := model.Trip{Traj: traj.Trajectory{
+		{P: geo.Point{X: 0, Y: 0}, T: 0},
+		{P: geo.Point{X: 5000, Y: 5000}, T: 10},
+		{P: geo.Point{X: 9000, Y: 9000}, T: 20},
+	}}
+	if got, want := r.TripShard(tr), r.ShardOfPoint(geo.Point{X: 5000, Y: 5000}); got != want {
+		t.Errorf("TripShard = %d, want midpoint shard %d", got, want)
+	}
+	if got := r.TripShard(model.Trip{}); got != 0 {
+		t.Errorf("empty trip routed to %d, want 0", got)
+	}
+	r.AssignTrip = func(t model.Trip) int { return int(t.Courier) }
+	if got := r.TripShard(model.Trip{Courier: 2}); got != 2 {
+		t.Errorf("override TripShard = %d, want 2", got)
+	}
+	r.AssignTrip = func(model.Trip) int { return -5 }
+	if got := r.TripShard(tr); got != 0 {
+		t.Errorf("negative override clamped to %d, want 0", got)
+	}
+}
+
+// TestSingleShardShortCircuit: N=1 routes everything to shard 0.
+func TestSingleShardShortCircuit(t *testing.T) {
+	r := mustRouter(t, 1, 6)
+	for i := 0; i < 10; i++ {
+		if s := r.ShardOfPoint(geo.Point{X: float64(i) * 1e4, Y: float64(-i) * 1e4}); s != 0 {
+			t.Fatalf("shard %d with N=1", s)
+		}
+	}
+}

@@ -40,15 +40,21 @@ type Profile struct {
 	PWrongParse      float64 // per-address probability of similar-name misparse
 
 	// Courier operations.
-	NCouriers        int
-	Days             int
-	MinOrders        int // per courier per day
-	MaxOrders        int
-	CrossZoneProb    float64 // probability an order comes from a neighbor zone
-	Speed            float64 // mean travel speed, m/s
-	StayMean         float64 // mean dwell per delivery stop, seconds
-	StayStd          float64
-	NonDeliveryStops float64 // expected confounding stops per trip
+	// AlignZonesToCommunities stripes whole communities into courier zones
+	// instead of striping individual buildings. Buildings sharing a locker
+	// or reception then always share a zone, so zone-partitioned runs (the
+	// sharded engine's equivalence checks) see no delivery point serving two
+	// zones. Default false keeps the historical building-level striping.
+	AlignZonesToCommunities bool
+	NCouriers               int
+	Days                    int
+	MinOrders               int // per courier per day
+	MaxOrders               int
+	CrossZoneProb           float64 // probability an order comes from a neighbor zone
+	Speed                   float64 // mean travel speed, m/s
+	StayMean                float64 // mean dwell per delivery stop, seconds
+	StayStd                 float64
+	NonDeliveryStops        float64 // expected confounding stops per trip
 
 	// GPS sensing.
 	SampleInterval float64 // seconds between fixes (paper: 13.5 s average)

@@ -442,3 +442,83 @@ func TestAddressTextsParseBackToCommunity(t *testing.T) {
 		t.Error("unknown address should have no text")
 	}
 }
+
+func TestZoneAccessors(t *testing.T) {
+	w, err := BuildWorld(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NZones() != Tiny().NCouriers {
+		t.Fatalf("NZones = %d, want %d", w.NZones(), Tiny().NCouriers)
+	}
+	// Every building belongs to exactly one zone, consistent with the zone
+	// address lists used for trip sampling.
+	counts := make([]int, w.NZones())
+	for _, b := range w.Buildings {
+		z := w.ZoneOfBuilding(b.ID)
+		if z < 0 || z >= w.NZones() {
+			t.Fatalf("building %d in zone %d", b.ID, z)
+		}
+		counts[z]++
+	}
+	total := 0
+	for z, c := range counts {
+		if c == 0 {
+			t.Errorf("zone %d empty", z)
+		}
+		total += c
+	}
+	if total != len(w.Buildings) {
+		t.Errorf("zones cover %d of %d buildings", total, len(w.Buildings))
+	}
+	for _, a := range w.Addresses {
+		z, ok := w.ZoneOfAddress(a.ID)
+		if !ok || z != w.ZoneOfBuilding(a.Building) {
+			t.Fatalf("address %d zone %d (ok=%v), building zone %d", a.ID, z, ok, w.ZoneOfBuilding(a.Building))
+		}
+	}
+	if _, ok := w.ZoneOfAddress(model.AddressID(len(w.Addresses) + 5)); ok {
+		t.Error("unknown address reported a zone")
+	}
+	if w.ZoneOfBuilding(model.BuildingID(len(w.Buildings))) != -1 {
+		t.Error("unknown building reported a zone")
+	}
+	for z := 0; z < w.NZones(); z++ {
+		if _, ok := w.Station(z); !ok {
+			t.Errorf("no station for zone %d", z)
+		}
+	}
+	if _, ok := w.Station(w.NZones()); ok {
+		t.Error("station for out-of-range zone")
+	}
+}
+
+// TestAlignZonesToCommunities: with the option on, every community's
+// buildings land in one zone, so no locker or reception serves two zones.
+func TestAlignZonesToCommunities(t *testing.T) {
+	p := Tiny()
+	p.AlignZonesToCommunities = true
+	w, err := BuildWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range w.Communities {
+		if len(c.Buildings) == 0 {
+			continue
+		}
+		z0 := w.ZoneOfBuilding(model.BuildingID(c.Buildings[0]))
+		for _, b := range c.Buildings[1:] {
+			if z := w.ZoneOfBuilding(model.BuildingID(b)); z != z0 {
+				t.Errorf("community %d split across zones %d and %d", ci, z0, z)
+			}
+		}
+	}
+	// The default layout is untouched by the new field: same zones as before.
+	base, err := BuildWorld(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NZones() != Tiny().NCouriers {
+		t.Fatalf("default NZones = %d", base.NZones())
+	}
+}

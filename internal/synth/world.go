@@ -71,6 +71,7 @@ type World struct {
 
 	addrWeight []float64 // order frequency weight per address
 	zones      [][]int   // building indices per courier zone
+	zoneOfBld  []int     // zone of each building, aligned with Buildings
 	stations   []geo.Point
 	addrsOfBld [][]model.AddressID
 	zoneAddrs  [][]model.AddressID
@@ -234,18 +235,40 @@ func BuildWorld(p Profile) (*World, error) {
 		}
 	}
 
-	// Courier zones: contiguous strips by building x coordinate.
-	order := make([]int, len(w.Buildings))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool {
-		return w.Buildings[order[i]].Center.X < w.Buildings[order[j]].Center.X
-	})
+	// Courier zones: contiguous strips by building x coordinate, or — with
+	// AlignZonesToCommunities — strips of whole communities, so shared
+	// lockers and receptions never serve two zones.
 	w.zones = make([][]int, p.NCouriers)
-	for i, b := range order {
-		z := i * p.NCouriers / len(order)
-		w.zones[z] = append(w.zones[z], b)
+	if p.AlignZonesToCommunities {
+		corder := make([]int, len(w.Communities))
+		for i := range corder {
+			corder[i] = i
+		}
+		sort.Slice(corder, func(i, j int) bool {
+			return w.Communities[corder[i]].Center.X < w.Communities[corder[j]].Center.X
+		})
+		for i, c := range corder {
+			z := i * p.NCouriers / len(corder)
+			w.zones[z] = append(w.zones[z], w.Communities[c].Buildings...)
+		}
+	} else {
+		order := make([]int, len(w.Buildings))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return w.Buildings[order[i]].Center.X < w.Buildings[order[j]].Center.X
+		})
+		for i, b := range order {
+			z := i * p.NCouriers / len(order)
+			w.zones[z] = append(w.zones[z], b)
+		}
+	}
+	w.zoneOfBld = make([]int, len(w.Buildings))
+	for z, blds := range w.zones {
+		for _, b := range blds {
+			w.zoneOfBld[b] = z
+		}
 	}
 	w.stations = make([]geo.Point, p.NCouriers)
 	for z := range w.stations {
@@ -274,6 +297,38 @@ func BuildWorld(p Profile) (*World, error) {
 		}
 	}
 	return w, nil
+}
+
+// NZones returns the number of courier zones (one per courier: courier z
+// works zone z, and every trip's Courier id is its zone).
+func (w *World) NZones() int { return len(w.zones) }
+
+// ZoneOfBuilding returns the courier zone a building belongs to, or -1 for
+// an unknown building.
+func (w *World) ZoneOfBuilding(b model.BuildingID) int {
+	if int(b) < 0 || int(b) >= len(w.zoneOfBld) {
+		return -1
+	}
+	return w.zoneOfBld[b]
+}
+
+// ZoneOfAddress returns the courier zone of an address's building; ok is
+// false for unknown addresses. This is the ground-truth partition sharded
+// serving tests align their routing to: an address's delivery evidence can
+// only come from its own zone's trips (plus cross-zone orders).
+func (w *World) ZoneOfAddress(id model.AddressID) (int, bool) {
+	if int(id) < 0 || int(id) >= len(w.Addresses) {
+		return 0, false
+	}
+	return w.ZoneOfBuilding(w.Addresses[id].Building), true
+}
+
+// Station returns zone z's courier station, the trip start/end anchor.
+func (w *World) Station(z int) (geo.Point, bool) {
+	if z < 0 || z >= len(w.stations) {
+		return geo.Point{}, false
+	}
+	return w.stations[z], true
 }
 
 // GeocoderTable returns the address -> geocode table as a geocode.Static.
