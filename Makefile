@@ -1,12 +1,14 @@
 # Build/test/bench entry points. The race target covers the packages with
-# concurrency (tensor engine, pipeline, serving engine and HTTP service);
-# bench regenerates the LocMatcher + serving performance numbers and their
-# machine-readable BENCH_locmatcher.json; cover enforces a coverage floor.
+# concurrency (tensor engine, pipeline, serving engine, HTTP service, and the
+# obs metrics/logging layer); bench regenerates the LocMatcher + serving
+# performance numbers and their machine-readable BENCH_locmatcher.json; cover
+# enforces a coverage floor; smoke-metrics boots a server and validates the
+# /v1/metrics exposition end to end.
 
 GO ?= go
 COVER_FLOOR ?= 75
 
-.PHONY: build test race vet cover bench bench-all
+.PHONY: build test race vet cover bench bench-all smoke-metrics
 
 build:
 	$(GO) build ./...
@@ -15,10 +17,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/...
+	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
+	@# Library code must log through internal/obs, never the stdlib printers:
+	@# fmt.Print*/log.Print* bypass levels, formats, and the component fields.
+	@bad=$$(grep -rnE '\b(fmt|log)\.Print(f|ln)?\(' internal/ --include='*.go' | grep -v '_test.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "vet: stdlib printing in internal/ (use internal/obs logging):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+
+# Boot a server and verify the Prometheus exposition parses with every
+# required family present.
+smoke-metrics:
+	bash scripts/metrics_smoke.sh
 
 # Aggregate statement coverage with a floor (override: make cover COVER_FLOOR=60).
 cover:

@@ -26,6 +26,7 @@ import (
 	"dlinfma/internal/eval"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/obs"
 	"dlinfma/internal/shard"
 	"dlinfma/internal/synth"
 )
@@ -125,9 +126,11 @@ func shardFlags(fs *flag.FlagSet) (shards, precision *int) {
 
 // newEngine picks the engine shape from the shard flags: one global engine,
 // or N regional shards behind a geohash router. Both satisfy engine.Runtime,
-// so every subcommand drives them identically.
-func newEngine(workers, shards, precision int) (engine.Runtime, error) {
+// so every subcommand drives them identically. log may be nil (batch
+// subcommands report through stdout instead).
+func newEngine(workers, shards, precision int, log *obs.Logger) (engine.Runtime, error) {
 	cfg := engineConfig(workers)
+	cfg.Logger = log
 	if shards <= 1 {
 		return engine.New(cfg), nil
 	}
@@ -142,7 +145,7 @@ func newEngine(workers, shards, precision int) (engine.Runtime, error) {
 // and runs one full re-inference — the same path the serve subcommand's
 // background jobs take, so batch and online runs cannot drift apart.
 func runPipeline(ctx context.Context, ds *model.Dataset, workers, shards, precision int) (engine.Runtime, error) {
-	e, err := newEngine(workers, shards, precision)
+	e, err := newEngine(workers, shards, precision, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -223,14 +226,28 @@ func cmdEval(ctx context.Context, args []string) error {
 
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	data := fs.String("data", "data.json.gz", "dataset path (\"\" to start empty and POST /ingest)")
+	data := fs.String("data", "data.json.gz", "dataset path (\"\" to start empty and POST /v1/ingest)")
 	listen := fs.String("listen", ":8080", "HTTP listen address")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
 	snap := fs.String("snapshot", "", "snapshot path: restored on start if present, saved on shutdown")
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error (debug adds per-request access lines)")
+	logFormat := fs.String("log-format", "logfmt", "log line encoding: logfmt|json")
+	debugListen := fs.String("debug-listen", "",
+		"optional second listen address for net/http/pprof and /metrics (keep it private)")
 	shards, precision := shardFlags(fs)
 	fs.Parse(args)
 
-	e, err := newEngine(*workers, *shards, *precision)
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	log := obs.NewLogger(os.Stderr, lvl, format)
+
+	e, err := newEngine(*workers, *shards, *precision, log.With("component", "engine"))
 	if err != nil {
 		return err
 	}
@@ -276,9 +293,18 @@ func cmdServe(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("sharded engine: %d shards at geohash precision %d\n", n, p)
 	}
-	fmt.Printf("serving %d inferred locations on %s (GET /location?addr=N, POST /ingest, POST /reinfer, GET /snapshot)\n",
+	fmt.Printf("serving %d inferred locations on %s (GET /v1/locations/{key}, POST /v1/locations:batch, POST /v1/ingest, POST /v1/reinfer, GET /v1/snapshot, GET /v1/metrics)\n",
 		st.Inferred, *listen)
-	srv := deploy.NewServer(*listen, deploy.Service(e))
+	if *debugListen != "" {
+		dsrv := deploy.NewServer(*debugListen, deploy.DebugHandler())
+		go func() {
+			if derr := deploy.Serve(ctx, dsrv); derr != nil {
+				log.Error("debug listener failed", "addr", *debugListen, "err", derr)
+			}
+		}()
+		log.Info("debug listener up", "addr", *debugListen)
+	}
+	srv := deploy.NewServer(*listen, deploy.NewService(e, deploy.Options{Logger: log.With("component", "http")}))
 	err = deploy.Serve(ctx, srv)
 	// Join any in-flight background re-inference before persisting, so the
 	// snapshot observes a settled engine (Close is idempotent; the deferred

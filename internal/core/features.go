@@ -8,6 +8,7 @@ import (
 	"dlinfma/internal/geocode"
 	"dlinfma/internal/model"
 	"dlinfma/internal/nn"
+	"dlinfma/internal/obs"
 )
 
 // FeatureMask selects which feature groups the featurizer emits. The zero
@@ -248,8 +249,11 @@ func (p *Pipeline) BuildSample(addr model.AddressID, opt SampleOptions) *Sample 
 		locs = p.RetrieveCandidates(addr)
 	}
 	if len(locs) == 0 {
+		samplesEmpty.Inc()
 		return nil
 	}
+	samplesWithCands.Inc()
+	candidatesTotal.Add(int64(len(locs)))
 	s := &Sample{
 		Addr:        addr,
 		POI:         info.POI,
@@ -291,6 +295,7 @@ func (p *Pipeline) BuildSamples(addrs []model.AddressID, opt SampleOptions) []*S
 // addresses. The result keeps address order regardless of scheduling: samples
 // land in an index-aligned slot array that is compacted serially.
 func (p *Pipeline) BuildSamplesCtx(ctx context.Context, addrs []model.AddressID, opt SampleOptions) ([]*Sample, error) {
+	defer obs.StartSpan("feature_build", stageFeatures).End()
 	slots := make([]*Sample, len(addrs))
 	err := nn.ParallelForCtx(ctx, p.Cfg.workers(), len(addrs), func(i int) {
 		slots[i] = p.BuildSample(addrs[i], opt)

@@ -8,6 +8,7 @@ import (
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
 	"dlinfma/internal/nn"
+	"dlinfma/internal/obs"
 	"dlinfma/internal/traj"
 )
 
@@ -63,6 +64,7 @@ func NewIncrementalPoolBuilder(cfg Config) *IncrementalPoolBuilder {
 // Cancelling ctx aborts before the builder state is touched, so a cancelled
 // AddWindow leaves the pool exactly as it was.
 func (b *IncrementalPoolBuilder) AddWindow(ctx context.Context, trips []model.Trip) error {
+	defer obs.StartSpan("pool_window", stagePoolWindow).End()
 	// Extract and cluster this window's stay points.
 	type stay struct {
 		sp      traj.StayPoint
@@ -71,7 +73,7 @@ func (b *IncrementalPoolBuilder) AddWindow(ctx context.Context, trips []model.Tr
 	}
 	perTrip := make([][]traj.StayPoint, len(trips))
 	err := nn.ParallelForCtx(ctx, b.cfg.workers(), len(trips), func(ti int) {
-		perTrip[ti] = traj.ExtractStayPoints(trips[ti].Traj, b.cfg.Noise, b.cfg.Stay)
+		perTrip[ti] = extractStayPoints(trips[ti].Traj, b.cfg)
 	})
 	if err != nil {
 		return err
@@ -176,6 +178,7 @@ func (b *IncrementalPoolBuilder) resolve(i int) int {
 // Finalize produces the Pool. The builder can keep accepting windows after
 // Finalize; each call snapshots the current state.
 func (b *IncrementalPoolBuilder) Finalize() *Pool {
+	defer obs.StartSpan("pool_finalize", stagePoolFinalize).End()
 	// Assign dense ids to alive items.
 	finalID := make(map[int]int)
 	p := &Pool{}
@@ -208,6 +211,7 @@ func (b *IncrementalPoolBuilder) Finalize() *Pool {
 	}
 	pts := locPoints(p.Locations)
 	p.index = geo.NewIndex(pts, 50)
+	poolLocationsGauge.Set(float64(len(p.Locations)))
 	return p
 }
 

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"time"
+
+	"dlinfma/internal/obs"
+	"dlinfma/internal/traj"
+)
+
+// Pipeline-stage metrics. One histogram family carries every stage's
+// latency; granularity differs by stage and is part of the contract:
+// noise_filter and stay_detect observe per trip (the parallel fan-out's unit
+// of work), pool_window per ingested window, and the rest per batch call.
+var (
+	stageDuration = obs.Default.HistogramVec("dlinfma_pipeline_stage_duration_seconds",
+		"Latency of each DLInfMA pipeline stage (noise_filter and stay_detect per trip, pool_window per window, cluster/pool_finalize/feature_build/fit/predict per call).",
+		nil, "stage")
+	stageNoise        = stageDuration.With("noise_filter")
+	stageStayDetect   = stageDuration.With("stay_detect")
+	stageCluster      = stageDuration.With("cluster")
+	stagePoolWindow   = stageDuration.With("pool_window")
+	stagePoolFinalize = stageDuration.With("pool_finalize")
+	stageFeatures     = stageDuration.With("feature_build")
+	stageFit          = stageDuration.With("fit")
+	stagePredict      = stageDuration.With("predict")
+
+	stayPointsTotal = obs.Default.Counter("dlinfma_pipeline_stay_points_total",
+		"Stay points extracted from trajectories.")
+	poolLocationsGauge = obs.Default.Gauge("dlinfma_pipeline_pool_locations",
+		"Candidate locations in the most recently built pool.")
+	candidatesTotal = obs.Default.Counter("dlinfma_pipeline_candidates_total",
+		"Candidates retrieved across all featurized addresses.")
+	samplesBuilt = obs.Default.CounterVec("dlinfma_pipeline_samples_total",
+		"Featurized addresses by retrieval outcome; empty/with_candidates is the retrieval miss/hit rate.",
+		"result")
+	samplesWithCands = samplesBuilt.With("with_candidates")
+	samplesEmpty     = samplesBuilt.With("empty")
+)
+
+// extractStayPoints is the instrumented per-trip extraction step: it splits
+// traj.ExtractStayPoints into its two stages so each gets its own timing,
+// and counts the stay points produced. Both one-shot pool construction and
+// the incremental builder funnel through it.
+func extractStayPoints(tr traj.Trajectory, cfg Config) []traj.StayPoint {
+	t0 := time.Now()
+	filtered := traj.FilterNoise(tr, cfg.Noise)
+	t1 := time.Now()
+	sps := traj.DetectStayPoints(filtered, cfg.Stay)
+	t2 := time.Now()
+	stageNoise.Observe(t1.Sub(t0).Seconds())
+	stageStayDetect.Observe(t2.Sub(t1).Seconds())
+	stayPointsTotal.Add(int64(len(sps)))
+	return sps
+}

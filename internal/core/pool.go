@@ -15,6 +15,7 @@ import (
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
 	"dlinfma/internal/nn"
+	"dlinfma/internal/obs"
 	"dlinfma/internal/traj"
 )
 
@@ -104,7 +105,7 @@ type stayRecord struct {
 func ExtractAllStayPoints(ctx context.Context, ds *model.Dataset, cfg Config) ([][]traj.StayPoint, error) {
 	out := make([][]traj.StayPoint, len(ds.Trips))
 	err := nn.ParallelForCtx(ctx, cfg.workers(), len(ds.Trips), func(i int) {
-		out[i] = traj.ExtractStayPoints(ds.Trips[i].Traj, cfg.Noise, cfg.Stay)
+		out[i] = extractStayPoints(ds.Trips[i].Traj, cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -139,7 +140,9 @@ func BuildPool(ctx context.Context, ds *model.Dataset, cfg Config) (*Pool, error
 			records = append(records, stayRecord{sp: sp, trip: t, courier: ds.Trips[t].Courier})
 		}
 	}
+	sp := obs.StartSpan("cluster", stageCluster)
 	assign, err := clusterStays(ctx, records, cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +270,7 @@ func assemblePool(ds *model.Dataset, records []stayRecord, assign []int) *Pool {
 		pts[id] = loc.Loc
 	}
 	p.index = geo.NewIndex(pts, 50)
+	poolLocationsGauge.Set(float64(nLoc))
 	return p
 }
 

@@ -1,0 +1,154 @@
+// Package api defines the versioned wire schema of the serving system's
+// HTTP surface: the typed request/response structs of every /v1 route and
+// the uniform JSON error envelope all handlers emit. The package holds data
+// only — handlers live in internal/deploy — so clients, tests, and tools can
+// import the schema without pulling in the server.
+//
+// Versioning policy: routes live under /v1/...; fields are only ever added
+// (never renamed or repurposed) within a major version, and a breaking
+// change mints /v2 alongside a deprecated /v1. The pre-versioning routes
+// (/location, /ingest, /reinfer, /snapshot) are served as deprecated aliases
+// that emit a Deprecation header and a successor-version Link.
+package api
+
+import (
+	"dlinfma/internal/model"
+)
+
+// Stable machine-readable error codes. Clients switch on Code, never on
+// Message text.
+const (
+	// CodeInvalidArgument: malformed path key, query parameter, or body.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound: the address (or job) does not exist.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the route exists but not for this HTTP method.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeEngineNotReady: no serving state deployed yet (cold engine) — load
+	// balancers should retry another instance. Maps to 503.
+	CodeEngineNotReady = "engine_not_ready"
+	// CodeReinferInFlight: a re-inference job is already running. Maps to
+	// 409; details carry the running job.
+	CodeReinferInFlight = "reinfer_in_flight"
+	// CodeInternal: unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// Error is the body of the uniform error envelope. It implements error so
+// server code can build one and hand it straight to the response writer.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable and unstable; do not parse it.
+	Message string `json:"message"`
+	// Details carries optional structured context (offending key, running
+	// job, limits).
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// ErrorEnvelope is the JSON shape of every non-2xx response:
+//
+//	{"error":{"code":"not_found","message":"...","details":{...}}}
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// Location is one answered delivery location — the unit payload of
+// GET /v1/locations/{key} and of batch results.
+type Location struct {
+	Addr int64 `json:"addr"`
+	// X, Y are meters in the dataset's local tangent plane.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// Source tells which level of the store answered: address, building, or
+	// geocode (the deployed fallback chain).
+	Source string `json:"source"`
+}
+
+// MaxBatchKeys bounds one POST /v1/locations:batch request.
+const MaxBatchKeys = 1024
+
+// BatchLocationsRequest is the POST /v1/locations:batch payload — the bulk
+// hot path for consumers resolving many address keys per call.
+type BatchLocationsRequest struct {
+	Addrs []int64 `json:"addrs"`
+}
+
+// BatchResult is one per-key outcome of a batch lookup: exactly one of
+// Location or Error is set. Unknown keys surface as per-item not_found
+// errors while the batch as a whole stays 200 (partial-failure semantics).
+type BatchResult struct {
+	Addr     int64     `json:"addr"`
+	Location *Location `json:"location,omitempty"`
+	Error    *Error    `json:"error,omitempty"`
+}
+
+// BatchLocationsResponse answers a batch lookup in request order.
+type BatchLocationsResponse struct {
+	Results []BatchResult `json:"results"`
+	Found   int           `json:"found"`
+	Missing int           `json:"missing"`
+}
+
+// IngestRequest is the POST /v1/ingest payload: one window of trips with any
+// new address metadata. Truth is keyed by stringified address id (JSON
+// object keys must be strings), matching the dataset file format.
+type IngestRequest struct {
+	Trips     []model.Trip          `json:"trips"`
+	Addresses []model.AddressInfo   `json:"addresses"`
+	Truth     map[string][2]float64 `json:"truth,omitempty"`
+}
+
+// Job states of a background re-inference.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus describes one background re-inference job (POST/GET /v1/reinfer).
+type JobStatus struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Inferred is the number of addresses the finished job produced.
+	Inferred int `json:"inferred,omitempty"`
+}
+
+// EngineStatus is the /healthz payload: a summary of the engine's serving
+// and ingest state.
+type EngineStatus struct {
+	Dataset string `json:"dataset,omitempty"`
+	// Ready is true once a (pool, model, store) triple is being served —
+	// after the first completed re-inference or a snapshot restore.
+	Ready bool `json:"ready"`
+	// Failed is true while the latest re-inference ended in error (sharded:
+	// any shard's). A failed instance keeps serving its last good state, but
+	// /healthz answers 503 so load balancers stop routing to it.
+	Failed bool `json:"failed,omitempty"`
+	// LastError is the failing re-inference's message while Failed.
+	LastError string `json:"last_error,omitempty"`
+	// Addresses counts addresses registered through ingest.
+	Addresses int `json:"addresses"`
+	// Inferred counts address-level entries in the served store.
+	Inferred      int `json:"inferred"`
+	PoolLocations int `json:"pool_locations"`
+	// PendingTrips counts trips ingested after the serving state was built.
+	PendingTrips   int  `json:"pending_trips"`
+	Reinfers       int  `json:"reinfers"`
+	ReinferRunning bool `json:"reinfer_running"`
+	// Shards lists per-shard summaries when the serving engine is sharded;
+	// empty for a single global engine. The top-level counters are then sums
+	// over the shards, and Ready is true as soon as any shard serves — one
+	// shard's failed retrain degrades its own region only.
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// ShardStatus is one shard's EngineStatus inside a sharded /healthz payload.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	EngineStatus
+}

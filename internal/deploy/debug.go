@@ -1,0 +1,28 @@
+package deploy
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the opt-in debug surface meant for a separate,
+// non-public listener (dlinfma serve -debug-listen): the net/http/pprof
+// profile endpoints plus the metrics exposition. It is intentionally not
+// mounted on the serving mux — profiles can stall a worker for the whole
+// profiling window and must never be reachable from the query path.
+//
+//	GET /debug/pprof/           index of available profiles
+//	GET /debug/pprof/profile    CPU profile (?seconds=N, default 30)
+//	GET /debug/pprof/heap       and the other runtime profiles via the index
+//	GET /debug/pprof/trace      execution trace (?seconds=N)
+//	GET /metrics                Prometheus text exposition (same as /v1/metrics)
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", metricsExposition)
+	return mux
+}

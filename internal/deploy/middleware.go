@@ -1,0 +1,131 @@
+package deploy
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+
+	"dlinfma/internal/obs"
+)
+
+// routeOther is the metric label of every unmatched path, bounding the
+// route label's cardinality to the registered table plus one.
+const routeOther = "other"
+
+// HTTP-surface metrics. The route label is always a registered pattern
+// (never a raw request path), so cardinality is fixed.
+var (
+	httpRequests = obs.Default.CounterVec("dlinfma_http_requests_total",
+		"HTTP requests by route pattern, method, and status code.",
+		"route", "method", "code")
+	httpDuration = obs.Default.HistogramVec("dlinfma_http_request_duration_seconds",
+		"HTTP request latency by route pattern.",
+		nil, "route")
+	httpInFlight = obs.Default.Gauge("dlinfma_http_in_flight_requests",
+		"Requests currently being handled.")
+	httpDeprecated = obs.Default.CounterVec("dlinfma_http_deprecated_requests_total",
+		"Requests hitting a deprecated pre-/v1 alias route.",
+		"route")
+)
+
+// statusRecorder captures the status code and body size a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// Flush forwards streaming flushes (snapshot downloads) to the underlying
+// writer when it supports them.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Instrument wraps a handler in the request-logging + metrics middleware:
+// request count and latency by route and status, an in-flight gauge, and a
+// per-request access line on log at debug level. Every route of the service
+// — and any embedding of deploy handlers elsewhere — goes through it.
+//
+// Counter children are cached per (method, status) behind a comparable-key
+// map so the steady-state path never allocates the label key; the generic
+// Vec.With (which joins the values into a string) runs only on the first
+// request of each combination.
+func Instrument(route string, log *obs.Logger, h http.Handler) http.Handler {
+	hist := httpDuration.With(route)
+	type methodCode struct {
+		method string
+		code   int
+	}
+	var (
+		countersMu sync.RWMutex
+		counters   = make(map[methodCode]*obs.Counter)
+	)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		httpInFlight.Inc()
+		defer httpInFlight.Dec()
+		sp := obs.StartSpan(route, hist)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		d := sp.End()
+		mc := methodCode{r.Method, rec.status}
+		countersMu.RLock()
+		c := counters[mc]
+		countersMu.RUnlock()
+		if c == nil {
+			c = httpRequests.With(route, r.Method, strconv.Itoa(rec.status))
+			countersMu.Lock()
+			counters[mc] = c
+			countersMu.Unlock()
+		}
+		c.Inc()
+		if log.Enabled(obs.LevelDebug) {
+			log.Debug("http",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", rec.status,
+				"bytes", rec.bytes,
+				"dur", d,
+			)
+		}
+	})
+}
+
+// deprecate marks a legacy alias: every response carries a Deprecation
+// header plus a successor-version Link (RFC 8594), and the hit lands in the
+// deprecated-requests metric so operators can watch residual legacy traffic
+// drain before removing the alias.
+func deprecate(route, successor string, h http.HandlerFunc) http.HandlerFunc {
+	hits := httpDeprecated.With(route)
+	// The header values never vary per request, so share one backing slice
+	// across responses (net/http only reads header value slices).
+	deprecation := []string{"true"}
+	link := []string{"<" + successor + `>; rel="successor-version"`}
+	return func(w http.ResponseWriter, r *http.Request) {
+		hits.Inc()
+		hdr := w.Header()
+		hdr["Deprecation"] = deprecation
+		hdr["Link"] = link
+		h(w, r)
+	}
+}
+
+// metricsExposition serves the process-wide obs registry in Prometheus text
+// format — the GET /v1/metrics handler, also mounted on the debug listener.
+func metricsExposition(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
+}

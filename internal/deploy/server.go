@@ -1,43 +1,75 @@
 package deploy
 
 import (
+	"encoding/json"
+	"io"
 	"net/http"
-	"strconv"
 
+	"dlinfma/internal/deploy/api"
 	"dlinfma/internal/model"
 )
 
-// QueryResponse is the JSON payload of the delivery-location query API.
-type QueryResponse struct {
-	Addr   int64   `json:"addr"`
-	X      float64 `json:"x"`
-	Y      float64 `json:"y"`
-	Source string  `json:"source"`
-}
-
-// Handler returns the read-only HTTP handler over a bare Store:
-// GET /location?addr=<id> answers with the address -> building -> geocode
-// fallback chain. The engine-backed Service supersedes it for serving; it
-// remains for store-only embedding (evaluation harnesses, examples).
+// Handler returns the read-only HTTP handler over a bare Store, speaking the
+// same /v1 query surface (and legacy /location alias) as the engine-backed
+// service. The engine-backed NewService supersedes it for serving; it
+// remains for store-only embedding (evaluation harnesses, examples). A bare
+// store is "deployed" by construction, so misses are plain 404s and
+// /healthz always answers 200.
 func Handler(s *Store) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/location", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
-			return
-		}
-		id, err := strconv.ParseInt(r.URL.Query().Get("addr"), 10, 32)
-		if err != nil {
-			jsonError(w, http.StatusBadRequest, "invalid addr parameter")
-			return
-		}
-		loc, src := s.Query(model.AddressID(id))
+	resolve := func(addr model.AddressID) (api.Location, *api.Error, int) {
+		loc, src := s.Query(addr)
 		if src == SourceNone {
-			jsonError(w, http.StatusNotFound, "unknown address")
+			return api.Location{}, &api.Error{
+				Code:    api.CodeNotFound,
+				Message: "unknown address",
+				Details: map[string]any{"addr": int64(addr)},
+			}, http.StatusNotFound
+		}
+		return api.Location{Addr: int64(addr), X: loc.X, Y: loc.Y, Source: src.String()}, nil, http.StatusOK
+	}
+	location := methodsOnly(func(w http.ResponseWriter, r *http.Request) {
+		addr, aerr := parseAddrKey(r)
+		if aerr != nil {
+			writeJSON(w, http.StatusBadRequest, api.ErrorEnvelope{Error: aerr})
 			return
 		}
-		writeJSON(w, http.StatusOK, QueryResponse{Addr: id, X: loc.X, Y: loc.Y, Source: src.String()})
-	})
+		loc, aerr, code := resolve(addr)
+		if aerr != nil {
+			writeJSON(w, code, api.ErrorEnvelope{Error: aerr})
+			return
+		}
+		writeJSON(w, http.StatusOK, loc)
+	}, http.MethodGet)
+	batch := methodsOnly(func(w http.ResponseWriter, r *http.Request) {
+		var req api.BatchLocationsRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "decode batch request: "+err.Error(), nil)
+			return
+		}
+		if n := len(req.Addrs); n == 0 || n > api.MaxBatchKeys {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+				"addrs must hold between 1 and max keys", map[string]any{"max": api.MaxBatchKeys, "got": n})
+			return
+		}
+		resp := api.BatchLocationsResponse{Results: make([]api.BatchResult, len(req.Addrs))}
+		for i, a := range req.Addrs {
+			res := api.BatchResult{Addr: a}
+			if loc, aerr, _ := resolve(model.AddressID(a)); aerr != nil {
+				res.Error = aerr
+				resp.Missing++
+			} else {
+				res.Location = &loc
+				resp.Found++
+			}
+			resp.Results[i] = res
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}, http.MethodPost)
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/locations/{key}", Instrument("/v1/locations/{key}", nil, location))
+	mux.Handle("/v1/locations:batch", Instrument("/v1/locations:batch", nil, batch))
+	mux.Handle("/location", Instrument("/location", nil, deprecate("/location", "/v1/locations/{key}", location)))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})

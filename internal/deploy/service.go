@@ -10,8 +10,10 @@ import (
 	"strconv"
 	"time"
 
+	"dlinfma/internal/deploy/api"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/obs"
 )
 
 // Engine is deploy's view of the serving engine (implemented by
@@ -41,184 +43,300 @@ type Engine interface {
 // job is already in flight; the service maps it to 409 Conflict.
 var ErrReinferRunning = errors.New("deploy: re-inference already running")
 
-// EngineStatus is the /healthz payload: a summary of the engine's serving
-// and ingest state.
-type EngineStatus struct {
-	Dataset string `json:"dataset,omitempty"`
-	// Ready is true once a (pool, model, store) triple is being served —
-	// after the first completed re-inference or a snapshot restore.
-	Ready bool `json:"ready"`
-	// Addresses counts addresses registered through ingest.
-	Addresses int `json:"addresses"`
-	// Inferred counts address-level entries in the served store.
-	Inferred      int `json:"inferred"`
-	PoolLocations int `json:"pool_locations"`
-	// PendingTrips counts trips ingested after the serving state was built.
-	PendingTrips   int  `json:"pending_trips"`
-	Reinfers       int  `json:"reinfers"`
-	ReinferRunning bool `json:"reinfer_running"`
-	// Shards lists per-shard summaries when the serving engine is sharded
-	// (engine.ShardedEngine); empty for a single global engine. The
-	// top-level counters are then sums over the shards, and Ready is true
-	// as soon as any shard serves — one shard's failed retrain degrades
-	// its own region only.
-	Shards []ShardStatus `json:"shards,omitempty"`
-}
-
-// ShardStatus is one shard's EngineStatus inside a sharded /healthz payload.
-type ShardStatus struct {
-	Shard int `json:"shard"`
-	EngineStatus
-}
-
-// Job states of a background re-inference.
-const (
-	JobRunning = "running"
-	JobDone    = "done"
-	JobFailed  = "failed"
+// The wire schema lives in internal/deploy/api; deploy re-exports the types
+// the engine and long-standing callers use so the move is source-compatible.
+type (
+	// EngineStatus is the /healthz payload (api.EngineStatus).
+	EngineStatus = api.EngineStatus
+	// ShardStatus is one shard's status inside EngineStatus.
+	ShardStatus = api.ShardStatus
+	// JobStatus describes one background re-inference job.
+	JobStatus = api.JobStatus
+	// IngestRequest is the POST /v1/ingest payload.
+	IngestRequest = api.IngestRequest
+	// QueryResponse is the payload of a location query (api.Location).
+	QueryResponse = api.Location
 )
 
-// JobStatus describes one background re-inference job.
-type JobStatus struct {
-	ID    int    `json:"id"`
-	State string `json:"state"`
-	Error string `json:"error,omitempty"`
-	// Inferred is the number of addresses the finished job produced.
-	Inferred int `json:"inferred,omitempty"`
-}
+// Job states of a background re-inference (api.Job*).
+const (
+	JobRunning = api.JobRunning
+	JobDone    = api.JobDone
+	JobFailed  = api.JobFailed
+)
 
-// IngestRequest is the POST /ingest payload: one window of trips with any
-// new address metadata. Truth is keyed by stringified address id (JSON
-// object keys must be strings), matching the dataset file format.
-type IngestRequest struct {
-	Trips     []model.Trip          `json:"trips"`
-	Addresses []model.AddressInfo   `json:"addresses"`
-	Truth     map[string][2]float64 `json:"truth,omitempty"`
-}
-
-// errorResponse is the JSON error body every endpoint uses.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func jsonError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
-}
-
+// writeJSON writes v with the given status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError writes the uniform error envelope
+// {"error":{"code","message","details"}} every handler uses.
+func writeError(w http.ResponseWriter, status int, code, msg string, details map[string]any) {
+	writeJSON(w, status, api.ErrorEnvelope{Error: &api.Error{Code: code, Message: msg, Details: details}})
+}
+
 // maxIngestBytes bounds one ingest request body (64 MiB) so a runaway
 // client cannot exhaust memory.
 const maxIngestBytes = 64 << 20
 
-// Service returns the engine-backed HTTP API of the deployed system
+// maxBatchBytes bounds one batch-lookup body (1 MiB covers MaxBatchKeys).
+const maxBatchBytes = 1 << 20
+
+// Options configures the service wrapper around an engine.
+type Options struct {
+	// Logger receives per-request access lines (at debug level) and handler
+	// warnings. nil drops everything.
+	Logger *obs.Logger
+}
+
+// Service returns the engine-backed HTTP API with default options — see
+// NewService for the route table.
+func Service(e Engine) http.Handler { return NewService(e, Options{}) }
+
+// NewService returns the versioned HTTP API of the deployed system
 // (Section VI, Figure 14, grown to the full online lifecycle):
 //
-//	GET  /location?addr=<id>  query with the address->building->geocode chain
-//	POST /ingest              append a window of trips (IngestRequest)
-//	POST /reinfer             start a background retrain+re-infer job (202)
-//	GET  /reinfer             poll the latest job's status
-//	GET  /snapshot            stream the serving state for on-disk persistence
-//	GET  /healthz             EngineStatus; 200 when ready, 503 before
-func Service(e Engine) http.Handler {
+//	POST /v1/locations:batch   resolve many address keys per call (bulk hot path)
+//	GET  /v1/locations/{key}   query one address via the address->building->geocode chain
+//	POST /v1/ingest            append a window of trips (api.IngestRequest)
+//	POST /v1/reinfer           start a background retrain+re-infer job (202)
+//	GET  /v1/reinfer           poll the latest job's status
+//	GET  /v1/snapshot          stream the serving state for on-disk persistence
+//	GET  /v1/metrics           Prometheus text exposition of the obs registry
+//	GET  /healthz              EngineStatus; 503 before readiness or while a shard is failed
+//
+// The pre-versioning routes /location, /ingest, /reinfer, and /snapshot are
+// served as thin deprecated aliases of their /v1 successors: same handlers
+// and bodies, plus a Deprecation header, a successor-version Link, and a
+// deprecated-request metric. Every handler emits the api.ErrorEnvelope on
+// failure, and every route is wrapped in the request-logging + metrics
+// middleware (status, latency, in-flight).
+func NewService(e Engine, opts Options) http.Handler {
+	s := &service{e: e, log: opts.Logger}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/location", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
-			return
-		}
-		id, err := strconv.ParseInt(r.URL.Query().Get("addr"), 10, 32)
-		if err != nil {
-			jsonError(w, http.StatusBadRequest, "invalid addr parameter")
-			return
-		}
-		loc, src := e.Query(model.AddressID(id))
-		if src == SourceNone {
-			jsonError(w, http.StatusNotFound, "unknown address")
-			return
-		}
-		writeJSON(w, http.StatusOK, QueryResponse{Addr: id, X: loc.X, Y: loc.Y, Source: src.String()})
-	})
-	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
-			return
-		}
-		var req IngestRequest
-		dec := json.NewDecoder(io.LimitReader(r.Body, maxIngestBytes))
-		if err := dec.Decode(&req); err != nil {
-			jsonError(w, http.StatusBadRequest, fmt.Sprintf("decode ingest request: %v", err))
-			return
-		}
-		truth := make(map[model.AddressID]geo.Point, len(req.Truth))
-		for k, v := range req.Truth {
-			var id model.AddressID
-			if _, err := fmt.Sscan(k, &id); err != nil {
-				jsonError(w, http.StatusBadRequest, fmt.Sprintf("bad truth key %q", k))
-				return
-			}
-			truth[id] = geo.Point{X: v[0], Y: v[1]}
-		}
-		if err := e.Ingest(r.Context(), req.Trips, req.Addresses, truth); err != nil {
-			jsonError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, e.Status())
-	})
-	mux.HandleFunc("/reinfer", func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodPost:
-			job, err := e.StartReinfer()
-			if errors.Is(err, ErrReinferRunning) {
-				writeJSON(w, http.StatusConflict, job)
-				return
-			}
-			if err != nil {
-				jsonError(w, http.StatusInternalServerError, err.Error())
-				return
-			}
-			writeJSON(w, http.StatusAccepted, job)
-		case http.MethodGet:
-			job, ok := e.ReinferStatus()
-			if !ok {
-				jsonError(w, http.StatusNotFound, "no re-inference job yet")
-				return
-			}
-			writeJSON(w, http.StatusOK, job)
-		default:
-			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
-		}
-	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			jsonError(w, http.StatusMethodNotAllowed, "method not allowed")
-			return
-		}
-		if !e.Status().Ready {
-			jsonError(w, http.StatusServiceUnavailable, "engine not ready")
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := e.WriteSnapshot(w); err != nil {
-			// Headers are gone; the truncated body is the best signal left.
-			return
-		}
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		st := e.Status()
-		code := http.StatusOK
-		if !st.Ready {
-			code = http.StatusServiceUnavailable
-		}
-		writeJSON(w, code, st)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, Instrument(route, s.log, h))
+	}
+	alias := func(pattern, successor string, h http.HandlerFunc) {
+		mux.Handle(pattern, Instrument(pattern, s.log, deprecate(pattern, successor, h)))
+	}
+
+	handle("/v1/locations/{key}", "/v1/locations/{key}", methodsOnly(s.handleLocation, http.MethodGet))
+	handle("/v1/locations:batch", "/v1/locations:batch", methodsOnly(s.handleBatch, http.MethodPost))
+	handle("/v1/ingest", "/v1/ingest", methodsOnly(s.handleIngest, http.MethodPost))
+	handle("/v1/reinfer", "/v1/reinfer", methodsOnly(s.handleReinfer, http.MethodPost, http.MethodGet))
+	handle("/v1/snapshot", "/v1/snapshot", methodsOnly(s.handleSnapshot, http.MethodGet))
+	handle("/v1/metrics", "/v1/metrics", methodsOnly(metricsExposition, http.MethodGet))
+	handle("/healthz", "/healthz", methodsOnly(s.handleHealthz, http.MethodGet))
+
+	alias("/location", "/v1/locations/{key}", methodsOnly(s.handleLocation, http.MethodGet))
+	alias("/ingest", "/v1/ingest", methodsOnly(s.handleIngest, http.MethodPost))
+	alias("/reinfer", "/v1/reinfer", methodsOnly(s.handleReinfer, http.MethodPost, http.MethodGet))
+	alias("/snapshot", "/v1/snapshot", methodsOnly(s.handleSnapshot, http.MethodGet))
+
+	// Everything else answers the envelope, grouped under one metric label
+	// so unmatched paths cannot blow up route cardinality.
+	handle("/", routeOther, func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no such route", map[string]any{"path": r.URL.Path})
 	})
 	return mux
+}
+
+type service struct {
+	e   Engine
+	log *obs.Logger
+}
+
+// methodsOnly gates a handler to the allowed methods, answering the uniform
+// 405 envelope otherwise. Patterns are registered method-less so the
+// envelope — not net/http's plain-text 405 — is what clients see.
+func methodsOnly(h http.HandlerFunc, allowed ...string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range allowed {
+			if r.Method == m {
+				h(w, r)
+				return
+			}
+		}
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed", map[string]any{"allowed": allowed})
+	}
+}
+
+// parseAddrKey resolves the address key from the v1 path wildcard or, on the
+// legacy alias, the ?addr= query parameter.
+func parseAddrKey(r *http.Request) (model.AddressID, *api.Error) {
+	key := r.PathValue("key")
+	if key == "" {
+		key = r.URL.Query().Get("addr")
+	}
+	id, err := strconv.ParseInt(key, 10, 32)
+	if err != nil {
+		return 0, &api.Error{
+			Code:    api.CodeInvalidArgument,
+			Message: "address key must be a decimal integer",
+			Details: map[string]any{"key": key},
+		}
+	}
+	return model.AddressID(id), nil
+}
+
+// resolve answers one address against the engine, mapping the miss to the
+// right envelope: 503 engine_not_ready on a cold engine, 404 not_found once
+// a store is deployed. The Status() call happens only on misses, keeping the
+// hot path to a single store lookup.
+func (s *service) resolve(addr model.AddressID) (api.Location, *api.Error, int) {
+	loc, src := s.e.Query(addr)
+	if src == SourceNone {
+		if !s.e.Status().Ready {
+			return api.Location{}, &api.Error{
+				Code:    api.CodeEngineNotReady,
+				Message: "no serving state deployed yet",
+			}, http.StatusServiceUnavailable
+		}
+		return api.Location{}, &api.Error{
+			Code:    api.CodeNotFound,
+			Message: "unknown address",
+			Details: map[string]any{"addr": int64(addr)},
+		}, http.StatusNotFound
+	}
+	return api.Location{Addr: int64(addr), X: loc.X, Y: loc.Y, Source: src.String()}, nil, http.StatusOK
+}
+
+func (s *service) handleLocation(w http.ResponseWriter, r *http.Request) {
+	addr, aerr := parseAddrKey(r)
+	if aerr != nil {
+		writeJSON(w, http.StatusBadRequest, api.ErrorEnvelope{Error: aerr})
+		return
+	}
+	loc, aerr, code := s.resolve(addr)
+	if aerr != nil {
+		writeJSON(w, code, api.ErrorEnvelope{Error: aerr})
+		return
+	}
+	writeJSON(w, http.StatusOK, loc)
+}
+
+func (s *service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchLocationsRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			fmt.Sprintf("decode batch request: %v", err), nil)
+		return
+	}
+	if len(req.Addrs) == 0 {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			"addrs must be non-empty", nil)
+		return
+	}
+	if len(req.Addrs) > api.MaxBatchKeys {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			"too many address keys", map[string]any{"max": api.MaxBatchKeys, "got": len(req.Addrs)})
+		return
+	}
+	if !s.e.Status().Ready {
+		// A cold engine fails the whole batch: every key would miss, and 503
+		// tells the bulk consumer to retry elsewhere rather than treat the
+		// world as absent.
+		writeError(w, http.StatusServiceUnavailable, api.CodeEngineNotReady,
+			"no serving state deployed yet", nil)
+		return
+	}
+	resp := api.BatchLocationsResponse{Results: make([]api.BatchResult, len(req.Addrs))}
+	for i, a := range req.Addrs {
+		res := api.BatchResult{Addr: a}
+		loc, src := s.e.Query(model.AddressID(a))
+		if src == SourceNone {
+			res.Error = &api.Error{Code: api.CodeNotFound, Message: "unknown address"}
+			resp.Missing++
+		} else {
+			res.Location = &api.Location{Addr: a, X: loc.X, Y: loc.Y, Source: src.String()}
+			resp.Found++
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req api.IngestRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxIngestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			fmt.Sprintf("decode ingest request: %v", err), nil)
+		return
+	}
+	truth := make(map[model.AddressID]geo.Point, len(req.Truth))
+	for k, v := range req.Truth {
+		var id model.AddressID
+		if _, err := fmt.Sscan(k, &id); err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+				"truth keys must be decimal address ids", map[string]any{"key": k})
+			return
+		}
+		truth[id] = geo.Point{X: v[0], Y: v[1]}
+	}
+	if err := s.e.Ingest(r.Context(), req.Trips, req.Addresses, truth); err != nil {
+		s.log.Warn("ingest failed", "err", err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.e.Status())
+}
+
+func (s *service) handleReinfer(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		job, err := s.e.StartReinfer()
+		if errors.Is(err, ErrReinferRunning) {
+			writeError(w, http.StatusConflict, api.CodeReinferInFlight,
+				"a re-inference job is already running",
+				map[string]any{"job_id": job.ID, "job": job})
+			return
+		}
+		if err != nil {
+			s.log.Warn("reinfer start failed", "err", err)
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	case http.MethodGet:
+		job, ok := s.e.ReinferStatus()
+		if !ok {
+			writeError(w, http.StatusNotFound, api.CodeNotFound, "no re-inference job yet", nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	}
+}
+
+func (s *service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.e.Status().Ready {
+		writeError(w, http.StatusServiceUnavailable, api.CodeEngineNotReady,
+			"no serving state to snapshot yet", nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.e.WriteSnapshot(w); err != nil {
+		// Headers are gone; the truncated body is the best signal left.
+		s.log.Warn("snapshot stream failed", "err", err)
+		return
+	}
+}
+
+func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.e.Status()
+	code := http.StatusOK
+	// 503 before the first deployed store AND while any shard's latest
+	// re-inference failed: a blind or degraded instance must drop out of the
+	// load balancer even though it keeps answering what it still can.
+	if !st.Ready || st.Failed {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
 }
 
 // NewServer wraps a handler in an http.Server with production timeouts: a

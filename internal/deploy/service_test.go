@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dlinfma/internal/deploy"
+	"dlinfma/internal/deploy/api"
 	"dlinfma/internal/engine"
 	"dlinfma/internal/model"
 	"dlinfma/internal/shard"
@@ -127,13 +128,16 @@ func TestServiceIngestReinferQuery(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate reinfer status %d, want 409", resp.StatusCode)
 	}
-	var running deploy.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&running); err != nil {
+	var conflict api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&conflict); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if running.ID != job.ID {
-		t.Fatalf("conflict body reports job %d, want %d", running.ID, job.ID)
+	if conflict.Error == nil || conflict.Error.Code != api.CodeReinferInFlight {
+		t.Fatalf("conflict envelope %+v", conflict)
+	}
+	if id, ok := conflict.Error.Details["job_id"].(float64); !ok || int(id) != job.ID {
+		t.Fatalf("conflict details report job %v, want %d", conflict.Error.Details["job_id"], job.ID)
 	}
 
 	// Poll until done.
@@ -189,42 +193,45 @@ func TestServiceErrorPaths(t *testing.T) {
 	_, _, srv := serviceFixture(t)
 	c := srv.Client()
 
-	type errBody struct {
-		Error string `json:"error"`
-	}
-	check := func(resp *http.Response, wantCode int, what string) {
+	check := func(resp *http.Response, wantCode int, wantErrCode, what string) {
 		t.Helper()
 		defer resp.Body.Close()
 		if resp.StatusCode != wantCode {
 			t.Fatalf("%s: status %d, want %d", what, resp.StatusCode, wantCode)
 		}
-		var eb errBody
-		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
-			t.Fatalf("%s: error body not JSON: %v %+v", what, err, eb)
+		var eb api.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == nil {
+			t.Fatalf("%s: error body not an envelope: %v %+v", what, err, eb)
+		}
+		if eb.Error.Code != wantErrCode || eb.Error.Message == "" {
+			t.Fatalf("%s: envelope %+v, want code %q", what, eb.Error, wantErrCode)
 		}
 	}
 
 	resp, _ := c.Get(srv.URL + "/location?addr=abc")
-	check(resp, http.StatusBadRequest, "bad addr")
+	check(resp, http.StatusBadRequest, api.CodeInvalidArgument, "bad addr")
+	// A cold engine distinguishes "not ready" from "not found".
 	resp, _ = c.Get(srv.URL + "/location?addr=424242")
-	check(resp, http.StatusNotFound, "unknown addr")
+	check(resp, http.StatusServiceUnavailable, api.CodeEngineNotReady, "query on cold engine")
 	resp = postJSON(t, c, srv.URL+"/location?addr=1", nil)
-	check(resp, http.StatusMethodNotAllowed, "POST /location")
+	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST /location")
 	resp, _ = c.Get(srv.URL + "/ingest")
-	check(resp, http.StatusMethodNotAllowed, "GET /ingest")
+	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET /ingest")
 	resp, _ = c.Post(srv.URL+"/ingest", "application/json", bytes.NewReader([]byte("{nope")))
-	check(resp, http.StatusBadRequest, "bad ingest body")
+	check(resp, http.StatusBadRequest, api.CodeInvalidArgument, "bad ingest body")
 	resp, _ = c.Post(srv.URL+"/ingest", "application/json",
 		bytes.NewReader([]byte(`{"truth":{"xyz":[1,2]}}`)))
-	check(resp, http.StatusBadRequest, "bad truth key")
+	check(resp, http.StatusBadRequest, api.CodeInvalidArgument, "bad truth key")
 	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/reinfer", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp, _ = c.Do(req)
-	check(resp, http.StatusMethodNotAllowed, "DELETE /reinfer")
+	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "DELETE /reinfer")
 	resp = postJSON(t, c, srv.URL+"/snapshot", nil)
-	check(resp, http.StatusMethodNotAllowed, "POST /snapshot")
+	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST /snapshot")
+	resp, _ = c.Get(srv.URL + "/no/such/route")
+	check(resp, http.StatusNotFound, api.CodeNotFound, "unmatched path")
 }
 
 // TestServiceShardedHealthz serves a ShardedEngine through the same handler:

@@ -1,0 +1,427 @@
+// Tests for the versioned /v1 surface against a stub engine: route shapes,
+// the uniform error envelope, legacy-alias equivalence, the health matrix,
+// and the metrics exposition. The real-engine lifecycle is covered by
+// service_test.go; the stub makes the HTTP contract testable without
+// training anything.
+package deploy_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/deploy/api"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/obs"
+)
+
+// stubEngine implements deploy.Engine with directly settable state.
+type stubEngine struct {
+	store    *deploy.Store
+	status   deploy.EngineStatus
+	job      *deploy.JobStatus
+	ingested [][]model.Trip
+}
+
+func (s *stubEngine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
+	if s.store == nil {
+		return geo.Point{}, deploy.SourceNone
+	}
+	return s.store.Query(addr)
+}
+
+func (s *stubEngine) Ingest(_ context.Context, trips []model.Trip, _ []model.AddressInfo, _ map[model.AddressID]geo.Point) error {
+	s.ingested = append(s.ingested, trips)
+	return nil
+}
+
+func (s *stubEngine) StartReinfer() (deploy.JobStatus, error) {
+	if s.job != nil && s.job.State == deploy.JobRunning {
+		return *s.job, deploy.ErrReinferRunning
+	}
+	s.job = &deploy.JobStatus{ID: 1, State: deploy.JobRunning}
+	return *s.job, nil
+}
+
+func (s *stubEngine) ReinferStatus() (deploy.JobStatus, bool) {
+	if s.job == nil {
+		return deploy.JobStatus{}, false
+	}
+	return *s.job, true
+}
+
+func (s *stubEngine) Status() deploy.EngineStatus { return s.status }
+
+func (s *stubEngine) WriteSnapshot(w io.Writer) error {
+	_, err := io.WriteString(w, `{"version":1,"locations":{}}`)
+	return err
+}
+
+// readyStub returns a stub serving addresses 1 and 2.
+func readyStub() *stubEngine {
+	st := deploy.NewStore()
+	st.Put(1, geo.Point{X: 10, Y: 20})
+	st.Put(2, geo.Point{X: 30, Y: 40})
+	return &stubEngine{store: st, status: deploy.EngineStatus{Ready: true, Inferred: 2}}
+}
+
+func TestV1LocationAndBatch(t *testing.T) {
+	srv := httptest.NewServer(deploy.Service(readyStub()))
+	defer srv.Close()
+	c := srv.Client()
+
+	var loc api.Location
+	getJSON(t, c, srv.URL+"/v1/locations/1", http.StatusOK, &loc)
+	if loc.Addr != 1 || loc.X != 10 || loc.Y != 20 || loc.Source != "address" {
+		t.Fatalf("v1 location %+v", loc)
+	}
+
+	// Batch with a partial failure: two hits, one miss, still 200.
+	resp := postJSON(t, c, srv.URL+"/v1/locations:batch", api.BatchLocationsRequest{Addrs: []int64{1, 404, 2}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var br api.BatchLocationsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if br.Found != 2 || br.Missing != 1 || len(br.Results) != 3 {
+		t.Fatalf("batch counts %+v", br)
+	}
+	if br.Results[0].Location == nil || br.Results[0].Location.X != 10 {
+		t.Fatalf("batch result 0 %+v", br.Results[0])
+	}
+	if br.Results[1].Error == nil || br.Results[1].Error.Code != api.CodeNotFound {
+		t.Fatalf("batch result 1 %+v", br.Results[1])
+	}
+	if br.Results[2].Location == nil || br.Results[2].Location.Addr != 2 {
+		t.Fatalf("batch result 2 %+v", br.Results[2])
+	}
+
+	// Validation errors: empty and oversized key lists.
+	resp = postJSON(t, c, srv.URL+"/v1/locations:batch", api.BatchLocationsRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	big := make([]int64, api.MaxBatchKeys+1)
+	resp = postJSON(t, c, srv.URL+"/v1/locations:batch", api.BatchLocationsRequest{Addrs: big})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestV1BatchColdEngine(t *testing.T) {
+	srv := httptest.NewServer(deploy.Service(&stubEngine{}))
+	defer srv.Close()
+	resp := postJSON(t, srv.Client(), srv.URL+"/v1/locations:batch", api.BatchLocationsRequest{Addrs: []int64{1}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold batch status %d, want 503", resp.StatusCode)
+	}
+	var eb api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == nil || eb.Error.Code != api.CodeEngineNotReady {
+		t.Fatalf("cold batch envelope %v %+v", err, eb)
+	}
+}
+
+func TestV1IngestAndReinfer(t *testing.T) {
+	stub := readyStub()
+	srv := httptest.NewServer(deploy.Service(stub))
+	defer srv.Close()
+	c := srv.Client()
+
+	resp := postJSON(t, c, srv.URL+"/v1/ingest", api.IngestRequest{Trips: []model.Trip{{Courier: 7}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 ingest status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if len(stub.ingested) != 1 || len(stub.ingested[0]) != 1 {
+		t.Fatalf("ingest recorded %+v", stub.ingested)
+	}
+
+	resp = postJSON(t, c, srv.URL+"/v1/reinfer", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("v1 reinfer status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Duplicate start conflicts with the running job in the details.
+	resp = postJSON(t, c, srv.URL+"/v1/reinfer", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate v1 reinfer status %d", resp.StatusCode)
+	}
+	var eb api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == nil || eb.Error.Code != api.CodeReinferInFlight {
+		t.Fatalf("conflict envelope %v %+v", err, eb)
+	}
+	resp.Body.Close()
+
+	var job deploy.JobStatus
+	getJSON(t, c, srv.URL+"/v1/reinfer", http.StatusOK, &job)
+	if job.ID != 1 || job.State != deploy.JobRunning {
+		t.Fatalf("v1 reinfer poll %+v", job)
+	}
+
+	r2, err := c.Get(srv.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("v1 snapshot status %d", r2.StatusCode)
+	}
+	body, _ := io.ReadAll(r2.Body)
+	if !bytes.Contains(body, []byte(`"version":1`)) {
+		t.Fatalf("v1 snapshot body %q", body)
+	}
+}
+
+// TestLegacyAliasEquivalence proves the pre-/v1 routes are thin aliases:
+// byte-identical bodies, plus the Deprecation and successor-version Link
+// headers only on the legacy path.
+func TestLegacyAliasEquivalence(t *testing.T) {
+	srv := httptest.NewServer(deploy.Service(readyStub()))
+	defer srv.Close()
+	c := srv.Client()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := c.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, string(b)
+	}
+
+	v1Resp, v1Body := get("/v1/locations/1")
+	legacyResp, legacyBody := get("/location?addr=1")
+	if v1Body != legacyBody {
+		t.Fatalf("alias body drift:\n v1     %s\n legacy %s", v1Body, legacyBody)
+	}
+	if v1Resp.StatusCode != legacyResp.StatusCode {
+		t.Fatalf("alias status drift: %d vs %d", v1Resp.StatusCode, legacyResp.StatusCode)
+	}
+	if legacyResp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy route missing Deprecation header")
+	}
+	if link := legacyResp.Header.Get("Link"); !strings.Contains(link, "/v1/locations/{key}") ||
+		!strings.Contains(link, `rel="successor-version"`) {
+		t.Fatalf("legacy route Link header %q", link)
+	}
+	if v1Resp.Header.Get("Deprecation") != "" {
+		t.Fatal("v1 route must not be marked deprecated")
+	}
+}
+
+// TestErrorEnvelopeGoldens pins the exact wire bytes of representative error
+// responses; encoding/json sorts map keys, so the envelope is deterministic.
+func TestErrorEnvelopeGoldens(t *testing.T) {
+	srv := httptest.NewServer(deploy.Service(readyStub()))
+	defer srv.Close()
+	c := srv.Client()
+
+	cases := []struct {
+		name, method, path, want string
+	}{
+		{
+			name: "bad key", method: http.MethodGet, path: "/v1/locations/abc",
+			want: `{"error":{"code":"invalid_argument","message":"address key must be a decimal integer","details":{"key":"abc"}}}`,
+		},
+		{
+			name: "not found", method: http.MethodGet, path: "/v1/locations/424242",
+			want: `{"error":{"code":"not_found","message":"unknown address","details":{"addr":424242}}}`,
+		},
+		{
+			name: "method not allowed", method: http.MethodDelete, path: "/v1/snapshot",
+			want: `{"error":{"code":"method_not_allowed","message":"method DELETE not allowed","details":{"allowed":["GET"]}}}`,
+		},
+		{
+			name: "unmatched route", method: http.MethodGet, path: "/nope",
+			want: `{"error":{"code":"not_found","message":"no such route","details":{"path":"/nope"}}}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := c.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if got := strings.TrimSpace(string(body)); got != tc.want {
+				t.Errorf("%s %s:\n got  %s\n want %s", tc.method, tc.path, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHealthzMatrix covers the readiness x failure matrix directly on the
+// status the engine reports.
+func TestHealthzMatrix(t *testing.T) {
+	cases := []struct {
+		name   string
+		status deploy.EngineStatus
+		want   int
+	}{
+		{"cold", deploy.EngineStatus{}, http.StatusServiceUnavailable},
+		{"ready", deploy.EngineStatus{Ready: true}, http.StatusOK},
+		{"ready but failed", deploy.EngineStatus{Ready: true, Failed: true, LastError: "shard 1: boom"}, http.StatusServiceUnavailable},
+		{"failed before ready", deploy.EngineStatus{Failed: true}, http.StatusServiceUnavailable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(deploy.Service(&stubEngine{status: tc.status}))
+			defer srv.Close()
+			resp, err := srv.Client().Get(srv.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("healthz %d, want %d", resp.StatusCode, tc.want)
+			}
+			var st deploy.EngineStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Failed != tc.status.Failed || st.LastError != tc.status.LastError {
+				t.Fatalf("healthz body %+v, want %+v", st, tc.status)
+			}
+		})
+	}
+}
+
+// TestV1MetricsExposition scrapes /v1/metrics after driving some traffic and
+// checks the output parses as Prometheus text format with the HTTP families
+// present and counting.
+func TestV1MetricsExposition(t *testing.T) {
+	srv := httptest.NewServer(deploy.Service(readyStub()))
+	defer srv.Close()
+	c := srv.Client()
+
+	// Drive one v1 hit and one deprecated hit so both families have samples.
+	getJSON(t, c, srv.URL+"/v1/locations/1", http.StatusOK, nil)
+	if resp, err := c.Get(srv.URL + "/location?addr=1"); err == nil {
+		resp.Body.Close()
+	}
+
+	resp, err := c.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type %q", ct)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"dlinfma_http_requests_total",
+		"dlinfma_http_request_duration_seconds",
+		"dlinfma_http_in_flight_requests",
+		"dlinfma_http_deprecated_requests_total",
+	} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("family %s missing from /v1/metrics", want)
+		}
+	}
+	var v1Hits float64
+	for _, s := range fams["dlinfma_http_requests_total"].Samples {
+		if s.Labels["route"] == "/v1/locations/{key}" && s.Labels["code"] == "200" {
+			v1Hits = s.Value
+		}
+	}
+	if v1Hits < 1 {
+		t.Errorf("no counted 200 for /v1/locations/{key}: %+v", fams["dlinfma_http_requests_total"].Samples)
+	}
+	var depr float64
+	for _, s := range fams["dlinfma_http_deprecated_requests_total"].Samples {
+		if s.Labels["route"] == "/location" {
+			depr = s.Value
+		}
+	}
+	if depr < 1 {
+		t.Error("deprecated /location hit not counted")
+	}
+}
+
+// TestDebugHandler checks the separate debug surface: the pprof index and a
+// parsing /metrics.
+func TestDebugHandler(t *testing.T) {
+	srv := httptest.NewServer(deploy.DebugHandler())
+	defer srv.Close()
+	c := srv.Client()
+
+	resp, err := c.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	resp, err = c.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := obs.ParseExposition(resp.Body); err != nil {
+		t.Fatalf("debug /metrics does not parse: %v", err)
+	}
+}
+
+// TestStoreHandlerV1 covers the store-only Handler's v1 surface.
+func TestStoreHandlerV1(t *testing.T) {
+	st := deploy.NewStore()
+	st.Put(5, geo.Point{X: 1, Y: 2})
+	srv := httptest.NewServer(deploy.Handler(st))
+	defer srv.Close()
+	c := srv.Client()
+
+	var loc api.Location
+	getJSON(t, c, srv.URL+"/v1/locations/5", http.StatusOK, &loc)
+	if loc.Addr != 5 || loc.Source != "address" {
+		t.Fatalf("store handler location %+v", loc)
+	}
+	resp := postJSON(t, c, srv.URL+"/v1/locations:batch", api.BatchLocationsRequest{Addrs: []int64{5, 6}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("store batch status %d", resp.StatusCode)
+	}
+	var br api.BatchLocationsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Found != 1 || br.Missing != 1 {
+		t.Fatalf("store batch counts %+v", br)
+	}
+	// A bare store is deployed by construction: misses are 404s.
+	r2, err := c.Get(srv.URL + "/v1/locations/6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("store miss status %d, want 404", r2.StatusCode)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"dlinfma/internal/deploy"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/obs"
 )
 
 // Config bundles the engine's pipeline, model, and training knobs.
@@ -40,6 +41,9 @@ type Config struct {
 	// ValFraction is the share of labelled samples held out for early
 	// stopping during re-inference training (0 trains on everything).
 	ValFraction float64
+	// Logger receives lifecycle events (ingest, re-inference, snapshot,
+	// hot-swap). nil logs nothing — every obs.Logger method is nil-safe.
+	Logger *obs.Logger
 }
 
 // DefaultConfig returns the paper's defaults with a 20% validation holdout.
@@ -66,6 +70,7 @@ type state struct {
 // Engine owns the DLInfMA lifecycle. The zero value is not usable; call New.
 type Engine struct {
 	cfg Config
+	log *obs.Logger
 
 	// rootCtx bounds background jobs; Close cancels it.
 	rootCtx context.Context
@@ -82,10 +87,16 @@ type Engine struct {
 	// pending counts trips ingested after the served state was built.
 	pending int
 
-	// stateMu guards the hot-swapped serving state.
+	// stateMu guards the hot-swapped serving state and the health record of
+	// the last re-inference attempt.
 	stateMu  sync.RWMutex
 	st       *state
 	reinfers int
+	// failed is set when the most recent re-inference attempt errored (not
+	// counting cancellation, which is an orderly shutdown, not ill health);
+	// lastErr keeps the message for /healthz and /v1/reinfer status.
+	failed  bool
+	lastErr string
 
 	// jobMu guards the background re-inference job.
 	jobMu  sync.Mutex
@@ -101,6 +112,7 @@ func New(cfg Config) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Engine{
 		cfg:      cfg,
+		log:      cfg.Logger,
 		rootCtx:  ctx,
 		cancel:   cancel,
 		builder:  core.NewIncrementalPoolBuilder(cfg.Core),
@@ -133,12 +145,15 @@ func (e *Engine) SetName(name string) {
 func (e *Engine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	newAddrs := 0
 	for _, a := range addrs {
 		if !e.addrSeen[a.ID] {
 			e.addrSeen[a.ID] = true
 			e.addrs = append(e.addrs, a)
+			newAddrs++
 		}
 	}
+	ingestAddrs.Add(int64(newAddrs))
 	for id, p := range truth {
 		e.truth[id] = p
 	}
@@ -150,6 +165,10 @@ func (e *Engine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.A
 	}
 	e.trips = append(e.trips, trips...)
 	e.pending += len(trips)
+	ingestTrips.Add(int64(len(trips)))
+	ingestWindows.Inc()
+	e.log.Debug("ingest window",
+		"trips", len(trips), "new_addrs", newAddrs, "total_trips", len(e.trips))
 	return nil
 }
 
@@ -208,6 +227,37 @@ func forEachWindow(trips []model.Trip, window float64, ingest func([]model.Trip)
 // state until the swap. Cancelling ctx aborts at the next cooperative
 // check and leaves the served state untouched.
 func (e *Engine) Reinfer(ctx context.Context) error {
+	sp := obs.StartSpan("reinfer", reinferDuration)
+	err := e.reinfer(ctx)
+	d := sp.End()
+	switch {
+	case err == nil:
+		reinferSuccess.Inc()
+		e.setHealth(false, "")
+		e.log.Info("reinfer done", "dur", d)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Shutdown or deadline, not ill health: the served state is intact
+		// and the engine is as healthy as it was before the attempt.
+		reinferCanceled.Inc()
+		e.log.Warn("reinfer canceled", "dur", d, "err", err)
+	default:
+		reinferFailure.Inc()
+		e.setHealth(true, err.Error())
+		e.log.Error("reinfer failed", "dur", d, "err", err)
+	}
+	return err
+}
+
+// setHealth records the outcome of the last consequential re-inference
+// attempt (success or failure; cancellations don't touch it).
+func (e *Engine) setHealth(failed bool, msg string) {
+	e.stateMu.Lock()
+	e.failed = failed
+	e.lastErr = msg
+	e.stateMu.Unlock()
+}
+
+func (e *Engine) reinfer(ctx context.Context) error {
 	// Snapshot the ingest state under mu; all compute happens off-lock on
 	// the snapshot (builder.Finalize itself is cheap relative to training
 	// and must run under mu since Ingest mutates the builder).
@@ -276,6 +326,7 @@ func (e *Engine) Reinfer(ctx context.Context) error {
 	e.st = &state{pipe: pipe, matcher: matcher, store: store, locs: locs}
 	e.reinfers++
 	e.stateMu.Unlock()
+	hotSwaps.Inc()
 
 	e.mu.Lock()
 	e.pending = len(e.trips) - nTrips
@@ -334,9 +385,12 @@ func (e *Engine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
 	st := e.st
 	e.stateMu.RUnlock()
 	if st == nil {
+		countQuery(deploy.SourceNone)
 		return geo.Point{}, deploy.SourceNone
 	}
-	return st.store.Query(addr)
+	p, src := st.store.Query(addr)
+	countQuery(src)
+	return p, src
 }
 
 // InferredLocations returns the served address->location map (nil before
@@ -369,6 +423,7 @@ func (e *Engine) Status() deploy.EngineStatus {
 	e.stateMu.RLock()
 	st := e.st
 	reinfers := e.reinfers
+	failed, lastErr := e.failed, e.lastErr
 	e.stateMu.RUnlock()
 	e.mu.Lock()
 	s := deploy.EngineStatus{
@@ -376,6 +431,8 @@ func (e *Engine) Status() deploy.EngineStatus {
 		Addresses:    len(e.addrs),
 		PendingTrips: e.pending,
 		Reinfers:     reinfers,
+		Failed:       failed,
+		LastError:    lastErr,
 	}
 	e.mu.Unlock()
 	if st != nil {

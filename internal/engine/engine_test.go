@@ -115,6 +115,47 @@ func TestEngineLifecycle(t *testing.T) {
 	}
 }
 
+// TestEngineFailedStatus pins the health semantics behind /healthz: a failed
+// re-inference sets Failed/LastError, a cancellation does not touch them, and
+// the next success clears them.
+func TestEngineFailedStatus(t *testing.T) {
+	ds, _ := tinyEngine(t)
+	e := engine.New(quickConfig())
+	defer e.Close()
+
+	// Reinfer with nothing ingested is a real failure.
+	if err := e.Reinfer(context.Background()); err == nil {
+		t.Fatal("Reinfer on an empty engine must fail")
+	}
+	st := e.Status()
+	if !st.Failed || st.LastError == "" {
+		t.Fatalf("status after failed reinfer %+v", st)
+	}
+
+	if err := e.IngestDataset(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancellation is shutdown, not ill health: Failed stays as it was.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Reinfer(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Reinfer: %v", err)
+	}
+	if st := e.Status(); !st.Failed {
+		t.Fatalf("cancellation overwrote the failure record: %+v", st)
+	}
+
+	// A successful run clears the record.
+	if err := e.Reinfer(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Status()
+	if st.Failed || st.LastError != "" {
+		t.Fatalf("status after successful reinfer %+v", st)
+	}
+}
+
 func TestEngineReinferCancelled(t *testing.T) {
 	ds, _ := tinyEngine(t)
 	e := engine.New(quickConfig())

@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/obs"
+)
+
+// Engine-lifecycle metrics. Everything is process-global (the obs default
+// registry); a sharded engine's shards share the families, with per-shard
+// breakdowns carried by the shard label where cardinality is bounded by the
+// shard count.
+var (
+	ingestTrips = obs.Default.Counter("dlinfma_engine_ingested_trips_total",
+		"Trips accepted by Ingest across all windows.")
+	ingestAddrs = obs.Default.Counter("dlinfma_engine_ingested_addresses_total",
+		"Distinct new addresses registered during ingest.")
+	ingestWindows = obs.Default.Counter("dlinfma_engine_ingest_windows_total",
+		"Non-empty trip windows merged into the candidate pool.")
+
+	reinferDuration = obs.Default.Histogram("dlinfma_engine_reinfer_duration_seconds",
+		"Wall time of one full re-inference (pool finalize, featurize, train, predict, swap).",
+		nil)
+	reinferOutcome = obs.Default.CounterVec("dlinfma_engine_reinfer_total",
+		"Re-inference attempts by outcome. Cancellation (shutdown) is not a failure.",
+		"outcome")
+	reinferSuccess  = reinferOutcome.With("success")
+	reinferFailure  = reinferOutcome.With("failure")
+	reinferCanceled = reinferOutcome.With("canceled")
+
+	hotSwaps = obs.Default.Counter("dlinfma_engine_hot_swaps_total",
+		"Atomic serving-state swaps (completed re-inferences plus snapshot restores).")
+
+	snapshotOps = obs.Default.CounterVec("dlinfma_engine_snapshot_ops_total",
+		"Snapshot operations by kind (save/restore) and outcome (ok/error).",
+		"op", "outcome")
+	snapshotSaveOK       = snapshotOps.With("save", "ok")
+	snapshotSaveErr      = snapshotOps.With("save", "error")
+	snapshotRestoreOK    = snapshotOps.With("restore", "ok")
+	snapshotRestoreErr   = snapshotOps.With("restore", "error")
+	shardRoutedQueries   = obs.Default.CounterVec("dlinfma_engine_shard_queries_total",
+		"Queries routed to each shard of a sharded engine.",
+		"shard")
+	shardUnroutedQueries = shardRoutedQueries.With("none")
+
+	queryBySource = obs.Default.CounterVec("dlinfma_engine_queries_total",
+		"Engine queries by answering store level (address/building/geocode/none).",
+		"source")
+	// querySources pre-resolves one child per deploy.Source so the query hot
+	// path is a single atomic add.
+	querySources = [...]*obs.Counter{
+		deploy.SourceAddress:  queryBySource.With("address"),
+		deploy.SourceBuilding: queryBySource.With("building"),
+		deploy.SourceGeocode:  queryBySource.With("geocode"),
+		deploy.SourceNone:     queryBySource.With("none"),
+	}
+)
+
+// countQuery records a query's answering source, tolerating out-of-range
+// values defensively.
+func countQuery(src deploy.Source) {
+	if int(src) >= 0 && int(src) < len(querySources) {
+		querySources[src].Inc()
+	}
+}

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"dlinfma/internal/core"
 	"dlinfma/internal/deploy"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/obs"
 	"dlinfma/internal/shard"
 )
 
@@ -50,6 +52,10 @@ type ShardedEngine struct {
 	jobSeq int
 	job    *deploy.JobStatus
 	jobWG  sync.WaitGroup
+
+	// routeCounters pre-resolves one routed-query counter per shard so the
+	// query path adds one atomic op, not a label lookup.
+	routeCounters []*obs.Counter
 }
 
 // NewSharded returns an empty sharded engine with r.N() shards, each a full
@@ -65,8 +71,12 @@ func NewSharded(cfg Config, r *shard.Router) *ShardedEngine {
 		cancel:    cancel,
 		addrShard: make(map[model.AddressID]int),
 	}
+	s.routeCounters = make([]*obs.Counter, r.N())
 	for i := range s.shards {
-		s.shards[i] = New(cfg)
+		shardCfg := cfg
+		shardCfg.Logger = cfg.Logger.With("shard", i)
+		s.shards[i] = New(shardCfg)
+		s.routeCounters[i] = shardRoutedQueries.With(strconv.Itoa(i))
 	}
 	return s
 }
@@ -273,8 +283,10 @@ func (s *ShardedEngine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
 	sh, ok := s.addrShard[addr]
 	s.mu.RUnlock()
 	if !ok {
+		shardUnroutedQueries.Inc()
 		return geo.Point{}, deploy.SourceNone
 	}
+	s.routeCounters[sh].Inc()
 	return s.shards[sh].Query(addr)
 }
 
@@ -317,6 +329,12 @@ func (s *ShardedEngine) Status() deploy.EngineStatus {
 		out.PendingTrips += st.PendingTrips
 		if st.Ready {
 			out.Ready = true
+		}
+		if st.Failed {
+			out.Failed = true
+			if out.LastError == "" {
+				out.LastError = fmt.Sprintf("shard %d: %s", i, st.LastError)
+			}
 		}
 		out.Shards = append(out.Shards, deploy.ShardStatus{Shard: i, EngineStatus: st})
 	}

@@ -40,7 +40,14 @@ const (
 
 // WriteSnapshot streams the current serving state to w. It fails before the
 // first completed re-inference or restore.
-func (e *Engine) WriteSnapshot(w io.Writer) error {
+func (e *Engine) WriteSnapshot(w io.Writer) (err error) {
+	defer func() {
+		if err != nil {
+			snapshotSaveErr.Inc()
+		} else {
+			snapshotSaveOK.Inc()
+		}
+	}()
 	e.stateMu.RLock()
 	st := e.st
 	e.stateMu.RUnlock()
@@ -74,7 +81,14 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 // the address metadata), and the trained matcher is available again. The
 // restored addresses also seed the ingest state so later windows extend the
 // same address universe.
-func (e *Engine) RestoreSnapshot(r io.Reader) error {
+func (e *Engine) RestoreSnapshot(r io.Reader) (err error) {
+	defer func() {
+		if err != nil {
+			snapshotRestoreErr.Inc()
+		} else {
+			snapshotRestoreOK.Inc()
+		}
+	}()
 	var sn snapshot
 	if err := json.NewDecoder(r).Decode(&sn); err != nil {
 		return fmt.Errorf("engine: decode snapshot: %w", err)
@@ -124,6 +138,9 @@ func (e *Engine) RestoreSnapshot(r io.Reader) error {
 	e.stateMu.Lock()
 	e.st = &state{matcher: matcher, store: store, locs: locs}
 	e.stateMu.Unlock()
+	hotSwaps.Inc()
+	e.log.Info("snapshot restored",
+		"dataset", sn.Name, "addresses", len(sn.Addresses), "locations", len(locs))
 	return nil
 }
 

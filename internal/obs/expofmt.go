@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Family is one metric family of a parsed Prometheus text exposition.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ExpoSample
+}
+
+// ExpoSample is one sample line of a parsed exposition.
+type ExpoSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseExposition parses and validates a Prometheus text-format (0.0.4)
+// exposition: well-formed HELP/TYPE comments, known metric types, valid
+// metric names, parseable label sets and float values, and — for samples
+// under a declared family — a TYPE line preceding the samples, with
+// histogram samples restricted to the _bucket/_sum/_count suffixes. It
+// returns the families keyed by name. The CI smoke check and the /v1/metrics
+// tests both gate on it.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	families := make(map[string]*Family)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln, err)
+			}
+			continue
+		}
+		if err := parseSample(line, families); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has samples but no # TYPE line", name)
+		}
+	}
+	return families, nil
+}
+
+func parseComment(line string, families map[string]*Family) error {
+	parts := strings.SplitN(line, " ", 4)
+	if len(parts) < 3 {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch parts[1] {
+	case "HELP":
+		f := getFamily(families, parts[2])
+		if len(parts) == 4 {
+			f.Help = parts[3]
+		}
+	case "TYPE":
+		if len(parts) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch parts[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", parts[3])
+		}
+		f := getFamily(families, parts[2])
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", parts[2])
+		}
+		f.Type = parts[3]
+	default:
+		// Other comments are legal and ignored.
+	}
+	return nil
+}
+
+func getFamily(families map[string]*Family, name string) *Family {
+	if f, ok := families[name]; ok {
+		return f
+	}
+	f := &Family{Name: name}
+	families[name] = f
+	return f
+}
+
+func parseSample(line string, families map[string]*Family) error {
+	name, rest := splitName(line)
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name in %q", line)
+	}
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end, err := labelSetEnd(rest)
+		if err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		if labels, err = parseLabels(rest[1:end]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	fam := name
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := families[base]; ok && f.Type == "histogram" {
+				fam = base
+				break
+			}
+		}
+	}
+	f := getFamily(families, fam)
+	if f.Type == "histogram" && fam == name {
+		return fmt.Errorf("histogram %s has a bare sample %q", fam, line)
+	}
+	f.Samples = append(f.Samples, ExpoSample{Name: name, Labels: labels, Value: v})
+	return nil
+}
+
+// labelSetEnd returns the index of the '}' closing the label set opened at
+// s[0], skipping braces inside quoted label values (route patterns like
+// "/v1/locations/{key}" are legal values).
+func labelSetEnd(s string) (int, error) {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unterminated label set")
+}
+
+func splitName(line string) (name, rest string) {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '{' || c == ' ' || c == '\t' {
+			return line[:i], line[i:]
+		}
+	}
+	return line, ""
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without value")
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validMetricName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		val, rest, err := scanQuoted(s)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = val
+		s = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+	}
+	return out, nil
+}
+
+// scanQuoted consumes a leading quoted string with \", \\ and \n escapes.
+func scanQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,46 @@
+package obs
+
+import "time"
+
+// Span times one stage of work into a histogram. It is a value type — no
+// allocation — so the canonical use is a one-liner:
+//
+//	defer obs.StartSpan("fit", stageFit).End()
+//
+// or, when the duration is also needed:
+//
+//	sp := obs.StartSpan("reinfer", reinferDur)
+//	...
+//	d := sp.End()
+type Span struct {
+	name  string
+	start time.Time
+	hist  *Histogram
+}
+
+// StartSpan starts a span that will observe its duration, in seconds, into
+// hist (nil hist: timing only).
+func StartSpan(name string, hist *Histogram) Span {
+	return Span{name: name, start: time.Now(), hist: hist}
+}
+
+// Name returns the span's stage name.
+func (s Span) Name() string { return s.name }
+
+// End records the elapsed time into the span's histogram and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.Observe(d.Seconds())
+	}
+	return d
+}
+
+// EndLog is End plus a debug line on l with the duration and extra pairs.
+func (s Span) EndLog(l *Logger, pairs ...any) time.Duration {
+	d := s.End()
+	if l.Enabled(LevelDebug) {
+		l.Debug(s.name, append([]any{"dur", d}, pairs...)...)
+	}
+	return d
+}

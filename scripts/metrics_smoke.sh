@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Boots a dlinfma server with no dataset (instant cold start), drives a few
+# requests through the v1 and legacy surfaces, then scrapes /v1/metrics with
+# metricscheck: the build fails if the exposition doesn't parse or a required
+# family is missing. Run via `make smoke-metrics`.
+set -euo pipefail
+
+PORT="${PORT:-18080}"
+BIN_DIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$BIN_DIR"' EXIT
+
+go build -o "$BIN_DIR/dlinfma" ./cmd/dlinfma
+go build -o "$BIN_DIR/metricscheck" ./cmd/metricscheck
+
+"$BIN_DIR/dlinfma" serve -data "" -listen "127.0.0.1:$PORT" -log-level debug &
+SERVER_PID=$!
+
+# Wait for the listener (cold start with -data "" is immediate, but be safe).
+for _ in $(seq 1 50); do
+  if curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if curl -sS -o /dev/null "http://127.0.0.1:$PORT/healthz" 2>/dev/null; then
+    break # 503 from a cold engine still means the listener is up
+  fi
+  sleep 0.1
+done
+
+# Drive traffic: v1 query (503/404 paths count too), batch, legacy alias,
+# health, an unmatched route — enough to populate every HTTP family.
+curl -sS -o /dev/null "http://127.0.0.1:$PORT/v1/locations/1" || true
+curl -sS -o /dev/null -X POST -d '{"addrs":[1,2,3]}' "http://127.0.0.1:$PORT/v1/locations:batch" || true
+curl -sS -o /dev/null "http://127.0.0.1:$PORT/location?addr=1" || true
+curl -sS -o /dev/null "http://127.0.0.1:$PORT/healthz" || true
+curl -sS -o /dev/null "http://127.0.0.1:$PORT/no/such/route" || true
+
+"$BIN_DIR/metricscheck" -url "http://127.0.0.1:$PORT/v1/metrics"
+echo "metrics smoke: OK"
