@@ -26,6 +26,7 @@ import (
 	"dlinfma/internal/eval"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/obs/trace"
 	"dlinfma/internal/shard"
 	"dlinfma/internal/synth"
 	"dlinfma/internal/traj"
@@ -437,6 +438,31 @@ func BenchmarkAblationStayThresholds(b *testing.B) {
 // training cost.
 func BenchmarkServeQueries(b *testing.B) {
 	p := tinyPrepared(b)
+	doc := storeSnapshotDoc(b, p)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			runServeQueries(b, shards, doc, p.DS.Addresses, deploy.Options{})
+		})
+	}
+}
+
+// BenchmarkServeQueriesTraced is BenchmarkServeQueries with request tracing
+// on at 100% head sampling — the worst-case tracing overhead (target: <5%
+// over the untraced shards=1 row). Every query mints a root span, records
+// its attributes, and publishes the trace into the ring buffer.
+func BenchmarkServeQueriesTraced(b *testing.B) {
+	p := tinyPrepared(b)
+	doc := storeSnapshotDoc(b, p)
+	b.Run("shards=1", func(b *testing.B) {
+		tracer := trace.NewTracer(trace.Options{SampleProb: 1, Store: trace.NewStore(256)})
+		runServeQueries(b, 1, doc, p.DS.Addresses, deploy.Options{Tracer: tracer})
+	})
+}
+
+// storeSnapshotDoc builds the store-only snapshot document both serve
+// benchmarks restore: ground-truth locations for every tiny-profile address.
+func storeSnapshotDoc(b *testing.B, p *eval.Prepared) []byte {
+	b.Helper()
 	sn := struct {
 		Name      string                `json:"name"`
 		Addresses []model.AddressInfo   `json:"addresses"`
@@ -449,47 +475,50 @@ func BenchmarkServeQueries(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, shards := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			var e engine.Runtime
-			if shards == 1 {
-				e = engine.New(engine.DefaultConfig())
-			} else {
-				r, err := shard.NewRouter(shards, 8)
-				if err != nil {
-					b.Fatal(err)
-				}
-				e = engine.NewSharded(engine.DefaultConfig(), r)
+	return doc
+}
+
+// runServeQueries restores the snapshot into a fresh engine of the given
+// shard count and drives concurrent legacy /location queries through an
+// httptest server built with opts.
+func runServeQueries(b *testing.B, shards int, doc []byte, addrs []model.AddressInfo, opts deploy.Options) {
+	b.Helper()
+	var e engine.Runtime
+	if shards == 1 {
+		e = engine.New(engine.DefaultConfig())
+	} else {
+		r, err := shard.NewRouter(shards, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e = engine.NewSharded(engine.DefaultConfig(), r)
+	}
+	defer e.Close()
+	if err := e.RestoreSnapshot(bytes.NewReader(doc)); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(deploy.NewService(e, opts))
+	defer srv.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp, err := http.Get(fmt.Sprintf("%s/location?addr=%d", srv.URL, addrs[i%len(addrs)].ID))
+			if err != nil {
+				b.Error(err)
+				return
 			}
-			defer e.Close()
-			if err := e.RestoreSnapshot(bytes.NewReader(doc)); err != nil {
-				b.Fatal(err)
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
 			}
-			srv := httptest.NewServer(deploy.Service(e))
-			defer srv.Close()
-			addrs := p.DS.Addresses
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				i := 0
-				for pb.Next() {
-					resp, err := http.Get(fmt.Sprintf("%s/location?addr=%d", srv.URL, addrs[i%len(addrs)].ID))
-					if err != nil {
-						b.Error(err)
-						return
-					}
-					_, _ = io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
-						b.Errorf("status %d", resp.StatusCode)
-						return
-					}
-					i++
-				}
-			})
-			b.StopTimer()
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(b.N)/sec, "queries/sec")
-			}
-		})
+			i++
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "queries/sec")
 	}
 }

@@ -25,7 +25,11 @@ type Result struct {
 	// benchmark segment (BenchmarkServeQueries/shards=4-8), so per-shard
 	// throughput rows can be charted without re-parsing names. Zero when the
 	// benchmark has no shard dimension.
-	Shards     int                `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Traced marks rows from a tracing-enabled benchmark variant
+	// (BenchmarkServeQueriesTraced), so trace overhead can be compared
+	// against the untraced row of the same shape.
+	Traced     bool               `json:"traced,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -96,7 +100,12 @@ func parseBench(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: fields[0], Iterations: iters, Shards: parseShards(fields[0])}
+	r := Result{
+		Name:       fields[0],
+		Iterations: iters,
+		Shards:     parseShards(fields[0]),
+		Traced:     strings.Contains(fields[0], "Traced"),
+	}
 	// The rest alternate value/unit.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dlinfma/internal/deploy"
 	"dlinfma/internal/engine"
@@ -27,6 +28,7 @@ import (
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
 	"dlinfma/internal/obs"
+	"dlinfma/internal/obs/trace"
 	"dlinfma/internal/shard"
 	"dlinfma/internal/synth"
 )
@@ -126,11 +128,12 @@ func shardFlags(fs *flag.FlagSet) (shards, precision *int) {
 
 // newEngine picks the engine shape from the shard flags: one global engine,
 // or N regional shards behind a geohash router. Both satisfy engine.Runtime,
-// so every subcommand drives them identically. log may be nil (batch
-// subcommands report through stdout instead).
-func newEngine(workers, shards, precision int, log *obs.Logger) (engine.Runtime, error) {
+// so every subcommand drives them identically. log and tracer may be nil
+// (batch subcommands report through stdout and don't trace).
+func newEngine(workers, shards, precision int, log *obs.Logger, tracer *trace.Tracer) (engine.Runtime, error) {
 	cfg := engineConfig(workers)
 	cfg.Logger = log
+	cfg.Tracer = tracer
 	if shards <= 1 {
 		return engine.New(cfg), nil
 	}
@@ -145,7 +148,7 @@ func newEngine(workers, shards, precision int, log *obs.Logger) (engine.Runtime,
 // and runs one full re-inference — the same path the serve subcommand's
 // background jobs take, so batch and online runs cannot drift apart.
 func runPipeline(ctx context.Context, ds *model.Dataset, workers, shards, precision int) (engine.Runtime, error) {
-	e, err := newEngine(workers, shards, precision, nil)
+	e, err := newEngine(workers, shards, precision, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +237,12 @@ func cmdServe(ctx context.Context, args []string) error {
 	logFormat := fs.String("log-format", "logfmt", "log line encoding: logfmt|json")
 	debugListen := fs.String("debug-listen", "",
 		"optional second listen address for net/http/pprof and /metrics (keep it private)")
+	traceSample := fs.Float64("trace-sample", 0.1,
+		"head-sampling probability of request traces in [0,1] (slow or errored requests are kept regardless)")
+	traceSlow := fs.Duration("trace-slow", time.Second,
+		"requests at least this slow are traced even when head sampling passed (0 disables the rule)")
+	traceBuffer := fs.Int("trace-buffer", 256,
+		"completed traces kept in the in-memory ring buffer behind /v1/debug/traces (0 disables tracing)")
 	shards, precision := shardFlags(fs)
 	fs.Parse(args)
 
@@ -247,7 +256,16 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	log := obs.NewLogger(os.Stderr, lvl, format)
 
-	e, err := newEngine(*workers, *shards, *precision, log.With("component", "engine"))
+	var tracer *trace.Tracer
+	if *traceBuffer > 0 {
+		tracer = trace.NewTracer(trace.Options{
+			SampleProb:    *traceSample,
+			SlowThreshold: *traceSlow,
+			Store:         trace.NewStore(*traceBuffer),
+		})
+	}
+
+	e, err := newEngine(*workers, *shards, *precision, log.With("component", "engine"), tracer)
 	if err != nil {
 		return err
 	}
@@ -296,7 +314,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	fmt.Printf("serving %d inferred locations on %s (GET /v1/locations/{key}, POST /v1/locations:batch, POST /v1/ingest, POST /v1/reinfer, GET /v1/snapshot, GET /v1/metrics)\n",
 		st.Inferred, *listen)
 	if *debugListen != "" {
-		dsrv := deploy.NewServer(*debugListen, deploy.DebugHandler())
+		dsrv := deploy.NewServer(*debugListen, deploy.DebugHandler(tracer))
 		go func() {
 			if derr := deploy.Serve(ctx, dsrv); derr != nil {
 				log.Error("debug listener failed", "addr", *debugListen, "err", derr)
@@ -304,7 +322,10 @@ func cmdServe(ctx context.Context, args []string) error {
 		}()
 		log.Info("debug listener up", "addr", *debugListen)
 	}
-	srv := deploy.NewServer(*listen, deploy.NewService(e, deploy.Options{Logger: log.With("component", "http")}))
+	srv := deploy.NewServer(*listen, deploy.NewService(e, deploy.Options{
+		Logger: log.With("component", "http"),
+		Tracer: tracer,
+	}))
 	err = deploy.Serve(ctx, srv)
 	// Join any in-flight background re-inference before persisting, so the
 	// snapshot observes a settled engine (Close is idempotent; the deferred

@@ -295,7 +295,7 @@ func (p *Pipeline) BuildSamples(addrs []model.AddressID, opt SampleOptions) []*S
 // addresses. The result keeps address order regardless of scheduling: samples
 // land in an index-aligned slot array that is compacted serially.
 func (p *Pipeline) BuildSamplesCtx(ctx context.Context, addrs []model.AddressID, opt SampleOptions) ([]*Sample, error) {
-	defer obs.StartSpan("feature_build", stageFeatures).End()
+	defer obs.StartSpanCtx(ctx, "feature_build", stageFeatures).End()
 	slots := make([]*Sample, len(addrs))
 	err := nn.ParallelForCtx(ctx, p.Cfg.workers(), len(addrs), func(i int) {
 		slots[i] = p.BuildSample(addrs[i], opt)

@@ -64,7 +64,7 @@ func NewIncrementalPoolBuilder(cfg Config) *IncrementalPoolBuilder {
 // Cancelling ctx aborts before the builder state is touched, so a cancelled
 // AddWindow leaves the pool exactly as it was.
 func (b *IncrementalPoolBuilder) AddWindow(ctx context.Context, trips []model.Trip) error {
-	defer obs.StartSpan("pool_window", stagePoolWindow).End()
+	defer obs.StartSpanCtx(ctx, "pool_window", stagePoolWindow).End()
 	// Extract and cluster this window's stay points.
 	type stay struct {
 		sp      traj.StayPoint
@@ -178,7 +178,13 @@ func (b *IncrementalPoolBuilder) resolve(i int) int {
 // Finalize produces the Pool. The builder can keep accepting windows after
 // Finalize; each call snapshots the current state.
 func (b *IncrementalPoolBuilder) Finalize() *Pool {
-	defer obs.StartSpan("pool_finalize", stagePoolFinalize).End()
+	return b.FinalizeCtx(context.Background())
+}
+
+// FinalizeCtx is Finalize with the caller's context, so the finalize stage
+// span lands in the request or job trace carrying the builder.
+func (b *IncrementalPoolBuilder) FinalizeCtx(ctx context.Context) *Pool {
+	defer obs.StartSpanCtx(ctx, "pool_finalize", stagePoolFinalize).End()
 	// Assign dense ids to alive items.
 	finalID := make(map[int]int)
 	p := &Pool{}
@@ -247,5 +253,5 @@ func BuildPoolIncrementally(ctx context.Context, ds *model.Dataset, cfg Config) 
 			return nil, err
 		}
 	}
-	return b.Finalize(), nil
+	return b.FinalizeCtx(ctx), nil
 }

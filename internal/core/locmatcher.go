@@ -281,7 +281,7 @@ type TrainResult struct {
 // the optimizer on a partial batch, leaving the parameters at the last
 // completed update.
 func (m *LocMatcher) Fit(ctx context.Context, train, val []*Sample) (TrainResult, error) {
-	defer obs.StartSpan("fit", stageFit).End()
+	defer obs.StartSpanCtx(ctx, "fit", stageFit).End()
 	train = labelled(train)
 	val = labelled(val)
 	if len(train) == 0 {
@@ -457,7 +457,7 @@ func (m *LocMatcher) Predict(s *Sample) int {
 // goroutines and returns the predictions in sample order. Cancelling ctx
 // stops the fan-out between samples and returns ctx.Err().
 func (m *LocMatcher) PredictAll(ctx context.Context, samples []*Sample) ([]int, error) {
-	defer obs.StartSpan("predict", stagePredict).End()
+	defer obs.StartSpanCtx(ctx, "predict", stagePredict).End()
 	out := make([]int, len(samples))
 	err := nn.ParallelForCtx(ctx, m.inferWorkers(), len(samples), func(i int) {
 		out[i] = m.Predict(samples[i])

@@ -14,7 +14,7 @@ import (
 var (
 	stageDuration = obs.Default.HistogramVec("dlinfma_pipeline_stage_duration_seconds",
 		"Latency of each DLInfMA pipeline stage (noise_filter and stay_detect per trip, pool_window per window, cluster/pool_finalize/feature_build/fit/predict per call).",
-		nil, "stage")
+		obs.JobDurationBuckets, "stage")
 	stageNoise        = stageDuration.With("noise_filter")
 	stageStayDetect   = stageDuration.With("stay_detect")
 	stageCluster      = stageDuration.With("cluster")

@@ -140,7 +140,7 @@ func BuildPool(ctx context.Context, ds *model.Dataset, cfg Config) (*Pool, error
 			records = append(records, stayRecord{sp: sp, trip: t, courier: ds.Trips[t].Courier})
 		}
 	}
-	sp := obs.StartSpan("cluster", stageCluster)
+	sp := obs.StartSpanCtx(ctx, "cluster", stageCluster)
 	assign, err := clusterStays(ctx, records, cfg)
 	sp.End()
 	if err != nil {

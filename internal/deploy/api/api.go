@@ -12,6 +12,8 @@
 package api
 
 import (
+	"time"
+
 	"dlinfma/internal/model"
 )
 
@@ -151,4 +153,54 @@ type EngineStatus struct {
 type ShardStatus struct {
 	Shard int `json:"shard"`
 	EngineStatus
+}
+
+// TraceSummary is one row of GET /v1/debug/traces: enough to decide which
+// trace to fetch in full.
+type TraceSummary struct {
+	TraceID string    `json:"trace_id"`
+	Root    string    `json:"root"`
+	Start   time.Time `json:"start"`
+	// DurationMS is the root span's wall time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Spans counts recorded spans; Dropped counts spans past the per-trace cap.
+	Spans   int  `json:"spans"`
+	Dropped int  `json:"dropped,omitempty"`
+	Error   bool `json:"error,omitempty"`
+}
+
+// TraceListResponse answers GET /v1/debug/traces, newest first.
+type TraceListResponse struct {
+	Traces []TraceSummary `json:"traces"`
+	Count  int            `json:"count"`
+}
+
+// TraceEvent is one timestamped annotation on a span.
+type TraceEvent struct {
+	Time time.Time `json:"time"`
+	Msg  string    `json:"msg"`
+}
+
+// TraceSpan is one node of the span tree in GET /v1/debug/traces/{id}.
+type TraceSpan struct {
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []TraceEvent   `json:"events,omitempty"`
+	Error      string         `json:"error,omitempty"`
+	Children   []*TraceSpan   `json:"children,omitempty"`
+}
+
+// TraceResponse answers GET /v1/debug/traces/{id}: the full span tree of one
+// completed trace. Spans holds the roots (normally one — the HTTP or job
+// root; orphans whose parent was dropped surface as extra roots).
+type TraceResponse struct {
+	TraceID      string       `json:"trace_id"`
+	DurationMS   float64      `json:"duration_ms"`
+	Error        bool         `json:"error,omitempty"`
+	DroppedSpans int          `json:"dropped_spans,omitempty"`
+	Spans        []*TraceSpan `json:"spans"`
 }

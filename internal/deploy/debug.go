@@ -3,6 +3,8 @@ package deploy
 import (
 	"net/http"
 	"net/http/pprof"
+
+	"dlinfma/internal/obs/trace"
 )
 
 // DebugHandler returns the opt-in debug surface meant for a separate,
@@ -16,7 +18,13 @@ import (
 //	GET /debug/pprof/heap       and the other runtime profiles via the index
 //	GET /debug/pprof/trace      execution trace (?seconds=N)
 //	GET /metrics                Prometheus text exposition (same as /v1/metrics)
-func DebugHandler() http.Handler {
+//	GET /debug/traces           recent request traces (same as /v1/debug/traces)
+//	GET /debug/traces/{id}      one trace's span tree
+//
+// tr backs the trace endpoints; nil (tracing off) makes them answer empty /
+// not found rather than 404 on the route, so probing the listener still
+// works.
+func DebugHandler(tr *trace.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -24,5 +32,7 @@ func DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", metricsExposition)
+	mux.HandleFunc("/debug/traces", traceListHandler(tr))
+	mux.HandleFunc("/debug/traces/{id}", traceGetHandler(tr))
 	return mux
 }

@@ -1,11 +1,14 @@
 package deploy
 
 import (
+	"context"
+	"errors"
 	"net/http"
 	"strconv"
 	"sync"
 
 	"dlinfma/internal/obs"
+	"dlinfma/internal/obs/trace"
 )
 
 // routeOther is the metric label of every unmatched path, bounding the
@@ -20,7 +23,7 @@ var (
 		"route", "method", "code")
 	httpDuration = obs.Default.HistogramVec("dlinfma_http_request_duration_seconds",
 		"HTTP request latency by route pattern.",
-		nil, "route")
+		obs.RequestLatencyBuckets, "route")
 	httpInFlight = obs.Default.Gauge("dlinfma_http_in_flight_requests",
 		"Requests currently being handled.")
 	httpDeprecated = obs.Default.CounterVec("dlinfma_http_deprecated_requests_total",
@@ -54,7 +57,20 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// Instrument wraps a handler in the request-logging + metrics middleware:
+// requestIDKey carries the per-request correlation id in the context.
+type requestIDKey struct{}
+
+// RequestID returns the correlation id Instrument assigned to the request
+// carried by ctx ("" outside an instrumented request).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// Instrument wraps a handler in the request-scoped middleware: correlation
+// id (an incoming X-Request-ID is honored, otherwise one is minted) echoed
+// on every response, a root trace span per request continuing an incoming
+// W3C traceparent (tracer nil: tracing off, everything else unchanged),
 // request count and latency by route and status, an in-flight gauge, and a
 // per-request access line on log at debug level. Every route of the service
 // — and any embedding of deploy handlers elsewhere — goes through it.
@@ -63,7 +79,7 @@ func (r *statusRecorder) Flush() {
 // map so the steady-state path never allocates the label key; the generic
 // Vec.With (which joins the values into a string) runs only on the first
 // request of each combination.
-func Instrument(route string, log *obs.Logger, h http.Handler) http.Handler {
+func Instrument(route string, log *obs.Logger, tracer *trace.Tracer, h http.Handler) http.Handler {
 	hist := httpDuration.With(route)
 	type methodCode struct {
 		method string
@@ -76,10 +92,37 @@ func Instrument(route string, log *obs.Logger, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		httpInFlight.Inc()
 		defer httpInFlight.Dec()
+
+		// Correlation id and root span land in the response headers before
+		// the handler runs, so error envelopes and streamed bodies carry
+		// them too (headers are immutable after the first write).
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = trace.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+
+		var tsp *trace.Span
+		if tracer != nil {
+			parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+			ctx, tsp = tracer.StartRoot(ctx, route, parent)
+			tsp.SetAttr("method", r.Method)
+			tsp.SetAttr("path", r.URL.Path)
+			tsp.SetAttr("request_id", reqID)
+			w.Header().Set("Traceparent", tsp.Traceparent())
+		}
+		r = r.WithContext(ctx)
+
 		sp := obs.StartSpan(route, hist)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
 		d := sp.End()
+		tsp.SetAttr("status", rec.status)
+		if rec.status >= http.StatusInternalServerError {
+			tsp.RecordError(errors.New("http " + strconv.Itoa(rec.status)))
+		}
+		tsp.End()
 		mc := methodCode{r.Method, rec.status}
 		countersMu.RLock()
 		c := counters[mc]
@@ -92,13 +135,14 @@ func Instrument(route string, log *obs.Logger, h http.Handler) http.Handler {
 		}
 		c.Inc()
 		if log.Enabled(obs.LevelDebug) {
-			log.Debug("http",
+			log.WithTrace(ctx).Debug("http",
 				"method", r.Method,
 				"path", r.URL.Path,
 				"route", route,
 				"status", rec.status,
 				"bytes", rec.bytes,
 				"dur", d,
+				"request_id", reqID,
 			)
 		}
 	})

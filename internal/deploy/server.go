@@ -67,9 +67,9 @@ func Handler(s *Store) http.Handler {
 	}, http.MethodPost)
 
 	mux := http.NewServeMux()
-	mux.Handle("/v1/locations/{key}", Instrument("/v1/locations/{key}", nil, location))
-	mux.Handle("/v1/locations:batch", Instrument("/v1/locations:batch", nil, batch))
-	mux.Handle("/location", Instrument("/location", nil, deprecate("/location", "/v1/locations/{key}", location)))
+	mux.Handle("/v1/locations/{key}", Instrument("/v1/locations/{key}", nil, nil, location))
+	mux.Handle("/v1/locations:batch", Instrument("/v1/locations:batch", nil, nil, batch))
+	mux.Handle("/location", Instrument("/location", nil, nil, deprecate("/location", "/v1/locations/{key}", location)))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})

@@ -14,6 +14,7 @@ import (
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
 	"dlinfma/internal/obs"
+	"dlinfma/internal/obs/trace"
 )
 
 // Engine is deploy's view of the serving engine (implemented by
@@ -90,6 +91,10 @@ type Options struct {
 	// Logger receives per-request access lines (at debug level) and handler
 	// warnings. nil drops everything.
 	Logger *obs.Logger
+	// Tracer starts one root span per request (continuing an incoming W3C
+	// traceparent) and backs GET /v1/debug/traces. nil disables tracing;
+	// the debug endpoints then answer empty.
+	Tracer *trace.Tracer
 }
 
 // Service returns the engine-backed HTTP API with default options — see
@@ -115,13 +120,13 @@ func Service(e Engine) http.Handler { return NewService(e, Options{}) }
 // failure, and every route is wrapped in the request-logging + metrics
 // middleware (status, latency, in-flight).
 func NewService(e Engine, opts Options) http.Handler {
-	s := &service{e: e, log: opts.Logger}
+	s := &service{e: e, log: opts.Logger, tracer: opts.Tracer}
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
-		mux.Handle(pattern, Instrument(route, s.log, h))
+		mux.Handle(pattern, Instrument(route, s.log, s.tracer, h))
 	}
 	alias := func(pattern, successor string, h http.HandlerFunc) {
-		mux.Handle(pattern, Instrument(pattern, s.log, deprecate(pattern, successor, h)))
+		mux.Handle(pattern, Instrument(pattern, s.log, s.tracer, deprecate(pattern, successor, h)))
 	}
 
 	handle("/v1/locations/{key}", "/v1/locations/{key}", methodsOnly(s.handleLocation, http.MethodGet))
@@ -130,6 +135,8 @@ func NewService(e Engine, opts Options) http.Handler {
 	handle("/v1/reinfer", "/v1/reinfer", methodsOnly(s.handleReinfer, http.MethodPost, http.MethodGet))
 	handle("/v1/snapshot", "/v1/snapshot", methodsOnly(s.handleSnapshot, http.MethodGet))
 	handle("/v1/metrics", "/v1/metrics", methodsOnly(metricsExposition, http.MethodGet))
+	handle("/v1/debug/traces", "/v1/debug/traces", methodsOnly(traceListHandler(s.tracer), http.MethodGet))
+	handle("/v1/debug/traces/{id}", "/v1/debug/traces/{id}", methodsOnly(traceGetHandler(s.tracer), http.MethodGet))
 	handle("/healthz", "/healthz", methodsOnly(s.handleHealthz, http.MethodGet))
 
 	alias("/location", "/v1/locations/{key}", methodsOnly(s.handleLocation, http.MethodGet))
@@ -146,8 +153,9 @@ func NewService(e Engine, opts Options) http.Handler {
 }
 
 type service struct {
-	e   Engine
-	log *obs.Logger
+	e      Engine
+	log    *obs.Logger
+	tracer *trace.Tracer
 }
 
 // methodsOnly gates a handler to the allowed methods, answering the uniform
@@ -280,7 +288,7 @@ func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		truth[id] = geo.Point{X: v[0], Y: v[1]}
 	}
 	if err := s.e.Ingest(r.Context(), req.Trips, req.Addresses, truth); err != nil {
-		s.log.Warn("ingest failed", "err", err)
+		s.log.WithTrace(r.Context()).Warn("ingest failed", "err", err, "request_id", RequestID(r.Context()))
 		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
 		return
 	}
@@ -298,7 +306,7 @@ func (s *service) handleReinfer(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err != nil {
-			s.log.Warn("reinfer start failed", "err", err)
+			s.log.WithTrace(r.Context()).Warn("reinfer start failed", "err", err, "request_id", RequestID(r.Context()))
 			writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
 			return
 		}
@@ -322,7 +330,7 @@ func (s *service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.e.WriteSnapshot(w); err != nil {
 		// Headers are gone; the truncated body is the best signal left.
-		s.log.Warn("snapshot stream failed", "err", err)
+		s.log.WithTrace(r.Context()).Warn("snapshot stream failed", "err", err, "request_id", RequestID(r.Context()))
 		return
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
 	"dlinfma/internal/obs"
+	"dlinfma/internal/obs/trace"
 )
 
 // Config bundles the engine's pipeline, model, and training knobs.
@@ -44,6 +45,10 @@ type Config struct {
 	// Logger receives lifecycle events (ingest, re-inference, snapshot,
 	// hot-swap). nil logs nothing — every obs.Logger method is nil-safe.
 	Logger *obs.Logger
+	// Tracer mints root spans for background jobs (request-path spans ride
+	// the caller's context instead). nil traces nothing — every trace method
+	// is nil-safe.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns the paper's defaults with a 20% validation holdout.
@@ -143,6 +148,9 @@ func (e *Engine) SetName(name string) {
 // not touched until the next Reinfer. Cancelling ctx mid-window returns
 // ctx.Err() with the pool unchanged.
 func (e *Engine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error {
+	ctx, tsp := trace.Start(ctx, "engine.ingest")
+	tsp.SetAttr("trips", len(trips))
+	defer tsp.End()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	newAddrs := 0
@@ -161,13 +169,14 @@ func (e *Engine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.A
 		return nil
 	}
 	if err := e.builder.AddWindow(ctx, trips); err != nil {
+		tsp.RecordError(err)
 		return err
 	}
 	e.trips = append(e.trips, trips...)
 	e.pending += len(trips)
 	ingestTrips.Add(int64(len(trips)))
 	ingestWindows.Inc()
-	e.log.Debug("ingest window",
+	e.log.WithTrace(ctx).Debug("ingest window",
 		"trips", len(trips), "new_addrs", newAddrs, "total_trips", len(e.trips))
 	return nil
 }
@@ -227,23 +236,27 @@ func forEachWindow(trips []model.Trip, window float64, ingest func([]model.Trip)
 // state until the swap. Cancelling ctx aborts at the next cooperative
 // check and leaves the served state untouched.
 func (e *Engine) Reinfer(ctx context.Context) error {
+	ctx, tsp := trace.Start(ctx, "engine.reinfer")
 	sp := obs.StartSpan("reinfer", reinferDuration)
 	err := e.reinfer(ctx)
+	tsp.RecordError(err)
+	tsp.End()
 	d := sp.End()
+	log := e.log.WithTrace(ctx)
 	switch {
 	case err == nil:
 		reinferSuccess.Inc()
 		e.setHealth(false, "")
-		e.log.Info("reinfer done", "dur", d)
+		log.Info("reinfer done", "dur", d)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// Shutdown or deadline, not ill health: the served state is intact
 		// and the engine is as healthy as it was before the attempt.
 		reinferCanceled.Inc()
-		e.log.Warn("reinfer canceled", "dur", d, "err", err)
+		log.Warn("reinfer canceled", "dur", d, "err", err)
 	default:
 		reinferFailure.Inc()
 		e.setHealth(true, err.Error())
-		e.log.Error("reinfer failed", "dur", d, "err", err)
+		log.Error("reinfer failed", "dur", d, "err", err)
 	}
 	return err
 }
@@ -266,7 +279,7 @@ func (e *Engine) reinfer(ctx context.Context) error {
 		e.mu.Unlock()
 		return errors.New("engine: no trips ingested")
 	}
-	pool := e.builder.Finalize()
+	pool := e.builder.FinalizeCtx(ctx)
 	ds := &model.Dataset{
 		Name:      e.name,
 		Trips:     e.trips[:len(e.trips):len(e.trips)],
@@ -322,11 +335,13 @@ func (e *Engine) reinfer(ctx context.Context) error {
 		locs[s.Addr] = loc
 	}
 
+	_, swapSp := trace.Start(ctx, "engine.hot_swap")
 	e.stateMu.Lock()
 	e.st = &state{pipe: pipe, matcher: matcher, store: store, locs: locs}
 	e.reinfers++
 	e.stateMu.Unlock()
 	hotSwaps.Inc()
+	swapSp.End()
 
 	e.mu.Lock()
 	e.pending = len(e.trips) - nTrips
@@ -352,7 +367,14 @@ func (e *Engine) StartReinfer() (deploy.JobStatus, error) {
 	e.jobWG.Add(1)
 	go func() {
 		defer e.jobWG.Done()
-		err := e.Reinfer(e.rootCtx)
+		// A background job outlives the request that kicked it off (202 is
+		// long gone by the time training ends), so it gets its own root
+		// span rather than riding the request trace.
+		ctx, root := e.cfg.Tracer.StartRoot(e.rootCtx, "engine.reinfer_job", trace.SpanContext{})
+		root.SetAttr("job_id", job.ID)
+		err := e.Reinfer(ctx)
+		root.RecordError(err)
+		root.End()
 		e.jobMu.Lock()
 		defer e.jobMu.Unlock()
 		if err != nil {

@@ -19,7 +19,7 @@ var (
 
 	reinferDuration = obs.Default.Histogram("dlinfma_engine_reinfer_duration_seconds",
 		"Wall time of one full re-inference (pool finalize, featurize, train, predict, swap).",
-		nil)
+		obs.JobDurationBuckets)
 	reinferOutcome = obs.Default.CounterVec("dlinfma_engine_reinfer_total",
 		"Re-inference attempts by outcome. Cancellation (shutdown) is not a failure.",
 		"outcome")

@@ -13,6 +13,7 @@ import (
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
 	"dlinfma/internal/obs"
+	"dlinfma/internal/obs/trace"
 	"dlinfma/internal/shard"
 )
 
@@ -135,9 +136,15 @@ func (s *ShardedEngine) Ingest(ctx context.Context, trips []model.Trip, addrs []
 		if p.Empty() {
 			continue
 		}
-		if err := s.shards[i].Ingest(ctx, p.Trips, p.Addrs, p.Truth); err != nil {
-			return fmt.Errorf("engine: shard %d: %w", i, err)
+		sctx, ssp := trace.Start(ctx, "engine.shard_ingest")
+		ssp.SetAttr("shard", i)
+		if err := s.shards[i].Ingest(sctx, p.Trips, p.Addrs, p.Truth); err != nil {
+			err = fmt.Errorf("engine: shard %d: %w", i, err)
+			ssp.RecordError(err)
+			ssp.End()
+			return err
 		}
+		ssp.End()
 	}
 	return nil
 }
@@ -202,9 +209,13 @@ func (s *ShardedEngine) Reinfer(ctx context.Context) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if err := sh.Reinfer(ctx); err != nil {
+			sctx, ssp := trace.Start(ctx, "engine.shard_reinfer")
+			ssp.SetAttr("shard", i)
+			if err := sh.Reinfer(sctx); err != nil {
 				errs[i] = fmt.Errorf("engine: shard %d: %w", i, err)
+				ssp.RecordError(errs[i])
 			}
+			ssp.End()
 		}(i, sh)
 	}
 	wg.Wait()
@@ -251,7 +262,13 @@ func (s *ShardedEngine) StartReinfer() (deploy.JobStatus, error) {
 	s.jobWG.Add(1)
 	go func() {
 		defer s.jobWG.Done()
-		err := s.Reinfer(s.rootCtx)
+		// Background jobs outlive their triggering request, so each gets its
+		// own root span (same rationale as Engine.StartReinfer).
+		ctx, root := s.cfg.Tracer.StartRoot(s.rootCtx, "engine.reinfer_job", trace.SpanContext{})
+		root.SetAttr("job_id", job.ID)
+		err := s.Reinfer(ctx)
+		root.RecordError(err)
+		root.End()
 		s.jobMu.Lock()
 		defer s.jobMu.Unlock()
 		if err != nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -8,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dlinfma/internal/obs/trace"
 )
 
 // Level is a log severity. Messages below the logger's level are dropped.
@@ -118,6 +121,21 @@ func (l *Logger) With(pairs ...any) *Logger {
 	d := *l
 	d.fields = append(append([]kv(nil), l.fields...), toKVs(pairs)...)
 	return &d
+}
+
+// WithTrace returns a logger stamping trace_id and span_id from the span
+// carried by ctx, so log lines correlate with /v1/debug/traces entries. When
+// ctx carries no span (tracing off, background path) it returns l unchanged,
+// so the call is safe to make unconditionally on hot log paths.
+func (l *Logger) WithTrace(ctx context.Context) *Logger {
+	if l == nil {
+		return nil
+	}
+	sp := trace.SpanFromContext(ctx)
+	if sp == nil {
+		return l
+	}
+	return l.With("trace_id", sp.TraceID().String(), "span_id", sp.ID().String())
 }
 
 // Debug logs at LevelDebug.

@@ -26,6 +26,22 @@ var LatencyBuckets = []float64{
 	1, 2.5, 5, 10, 30, 60, 120, 300,
 }
 
+// RequestLatencyBuckets are histogram bounds, in seconds, tuned for
+// interactive HTTP handlers: dense below 100ms where queries live, topping
+// out at 10s where anything slower is an outage, not a tail.
+var RequestLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// JobDurationBuckets are histogram bounds, in seconds, tuned for pipeline
+// stages and background jobs: sub-millisecond incremental window updates
+// through half-hour full re-inference runs.
+var JobDurationBuckets = []float64{
+	0.0001, 0.00025, 0.001, 0.005, 0.025, 0.1, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 600, 1800,
+}
+
 // metric is anything the registry can expose in Prometheus text format.
 type metric interface {
 	expose(w *bufio.Writer)

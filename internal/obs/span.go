@@ -1,6 +1,11 @@
 package obs
 
-import "time"
+import (
+	"context"
+	"time"
+
+	"dlinfma/internal/obs/trace"
+)
 
 // Span times one stage of work into a histogram. It is a value type — no
 // allocation — so the canonical use is a one-liner:
@@ -43,4 +48,37 @@ func (s Span) EndLog(l *Logger, pairs ...any) time.Duration {
 		l.Debug(s.name, append([]any{"dur", d}, pairs...)...)
 	}
 	return d
+}
+
+// SpanCtx is a Span that additionally participates in the request trace
+// carried by the context it was started with. End observes the histogram
+// exactly as Span.End does, so metric behaviour is identical whether or not
+// a trace is active.
+type SpanCtx struct {
+	Span
+	ctx context.Context
+	tsp *trace.Span
+}
+
+// StartSpanCtx starts a stage span that both observes hist and, when ctx
+// carries an active trace span, records a child span of the same name in the
+// trace. With no active trace the trace side is a nil-span no-op and the
+// call degrades to StartSpan.
+func StartSpanCtx(ctx context.Context, name string, hist *Histogram) SpanCtx {
+	tctx, tsp := trace.Start(ctx, name)
+	return SpanCtx{Span: StartSpan(name, hist), ctx: tctx, tsp: tsp}
+}
+
+// Context returns the context carrying the trace span, for passing to nested
+// stages so their spans parent under this one.
+func (s SpanCtx) Context() context.Context { return s.ctx }
+
+// TraceSpan returns the underlying trace span (nil when no trace is active)
+// for attaching attributes or errors.
+func (s SpanCtx) TraceSpan() *trace.Span { return s.tsp }
+
+// End finishes both sides: the trace span and the histogram observation.
+func (s SpanCtx) End() time.Duration {
+	s.tsp.End()
+	return s.Span.End()
 }

@@ -1,0 +1,176 @@
+// Package trace is the repo's dependency-free request-scoped tracing layer:
+// 128-bit trace ids and 64-bit span ids, a Tracer that starts hierarchical
+// spans carried through context.Context, W3C traceparent propagation, and a
+// fixed-size ring buffer of completed traces served by the debug API.
+//
+// Sampling is head-based with a tail override: a fresh root rolls the
+// tracer's probability (an incoming traceparent's sampled flag is honored
+// instead), and a trace that finished slow or with an errored span is kept
+// regardless, so the interesting requests are always in the buffer.
+//
+// Every method is safe on a nil *Tracer or nil *Span, so instrumented code
+// threads spans without nil checks and costs nothing when tracing is off —
+// the same contract obs.Logger follows.
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// TraceID identifies one end-to-end request tree (the W3C trace-id: 16
+// bytes, rendered as 32 hex characters). The all-zero id is invalid.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (the W3C parent-id: 8 bytes,
+// rendered as 16 hex characters). The all-zero id is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 16 lowercase hex characters.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses a 32-hex-character trace id, rejecting the all-zero id.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("trace: trace id must be %d hex chars, got %q", 2*len(id), s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("trace: bad trace id %q: %w", s, err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("trace: all-zero trace id")
+	}
+	return id, nil
+}
+
+// ParseSpanID parses a 16-hex-character span id, rejecting the all-zero id.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("trace: span id must be %d hex chars, got %q", 2*len(id), s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, fmt.Errorf("trace: bad span id %q: %w", s, err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("trace: all-zero span id")
+	}
+	return id, nil
+}
+
+// randTraceID mints a random non-zero trace id (math/rand/v2's global
+// generator is lock-free per OS thread, so id minting stays off any mutex).
+func randTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], rand.Uint64())
+		binary.BigEndian.PutUint64(id[8:], rand.Uint64())
+	}
+	return id
+}
+
+// randSpanID mints a random non-zero span id.
+func randSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], rand.Uint64())
+	}
+	return id
+}
+
+// NewRequestID mints a fresh 16-hex-character correlation id for
+// X-Request-ID (same generator as span ids, no header-format coupling).
+func NewRequestID() string { return randSpanID().String() }
+
+// SpanContext is the propagated identity of a span — what crosses process
+// boundaries in the traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled is the head-sampling decision carried in the trace flags; the
+	// tail rule (slow/error) can still keep an unsampled trace locally.
+	Sampled bool
+}
+
+// IsValid reports whether both ids are non-zero.
+func (sc SpanContext) IsValid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the W3C version-00 header value,
+// "00-{trace-id}-{parent-id}-{trace-flags}". Built in one fixed buffer:
+// this runs on every traced request (the response echo), so it must not
+// chain string concatenations.
+func (sc SpanContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52], b[53] = '-', '0'
+	if sc.Sampled {
+		b[54] = '1'
+	} else {
+		b[54] = '0'
+	}
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Per the spec,
+// unknown (non-ff) versions are accepted by reading the version-00 prefix
+// and ignoring any trailing fields. The second return is false for absent
+// or malformed headers — callers then start a fresh trace.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	if h == "" { // fast path: most requests carry no traceparent
+		return SpanContext{}, false
+	}
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	ver := strings.ToLower(parts[0])
+	if len(ver) != 2 || !isHex(ver) || ver == "ff" {
+		return SpanContext{}, false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	tid, err := ParseTraceID(strings.ToLower(parts[1]))
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sid, err := ParseSpanID(strings.ToLower(parts[2]))
+	if err != nil {
+		return SpanContext{}, false
+	}
+	flags := strings.ToLower(parts[3])
+	if len(flags) != 2 || !isHex(flags) {
+		return SpanContext{}, false
+	}
+	var f [1]byte
+	if _, err := hex.Decode(f[:], []byte(flags)); err != nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: tid, SpanID: sid, Sampled: f[0]&1 == 1}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

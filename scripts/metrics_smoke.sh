@@ -2,7 +2,9 @@
 # Boots a dlinfma server with no dataset (instant cold start), drives a few
 # requests through the v1 and legacy surfaces, then scrapes /v1/metrics with
 # metricscheck: the build fails if the exposition doesn't parse or a required
-# family is missing. Run via `make smoke-metrics`.
+# family is missing. Also sends one traced request (synthetic traceparent +
+# X-Request-ID) and asserts the correlation headers echo back and the trace
+# lands in /v1/debug/traces. Run via `make smoke-metrics`.
 set -euo pipefail
 
 PORT="${PORT:-18080}"
@@ -12,7 +14,8 @@ trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$BIN_DIR"' EXIT
 go build -o "$BIN_DIR/dlinfma" ./cmd/dlinfma
 go build -o "$BIN_DIR/metricscheck" ./cmd/metricscheck
 
-"$BIN_DIR/dlinfma" serve -data "" -listen "127.0.0.1:$PORT" -log-level debug &
+"$BIN_DIR/dlinfma" serve -data "" -listen "127.0.0.1:$PORT" -log-level debug \
+  -trace-sample 1 -trace-buffer 64 &
 SERVER_PID=$!
 
 # Wait for the listener (cold start with -data "" is immediate, but be safe).
@@ -33,6 +36,42 @@ curl -sS -o /dev/null -X POST -d '{"addrs":[1,2,3]}' "http://127.0.0.1:$PORT/v1/
 curl -sS -o /dev/null "http://127.0.0.1:$PORT/location?addr=1" || true
 curl -sS -o /dev/null "http://127.0.0.1:$PORT/healthz" || true
 curl -sS -o /dev/null "http://127.0.0.1:$PORT/no/such/route" || true
+
+# Traced request: the server must echo the correlation id, continue the
+# incoming trace id in its Traceparent echo, and (the root span publishes
+# after the response flushes, so retry briefly) surface the trace through
+# the debug API with the route as its root span.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+HEADERS="$(curl -sS -D - -o /dev/null \
+  -H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+  -H "X-Request-ID: smoke-req-1" \
+  "http://127.0.0.1:$PORT/v1/locations/1" || true)"
+if ! grep -qi "^X-Request-ID: smoke-req-1" <<<"$HEADERS"; then
+  echo "trace smoke: X-Request-ID not echoed" >&2
+  exit 1
+fi
+if ! grep -qi "^Traceparent: 00-$TRACE_ID-" <<<"$HEADERS"; then
+  echo "trace smoke: response traceparent does not continue the trace" >&2
+  exit 1
+fi
+
+FOUND=""
+for _ in $(seq 1 50); do
+  if curl -fsS "http://127.0.0.1:$PORT/v1/debug/traces" | grep -q "$TRACE_ID"; then
+    FOUND=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$FOUND" ]; then
+  echo "trace smoke: trace $TRACE_ID never reached /v1/debug/traces" >&2
+  exit 1
+fi
+if ! curl -fsS "http://127.0.0.1:$PORT/v1/debug/traces/$TRACE_ID" | grep -q "/v1/locations/{key}"; then
+  echo "trace smoke: span tree missing the route's root span" >&2
+  exit 1
+fi
+echo "trace smoke: OK"
 
 "$BIN_DIR/metricscheck" -url "http://127.0.0.1:$PORT/v1/metrics"
 echo "metrics smoke: OK"
