@@ -8,7 +8,7 @@
 GO ?= go
 COVER_FLOOR ?= 75
 
-.PHONY: build test race vet cover bench bench-all smoke-metrics
+.PHONY: build test race vet cover bench bench-all bench-read bench-regress smoke-metrics
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,14 @@ bench:
 # Every benchmark (regenerates all paper artefacts; slow).
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Serving read-path benchmarks only (frozen-store queries, parallel clients,
+# batched scatter/gather) with allocation counts — the quick loop while
+# working on the hot path. Does not rewrite BENCH_locmatcher.json.
+bench-read:
+	$(GO) test -run '^$$' -bench 'ServeQueriesParallel|ServeQueriesBatch' -benchmem .
+
+# Re-run the parallel read benchmark and fail on a >15% single-shard
+# queries/sec regression against the committed BENCH_locmatcher.json.
+bench-regress:
+	bash scripts/bench_regress.sh

@@ -459,6 +459,92 @@ func BenchmarkServeQueriesTraced(b *testing.B) {
 	})
 }
 
+// benchClient returns an HTTP client tuned for a parallel benchmark load:
+// enough pooled keep-alive connections that concurrent client goroutines
+// measure the serving path, not connection churn.
+func benchClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+}
+
+// BenchmarkServeQueriesParallel is the parallel-client variant of
+// BenchmarkServeQueries: several client goroutines per core over a pooled
+// keep-alive transport, all hammering single-key lookups. With the lock-free
+// frozen-store read path, throughput must not decay as shards are added —
+// this is the row scripts/bench_regress.sh gates on.
+func BenchmarkServeQueriesParallel(b *testing.B) {
+	p := tinyPrepared(b)
+	doc := storeSnapshotDoc(b, p)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetParallelism(4)
+			runServeQueriesClient(b, shards, doc, p.DS.Addresses, deploy.Options{}, benchClient())
+		})
+	}
+}
+
+// BenchmarkServeQueriesBatch measures the bulk read path: every request is a
+// POST /v1/locations:batch resolving batchKeys addresses through the
+// scatter/gather fan-out, so the reported queries/sec counts keys, not HTTP
+// round trips. This is the path where sharding pays: per-request work splits
+// across shard workers instead of adding routing cost per key.
+func BenchmarkServeQueriesBatch(b *testing.B) {
+	const batchKeys = 512
+	p := tinyPrepared(b)
+	doc := storeSnapshotDoc(b, p)
+	addrs := p.DS.Addresses
+	// Pre-marshal a few rotated request bodies so the client side costs one
+	// bytes.Reader per request.
+	bodies := make([][]byte, 8)
+	for r := range bodies {
+		req := struct {
+			Addrs []int64 `json:"addrs"`
+		}{Addrs: make([]int64, batchKeys)}
+		for i := range req.Addrs {
+			req.Addrs[i] = int64(addrs[(r*batchKeys+i)%len(addrs)].ID)
+		}
+		doc, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[r] = doc
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := benchEngine(b, shards, doc)
+			defer e.Close()
+			srv := httptest.NewServer(deploy.NewService(e, deploy.Options{}))
+			defer srv.Close()
+			client := benchClient()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					resp, err := client.Post(srv.URL+"/v1/locations:batch", "application/json",
+						bytes.NewReader(bodies[i%len(bodies)]))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d", resp.StatusCode)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)*batchKeys/sec, "queries/sec")
+			}
+		})
+	}
+}
+
 // storeSnapshotDoc builds the store-only snapshot document both serve
 // benchmarks restore: ground-truth locations for every tiny-profile address.
 func storeSnapshotDoc(b *testing.B, p *eval.Prepared) []byte {
@@ -478,10 +564,9 @@ func storeSnapshotDoc(b *testing.B, p *eval.Prepared) []byte {
 	return doc
 }
 
-// runServeQueries restores the snapshot into a fresh engine of the given
-// shard count and drives concurrent legacy /location queries through an
-// httptest server built with opts.
-func runServeQueries(b *testing.B, shards int, doc []byte, addrs []model.AddressInfo, opts deploy.Options) {
+// benchEngine restores the snapshot into a fresh engine of the given shard
+// count.
+func benchEngine(b *testing.B, shards int, doc []byte) engine.Runtime {
 	b.Helper()
 	var e engine.Runtime
 	if shards == 1 {
@@ -493,17 +578,34 @@ func runServeQueries(b *testing.B, shards int, doc []byte, addrs []model.Address
 		}
 		e = engine.NewSharded(engine.DefaultConfig(), r)
 	}
-	defer e.Close()
 	if err := e.RestoreSnapshot(bytes.NewReader(doc)); err != nil {
 		b.Fatal(err)
 	}
+	return e
+}
+
+// runServeQueries restores the snapshot into a fresh engine of the given
+// shard count and drives concurrent legacy /location queries through an
+// httptest server built with opts, using the default HTTP client (the
+// long-standing baseline configuration).
+func runServeQueries(b *testing.B, shards int, doc []byte, addrs []model.AddressInfo, opts deploy.Options) {
+	b.Helper()
+	runServeQueriesClient(b, shards, doc, addrs, opts, http.DefaultClient)
+}
+
+// runServeQueriesClient is runServeQueries with a caller-supplied client, so
+// the parallel-client variant can bring a pooled keep-alive transport.
+func runServeQueriesClient(b *testing.B, shards int, doc []byte, addrs []model.AddressInfo, opts deploy.Options, client *http.Client) {
+	b.Helper()
+	e := benchEngine(b, shards, doc)
+	defer e.Close()
 	srv := httptest.NewServer(deploy.NewService(e, opts))
 	defer srv.Close()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			resp, err := http.Get(fmt.Sprintf("%s/location?addr=%d", srv.URL, addrs[i%len(addrs)].ID))
+			resp, err := client.Get(fmt.Sprintf("%s/location?addr=%d", srv.URL, addrs[i%len(addrs)].ID))
 			if err != nil {
 				b.Error(err)
 				return

@@ -29,7 +29,12 @@ type Result struct {
 	// Traced marks rows from a tracing-enabled benchmark variant
 	// (BenchmarkServeQueriesTraced), so trace overhead can be compared
 	// against the untraced row of the same shape.
-	Traced     bool               `json:"traced,omitempty"`
+	Traced bool `json:"traced,omitempty"`
+	// Batch marks rows from batched-operation benchmarks
+	// (BenchmarkServeQueriesBatch, BenchmarkPredictBatch), where one op
+	// covers many items and the per-item throughput metric is the
+	// comparable number, not ns/op.
+	Batch      bool               `json:"batch,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -48,6 +53,10 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "BENCH_locmatcher.json", "output JSON path")
+	baseline := flag.String("baseline", "", "committed report to gate against (empty: no gating)")
+	gate := flag.String("gate", "", "benchmark name prefix to gate, e.g. BenchmarkServeQueriesParallel/shards=1")
+	gateMetric := flag.String("gate-metric", "queries/sec", "metric to compare: ns/op (lower is better) or a ReportMetric unit (higher is better)")
+	maxRegress := flag.Float64("max-regress-pct", 15, "fail when the gated metric regresses by more than this percentage")
 	flag.Parse()
 
 	var rep Report
@@ -87,6 +96,86 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+
+	if *baseline != "" && *gate != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		if err := gateCheck(rep, base, *gate, *gateMetric, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate %s (%s) within %.0f%% of baseline\n",
+			*gate, *gateMetric, *maxRegress)
+	}
+}
+
+// loadReport reads a previously emitted report file.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+// metricOf pulls the gated metric out of one result; ok is false when the
+// row doesn't carry it.
+func metricOf(r Result, metric string) (float64, bool) {
+	if metric == "ns/op" {
+		return r.NsPerOp, r.NsPerOp > 0
+	}
+	v, ok := r.Extra[metric]
+	return v, ok
+}
+
+// gateRow finds the first result whose name starts with the gate prefix and
+// carries the metric. Prefix matching keeps gates portable across machines:
+// result names end in "-GOMAXPROCS", which differs between runners.
+func gateRow(rep Report, gate, metric string) (Result, bool) {
+	for _, r := range rep.Results {
+		if !strings.HasPrefix(r.Name, gate) {
+			continue
+		}
+		if _, ok := metricOf(r, metric); ok {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// gateCheck compares the gated metric of the fresh run against the baseline
+// and errors when it regressed by more than maxPct percent. "ns/op" is
+// treated as lower-is-better; every other metric (custom ReportMetric units
+// like "queries/sec") as higher-is-better.
+func gateCheck(cur, base Report, gate, metric string, maxPct float64) error {
+	cr, ok := gateRow(cur, gate, metric)
+	if !ok {
+		return fmt.Errorf("run has no result %q with metric %q", gate, metric)
+	}
+	br, ok := gateRow(base, gate, metric)
+	if !ok {
+		return fmt.Errorf("baseline has no result %q with metric %q", gate, metric)
+	}
+	curV, _ := metricOf(cr, metric)
+	baseV, _ := metricOf(br, metric)
+	if baseV <= 0 {
+		return fmt.Errorf("baseline %s %s is %v, cannot gate", gate, metric, baseV)
+	}
+	var regressPct float64
+	if metric == "ns/op" {
+		regressPct = (curV - baseV) / baseV * 100
+	} else {
+		regressPct = (baseV - curV) / baseV * 100
+	}
+	if regressPct > maxPct {
+		return fmt.Errorf("%s %s regressed %.1f%% (baseline %.1f, got %.1f, limit %.0f%%)",
+			gate, metric, regressPct, baseV, curV, maxPct)
+	}
+	return nil
 }
 
 // parseBench parses one result line, e.g.
@@ -105,6 +194,7 @@ func parseBench(line string) (Result, bool) {
 		Iterations: iters,
 		Shards:     parseShards(fields[0]),
 		Traced:     strings.Contains(fields[0], "Traced"),
+		Batch:      strings.Contains(fields[0], "Batch"),
 	}
 	// The rest alternate value/unit.
 	for i := 2; i+1 < len(fields); i += 2 {

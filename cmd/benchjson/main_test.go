@@ -31,6 +31,51 @@ func TestParseBench(t *testing.T) {
 	if _, ok := parseBench("BenchmarkBroken notanumber"); ok {
 		t.Error("malformed line accepted")
 	}
+
+	r, ok = parseBench("BenchmarkServeQueriesBatch/shards=2-8  500  352115 ns/op  1454072 queries/sec")
+	if !ok {
+		t.Fatal("batch line not parsed")
+	}
+	if !r.Batch || r.Traced || r.Shards != 2 {
+		t.Errorf("batch row flags %+v", r)
+	}
+}
+
+func TestGateCheck(t *testing.T) {
+	rep := func(qps, ns float64) Report {
+		return Report{Results: []Result{{
+			Name:    "BenchmarkServeQueriesParallel/shards=1-8",
+			NsPerOp: ns,
+			Extra:   map[string]float64{"queries/sec": qps},
+		}}}
+	}
+	gate := "BenchmarkServeQueriesParallel/shards=1"
+
+	// Within the limit (including improvements) passes.
+	if err := gateCheck(rep(900, 110), rep(1000, 100), gate, "queries/sec", 15); err != nil {
+		t.Errorf("10%% drop with 15%% limit: %v", err)
+	}
+	if err := gateCheck(rep(2000, 50), rep(1000, 100), gate, "queries/sec", 15); err != nil {
+		t.Errorf("improvement flagged: %v", err)
+	}
+	// Beyond the limit fails.
+	if err := gateCheck(rep(800, 130), rep(1000, 100), gate, "queries/sec", 15); err == nil {
+		t.Error("20% throughput drop passed the 15% gate")
+	}
+	// ns/op gates in the other direction: bigger is worse.
+	if err := gateCheck(rep(800, 130), rep(1000, 100), gate, "ns/op", 15); err == nil {
+		t.Error("30% latency growth passed the 15% ns/op gate")
+	}
+	if err := gateCheck(rep(800, 90), rep(1000, 100), gate, "ns/op", 15); err != nil {
+		t.Errorf("latency improvement flagged: %v", err)
+	}
+	// Missing rows are explicit errors, not silent passes.
+	if err := gateCheck(Report{}, rep(1000, 100), gate, "queries/sec", 15); err == nil {
+		t.Error("empty run passed the gate")
+	}
+	if err := gateCheck(rep(900, 110), Report{}, gate, "queries/sec", 15); err == nil {
+		t.Error("empty baseline passed the gate")
+	}
 }
 
 func TestParseShards(t *testing.T) {

@@ -1,0 +1,125 @@
+package deploy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"dlinfma/internal/deploy/api"
+	"dlinfma/internal/model"
+)
+
+// errUnknownAddress is the shared per-item miss error of a batch response.
+// Every miss carries the same code and message (the offending key is already
+// the result's Addr field), so one immutable value serves all of them.
+var errUnknownAddress = &api.Error{Code: api.CodeNotFound, Message: "unknown address"}
+
+// batchCall carries every buffer and slice one POST /v1/locations:batch
+// needs: the request body, the decoded keys, the engine answers, and the
+// response encoding. Calls recycle it through batchPool so the steady-state
+// batch path reuses its backing arrays instead of reallocating ~2·MaxBatchKeys
+// entries per request.
+type batchCall struct {
+	body    bytes.Buffer
+	req     api.BatchLocationsRequest
+	ids     []model.AddressID
+	answers []BatchAnswer
+	results []api.BatchResult
+	locs    []api.Location
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchCall) }}
+
+// release zeroes the references the next request must not see and returns
+// the call to the pool. Slice capacities are kept — that is the point.
+func (c *batchCall) release() {
+	c.req.Addrs = c.req.Addrs[:0]
+	for i := range c.results {
+		c.results[i] = api.BatchResult{}
+	}
+	batchPool.Put(c)
+}
+
+// handleBatch answers POST /v1/locations:batch through the engine's bulk
+// read path (BatchQuerier when implemented, a per-key loop otherwise) with
+// pooled request/response buffers. The response preserves request order and
+// reports per-item misses while the batch stays 200 (partial-failure
+// semantics); only a cold engine fails the batch as a whole.
+func (s *service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	c := batchPool.Get().(*batchCall)
+	defer c.release()
+
+	c.body.Reset()
+	if _, err := c.body.ReadFrom(io.LimitReader(r.Body, maxBatchBytes)); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			fmt.Sprintf("read batch request: %v", err), nil)
+		return
+	}
+	c.req.Addrs = c.req.Addrs[:0]
+	if err := json.Unmarshal(c.body.Bytes(), &c.req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			fmt.Sprintf("decode batch request: %v", err), nil)
+		return
+	}
+	if len(c.req.Addrs) == 0 {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			"addrs must be non-empty", nil)
+		return
+	}
+	if len(c.req.Addrs) > api.MaxBatchKeys {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			"too many address keys", map[string]any{"max": api.MaxBatchKeys, "got": len(c.req.Addrs)})
+		return
+	}
+	if !s.e.Status().Ready {
+		// A cold engine fails the whole batch: every key would miss, and 503
+		// tells the bulk consumer to retry elsewhere rather than treat the
+		// world as absent.
+		writeError(w, http.StatusServiceUnavailable, api.CodeEngineNotReady,
+			"no serving state deployed yet", nil)
+		return
+	}
+
+	c.ids = c.ids[:0]
+	for _, a := range c.req.Addrs {
+		c.ids = append(c.ids, model.AddressID(a))
+	}
+	var err error
+	c.answers, err = QueryBatch(r.Context(), s.e, c.ids, c.answers)
+	if err != nil {
+		// The only batch error is the caller's own cancellation; there is
+		// nobody left to read an envelope, so just drop the connection.
+		return
+	}
+
+	c.results = c.results[:0]
+	if cap(c.locs) < len(c.req.Addrs) {
+		c.locs = make([]api.Location, len(c.req.Addrs))
+	}
+	c.locs = c.locs[:len(c.req.Addrs)]
+	resp := api.BatchLocationsResponse{}
+	for i, a := range c.req.Addrs {
+		res := api.BatchResult{Addr: a}
+		if ans := c.answers[i]; ans.Src == SourceNone {
+			res.Error = errUnknownAddress
+			resp.Missing++
+		} else {
+			c.locs[i] = api.Location{Addr: a, X: ans.Loc.X, Y: ans.Loc.Y, Source: ans.Src.String()}
+			res.Location = &c.locs[i]
+			resp.Found++
+		}
+		c.results = append(c.results, res)
+	}
+	resp.Results = c.results
+
+	c.body.Reset()
+	if err := json.NewEncoder(&c.body).Encode(&resp); err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(c.body.Bytes())
+}

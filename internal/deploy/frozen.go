@@ -1,0 +1,99 @@
+package deploy
+
+import (
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// FrozenAnswer is one precomputed query answer: the delivery location plus
+// the fallback level that produced it.
+type FrozenAnswer struct {
+	Loc geo.Point
+	Src Source
+}
+
+// FrozenStore is the read-only serving form of a Store: the full
+// address -> building -> geocode fallback chain of Figure 14 is evaluated
+// once at freeze time, so a steady-state query is a single map lookup with
+// no locks and no allocations. A FrozenStore is immutable after Freeze;
+// writers keep mutating the Store they froze and publish a fresh FrozenStore
+// at the next hot-swap (see engine's atomic.Pointer publish).
+type FrozenStore struct {
+	answers map[model.AddressID]FrozenAnswer
+	byBld   map[model.BuildingID]geo.Point
+}
+
+// Freeze evaluates the fallback chain for every address the store knows
+// about — whether it has an inferred location, only a registered building,
+// or only a geocode — into an immutable FrozenStore. The store stays usable
+// and mutable; later writes are invisible to the frozen copy.
+func (s *Store) Freeze() *FrozenStore {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f := &FrozenStore{
+		answers: make(map[model.AddressID]FrozenAnswer, len(s.buildings)+len(s.byAddress)),
+		byBld:   make(map[model.BuildingID]geo.Point, len(s.byBld)),
+	}
+	for bld, loc := range s.byBld {
+		f.byBld[bld] = loc
+	}
+	freeze := func(addr model.AddressID) {
+		if _, done := f.answers[addr]; done {
+			return
+		}
+		if loc, ok := s.byAddress[addr]; ok {
+			f.answers[addr] = FrozenAnswer{Loc: loc, Src: SourceAddress}
+			return
+		}
+		if bld, ok := s.buildings[addr]; ok {
+			if loc, ok := s.byBld[bld]; ok {
+				f.answers[addr] = FrozenAnswer{Loc: loc, Src: SourceBuilding}
+				return
+			}
+		}
+		if loc, ok := s.geocodes[addr]; ok {
+			f.answers[addr] = FrozenAnswer{Loc: loc, Src: SourceGeocode}
+		}
+	}
+	for addr := range s.byAddress {
+		freeze(addr)
+	}
+	for addr := range s.buildings {
+		freeze(addr)
+	}
+	for addr := range s.geocodes {
+		freeze(addr)
+	}
+	return f
+}
+
+// Query answers a delivery-location request from the precomputed chain. It
+// is nil-safe (a nil FrozenStore answers SourceNone) so cold serving paths
+// need no extra branch, and it never allocates.
+func (f *FrozenStore) Query(addr model.AddressID) (geo.Point, Source) {
+	if f == nil {
+		return geo.Point{}, SourceNone
+	}
+	a, ok := f.answers[addr]
+	if !ok {
+		return geo.Point{}, SourceNone
+	}
+	return a.Loc, a.Src
+}
+
+// QueryBuilding answers at building granularity from the frozen majority.
+func (f *FrozenStore) QueryBuilding(bld model.BuildingID) (geo.Point, bool) {
+	if f == nil {
+		return geo.Point{}, false
+	}
+	loc, ok := f.byBld[bld]
+	return loc, ok
+}
+
+// Len returns the number of answerable addresses (any fallback level).
+func (f *FrozenStore) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.answers)
+}

@@ -57,6 +57,11 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
+// recorderPool recycles statusRecorders across requests. Handlers in this
+// codebase never retain the ResponseWriter past ServeHTTP, so the recorder
+// can be reset and reused once the middleware has read its status and size.
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
 // requestIDKey carries the per-request correlation id in the context.
 type requestIDKey struct{}
 
@@ -115,20 +120,24 @@ func Instrument(route string, log *obs.Logger, tracer *trace.Tracer, h http.Hand
 		r = r.WithContext(ctx)
 
 		sp := obs.StartSpan(route, hist)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := recorderPool.Get().(*statusRecorder)
+		*rec = statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
 		d := sp.End()
-		tsp.SetAttr("status", rec.status)
-		if rec.status >= http.StatusInternalServerError {
-			tsp.RecordError(errors.New("http " + strconv.Itoa(rec.status)))
+		status, size := rec.status, rec.bytes
+		rec.ResponseWriter = nil
+		recorderPool.Put(rec)
+		tsp.SetAttr("status", status)
+		if status >= http.StatusInternalServerError {
+			tsp.RecordError(errors.New("http " + strconv.Itoa(status)))
 		}
 		tsp.End()
-		mc := methodCode{r.Method, rec.status}
+		mc := methodCode{r.Method, status}
 		countersMu.RLock()
 		c := counters[mc]
 		countersMu.RUnlock()
 		if c == nil {
-			c = httpRequests.With(route, r.Method, strconv.Itoa(rec.status))
+			c = httpRequests.With(route, r.Method, strconv.Itoa(status))
 			countersMu.Lock()
 			counters[mc] = c
 			countersMu.Unlock()
@@ -139,8 +148,8 @@ func Instrument(route string, log *obs.Logger, tracer *trace.Tracer, h http.Hand
 				"method", r.Method,
 				"path", r.URL.Path,
 				"route", route,
-				"status", rec.status,
-				"bytes", rec.bytes,
+				"status", status,
+				"bytes", size,
 				"dur", d,
 				"request_id", reqID,
 			)

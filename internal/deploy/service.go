@@ -228,47 +228,6 @@ func (s *service) handleLocation(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, loc)
 }
 
-func (s *service) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req api.BatchLocationsRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
-			fmt.Sprintf("decode batch request: %v", err), nil)
-		return
-	}
-	if len(req.Addrs) == 0 {
-		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
-			"addrs must be non-empty", nil)
-		return
-	}
-	if len(req.Addrs) > api.MaxBatchKeys {
-		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
-			"too many address keys", map[string]any{"max": api.MaxBatchKeys, "got": len(req.Addrs)})
-		return
-	}
-	if !s.e.Status().Ready {
-		// A cold engine fails the whole batch: every key would miss, and 503
-		// tells the bulk consumer to retry elsewhere rather than treat the
-		// world as absent.
-		writeError(w, http.StatusServiceUnavailable, api.CodeEngineNotReady,
-			"no serving state deployed yet", nil)
-		return
-	}
-	resp := api.BatchLocationsResponse{Results: make([]api.BatchResult, len(req.Addrs))}
-	for i, a := range req.Addrs {
-		res := api.BatchResult{Addr: a}
-		loc, src := s.e.Query(model.AddressID(a))
-		if src == SourceNone {
-			res.Error = &api.Error{Code: api.CodeNotFound, Message: "unknown address"}
-			resp.Missing++
-		} else {
-			res.Location = &api.Location{Addr: a, X: loc.X, Y: loc.Y, Source: src.String()}
-			resp.Found++
-		}
-		resp.Results[i] = res
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
 func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req api.IngestRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxIngestBytes))

@@ -49,6 +49,10 @@ type Store struct {
 	// building-level answer is the most-used delivery location among the
 	// building's addresses, as the paper describes.
 	bldVotes map[model.BuildingID]map[geo.Point]int
+	// bldBestN tracks the vote count behind byBld's current majority, so Put
+	// maintains the argmax incrementally instead of rescanning every vote —
+	// bulk re-inference writes stay O(1) per address.
+	bldBestN map[model.BuildingID]int
 }
 
 // NewStore returns an empty store.
@@ -59,6 +63,7 @@ func NewStore() *Store {
 		geocodes:  make(map[model.AddressID]geo.Point),
 		buildings: make(map[model.AddressID]model.BuildingID),
 		bldVotes:  make(map[model.BuildingID]map[geo.Point]int),
+		bldBestN:  make(map[model.BuildingID]int),
 	}
 }
 
@@ -87,13 +92,13 @@ func (s *Store) Put(addr model.AddressID, loc geo.Point) {
 		s.bldVotes[bld] = votes
 	}
 	votes[loc]++
-	best, bestN := s.byBld[bld], 0
-	for l, n := range votes {
-		if n > bestN {
-			best, bestN = l, n
-		}
+	// Incremental argmax: only this location's count changed, so the
+	// majority moves only if loc now beats the tracked best (or is the
+	// best, whose count just grew).
+	if n := votes[loc]; loc == s.byBld[bld] || n > s.bldBestN[bld] {
+		s.byBld[bld] = loc
+		s.bldBestN[bld] = n
 	}
-	s.byBld[bld] = best
 }
 
 // Query answers a delivery-location request with the paper's fallback chain:

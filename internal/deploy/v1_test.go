@@ -120,6 +120,102 @@ func TestV1LocationAndBatch(t *testing.T) {
 	resp.Body.Close()
 }
 
+// batchStub is a stubEngine with a native bulk path, recording that the
+// handler routed the batch through QueryBatch rather than the per-key loop.
+type batchStub struct {
+	*stubEngine
+	batchCalls int
+}
+
+func (s *batchStub) QueryBatch(ctx context.Context, addrs []model.AddressID, out []deploy.BatchAnswer) ([]deploy.BatchAnswer, error) {
+	s.batchCalls++
+	out = deploy.GrowAnswers(out, len(addrs))
+	for i, addr := range addrs {
+		out[i].Loc, out[i].Src = s.Query(addr)
+	}
+	return out, ctx.Err()
+}
+
+// TestV1BatchInputOrder hammers the batch endpoint with shuffled key mixes
+// of shrinking sizes against one server, so the pooled request/response
+// buffers are recycled across calls: any stale entry from a previous
+// (larger) batch would surface as a wrong Addr, count, or result.
+func TestV1BatchInputOrder(t *testing.T) {
+	srv := httptest.NewServer(deploy.Service(readyStub()))
+	defer srv.Close()
+	c := srv.Client()
+
+	for round, size := range []int{64, 31, 7, 64, 2} {
+		addrs := make([]int64, size)
+		wantFound := 0
+		for i := range addrs {
+			switch i % 3 {
+			case 0:
+				addrs[i] = 1
+				wantFound++
+			case 1:
+				addrs[i] = int64(1000 + i) // unknown
+			default:
+				addrs[i] = 2
+				wantFound++
+			}
+		}
+		resp := postJSON(t, c, srv.URL+"/v1/locations:batch", api.BatchLocationsRequest{Addrs: addrs})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d status %d", round, resp.StatusCode)
+		}
+		var br api.BatchLocationsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(br.Results) != size || br.Found != wantFound || br.Missing != size-wantFound {
+			t.Fatalf("round %d: %d results, found %d missing %d (want %d/%d/%d)",
+				round, len(br.Results), br.Found, br.Missing, size, wantFound, size-wantFound)
+		}
+		for i, res := range br.Results {
+			if res.Addr != addrs[i] {
+				t.Fatalf("round %d result %d answers addr %d, want %d (input order broken)",
+					round, i, res.Addr, addrs[i])
+			}
+			if addrs[i] >= 1000 {
+				if res.Error == nil || res.Error.Code != api.CodeNotFound || res.Location != nil {
+					t.Fatalf("round %d result %d (unknown key) = %+v", round, i, res)
+				}
+			} else if res.Location == nil || res.Location.Addr != addrs[i] || res.Error != nil {
+				t.Fatalf("round %d result %d (known key) = %+v", round, i, res)
+			}
+		}
+	}
+}
+
+// TestV1BatchUsesNativeBulkPath pins that an engine implementing
+// deploy.BatchQuerier serves the endpoint through it, with an identical wire
+// contract to the per-key fallback.
+func TestV1BatchUsesNativeBulkPath(t *testing.T) {
+	stub := &batchStub{stubEngine: readyStub()}
+	srv := httptest.NewServer(deploy.Service(stub))
+	defer srv.Close()
+
+	resp := postJSON(t, srv.Client(), srv.URL+"/v1/locations:batch", api.BatchLocationsRequest{Addrs: []int64{2, 404, 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var br api.BatchLocationsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stub.batchCalls != 1 {
+		t.Fatalf("QueryBatch called %d times, want 1", stub.batchCalls)
+	}
+	if br.Found != 2 || br.Missing != 1 ||
+		br.Results[0].Location == nil || br.Results[0].Location.X != 30 ||
+		br.Results[1].Error == nil || br.Results[2].Location == nil {
+		t.Fatalf("bulk-path contract drift: %+v", br)
+	}
+}
+
 func TestV1BatchColdEngine(t *testing.T) {
 	srv := httptest.NewServer(deploy.Service(&stubEngine{}))
 	defer srv.Close()

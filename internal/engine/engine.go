@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"dlinfma/internal/core"
 	"dlinfma/internal/deploy"
@@ -97,6 +98,11 @@ type Engine struct {
 	stateMu  sync.RWMutex
 	st       *state
 	reinfers int
+	// frozen is the lock-free read path: the served store's fallback chain
+	// precomputed into an immutable deploy.FrozenStore, republished atomically
+	// at every hot-swap. Query loads the pointer and does one map lookup —
+	// no locks, no allocations. nil until the first swap.
+	frozen atomic.Pointer[deploy.FrozenStore]
 	// failed is set when the most recent re-inference attempt errored (not
 	// counting cancellation, which is an orderly shutdown, not ill health);
 	// lastErr keeps the message for /healthz and /v1/reinfer status.
@@ -336,11 +342,10 @@ func (e *Engine) reinfer(ctx context.Context) error {
 	}
 
 	_, swapSp := trace.Start(ctx, "engine.hot_swap")
+	e.publish(&state{pipe: pipe, matcher: matcher, store: store, locs: locs})
 	e.stateMu.Lock()
-	e.st = &state{pipe: pipe, matcher: matcher, store: store, locs: locs}
 	e.reinfers++
 	e.stateMu.Unlock()
-	hotSwaps.Inc()
 	swapSp.End()
 
 	e.mu.Lock()
@@ -399,20 +404,76 @@ func (e *Engine) ReinferStatus() (deploy.JobStatus, bool) {
 	return *e.job, true
 }
 
-// Query answers from the currently served store. It returns SourceNone
-// before the first completed re-inference or snapshot restore. The read
-// lock covers only the pointer load — queries never wait on retraining.
+// publish swaps a fully built serving state in: the store's fallback chain
+// is frozen off-lock first, then the state pointer and the frozen read path
+// flip together. Readers racing the swap see either the old chain or the new
+// one in full, never a mix — a FrozenStore is immutable once published.
+func (e *Engine) publish(st *state) {
+	frozen := st.store.Freeze()
+	e.stateMu.Lock()
+	e.st = st
+	e.stateMu.Unlock()
+	e.frozen.Store(frozen)
+	hotSwaps.Inc()
+}
+
+// Query answers from the currently served frozen store: one atomic pointer
+// load plus one map lookup, no locks and zero allocations. It returns
+// SourceNone before the first completed re-inference or snapshot restore —
+// queries never wait on retraining.
 func (e *Engine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
-	e.stateMu.RLock()
-	st := e.st
-	e.stateMu.RUnlock()
-	if st == nil {
-		countQuery(deploy.SourceNone)
-		return geo.Point{}, deploy.SourceNone
-	}
-	p, src := st.store.Query(addr)
+	p, src := e.frozen.Load().Query(addr)
 	countQuery(src)
 	return p, src
+}
+
+// QueryBatch answers every key of addrs into out (input order preserved),
+// loading the frozen store once for the whole batch. It checks ctx between
+// chunks so a caller that gave up mid-batch stops paying for the rest.
+func (e *Engine) QueryBatch(ctx context.Context, addrs []model.AddressID, out []deploy.BatchAnswer) ([]deploy.BatchAnswer, error) {
+	out = deploy.GrowAnswers(out, len(addrs))
+	err := e.queryBatchIdx(ctx, addrs, nil, out)
+	return out, err
+}
+
+// queryBatchChunk is how many keys a batch worker answers between
+// cooperative ctx checks: large enough to amortize the check, small enough
+// that cancellation lands promptly.
+const queryBatchChunk = 512
+
+// queryBatchIdx answers addrs[i] into out[i] for each i in idx (idx nil: all
+// of addrs) from a single frozen-store load. Per-source metrics are tallied
+// locally and flushed in bulk so the per-key cost stays one map lookup.
+func (e *Engine) queryBatchIdx(ctx context.Context, addrs []model.AddressID, idx []int32, out []deploy.BatchAnswer) error {
+	f := e.frozen.Load()
+	var tally [deploy.SourceNone + 1]int64
+	n := len(addrs)
+	if idx != nil {
+		n = len(idx)
+	}
+	for base := 0; base < n; base += queryBatchChunk {
+		if err := ctx.Err(); err != nil {
+			flushQueryTally(&tally)
+			return err
+		}
+		end := base + queryBatchChunk
+		if end > n {
+			end = n
+		}
+		if idx == nil {
+			for i := base; i < end; i++ {
+				out[i].Loc, out[i].Src = f.Query(addrs[i])
+				tally[out[i].Src]++
+			}
+		} else {
+			for _, i := range idx[base:end] {
+				out[i].Loc, out[i].Src = f.Query(addrs[i])
+				tally[out[i].Src]++
+			}
+		}
+	}
+	flushQueryTally(&tally)
+	return nil
 }
 
 // InferredLocations returns the served address->location map (nil before

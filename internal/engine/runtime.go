@@ -15,6 +15,10 @@ import (
 // at startup (-shards) and use the rest of the lifecycle identically.
 type Runtime interface {
 	deploy.Engine
+	// Both engine shapes serve the native bulk read path: the sharded form
+	// scatter/gathers across shards, the single form answers from one
+	// frozen-store load.
+	deploy.BatchQuerier
 
 	SetName(name string)
 	IngestDataset(ctx context.Context, ds *model.Dataset) error

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"dlinfma/internal/core"
 	"dlinfma/internal/deploy"
@@ -41,12 +42,18 @@ type ShardedEngine struct {
 	rootCtx context.Context
 	cancel  context.CancelFunc
 
-	// mu guards routing state; RLock on the query path.
+	// mu guards the mutable routing state (writers: ingest, restore).
 	mu        sync.RWMutex
 	name      string
 	addrShard map[model.AddressID]int
 	nTrips    int
 	reinfers  int
+
+	// routes is the lock-free read path's routing table: an immutable copy
+	// of addrShard republished after every mutation (ingest windows and
+	// snapshot restores — rare next to queries). Query loads the pointer and
+	// does one lookup; it never touches mu.
+	routes atomic.Pointer[map[model.AddressID]int32]
 
 	// jobMu guards the background re-inference job.
 	jobMu  sync.Mutex
@@ -119,9 +126,11 @@ func (s *ShardedEngine) SetName(name string) {
 // window boundary should retry the whole window.
 func (s *ShardedEngine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error {
 	s.mu.Lock()
+	added := 0
 	for _, a := range addrs {
 		if _, ok := s.addrShard[a.ID]; !ok {
 			s.addrShard[a.ID] = s.router.AddressShard(a)
+			added++
 		}
 	}
 	lookup := func(id model.AddressID) (int, bool) {
@@ -130,6 +139,9 @@ func (s *ShardedEngine) Ingest(ctx context.Context, trips []model.Trip, addrs []
 	}
 	parts := core.PartitionWindow(len(s.shards), trips, addrs, truth, lookup, s.router.TripShard)
 	s.nTrips += len(trips)
+	if added > 0 {
+		s.publishRoutesLocked()
+	}
 	s.mu.Unlock()
 
 	for i, p := range parts {
@@ -293,18 +305,110 @@ func (s *ShardedEngine) ReinferStatus() (deploy.JobStatus, bool) {
 	return *s.job, true
 }
 
-// Query routes an address to its shard's served store. Unknown addresses —
-// never ingested and absent from any restored manifest — answer SourceNone.
+// publishRoutesLocked snapshots addrShard into a fresh immutable table for
+// the lock-free query path. Callers must hold mu; routing mutations are rare
+// (ingest windows, restores) so the copy never rides a query.
+func (s *ShardedEngine) publishRoutesLocked() {
+	rt := make(map[model.AddressID]int32, len(s.addrShard))
+	for id, sh := range s.addrShard {
+		rt[id] = int32(sh)
+	}
+	s.routes.Store(&rt)
+}
+
+// Query routes an address to its shard's served store: one atomic load of
+// the routing table, one lookup, then the shard's own lock-free frozen-store
+// read — no locks anywhere on the path. Unknown addresses — never ingested
+// and absent from any restored manifest — answer SourceNone.
 func (s *ShardedEngine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
-	s.mu.RLock()
-	sh, ok := s.addrShard[addr]
-	s.mu.RUnlock()
+	rt := s.routes.Load()
+	if rt == nil {
+		shardUnroutedQueries.Inc()
+		return geo.Point{}, deploy.SourceNone
+	}
+	sh, ok := (*rt)[addr]
 	if !ok {
 		shardUnroutedQueries.Inc()
 		return geo.Point{}, deploy.SourceNone
 	}
 	s.routeCounters[sh].Inc()
 	return s.shards[sh].Query(addr)
+}
+
+// QueryBatch is the batched scatter/gather read path: keys are grouped by
+// owning shard from one routing-table load, the per-shard groups fan out to
+// at most GOMAXPROCS workers (each answering from a single frozen-store
+// load), and every worker writes results straight into the caller-visible
+// positions — out[i] always answers addrs[i], so reassembly is free and
+// input order is preserved by construction. Small batches and single-shard
+// groups run inline rather than paying goroutine handoff. Cancelling ctx
+// stops the remaining chunks and returns ctx's error.
+func (s *ShardedEngine) QueryBatch(ctx context.Context, addrs []model.AddressID, out []deploy.BatchAnswer) ([]deploy.BatchAnswer, error) {
+	out = deploy.GrowAnswers(out, len(addrs))
+	rt := s.routes.Load()
+	if rt == nil {
+		shardUnroutedQueries.Add(int64(len(addrs)))
+		for i := range out {
+			out[i] = deploy.BatchAnswer{Src: deploy.SourceNone}
+		}
+		return out, ctx.Err()
+	}
+
+	sc := scatterPool.Get().(*scatter)
+	defer sc.release()
+	groups := sc.group(len(s.shards), *rt, addrs, out)
+
+	active := 0
+	last := -1
+	for sh, idx := range groups {
+		if len(idx) > 0 {
+			active++
+			last = sh
+			s.routeCounters[sh].Add(int64(len(idx)))
+		}
+	}
+	if active == 0 {
+		return out, ctx.Err()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > active {
+		workers = active
+	}
+	// One worker (or one populated shard, or a batch too small to amortize a
+	// goroutine handoff): answer inline on the caller's goroutine.
+	if workers == 1 || len(addrs) < 2*queryBatchChunk {
+		for sh, idx := range groups {
+			if len(idx) == 0 {
+				continue
+			}
+			if err := s.shards[sh].queryBatchIdx(ctx, addrs, idx, out); err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers-1)
+	for sh, idx := range groups {
+		if len(idx) == 0 || sh == last {
+			continue // the last group runs on the caller's goroutine below
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(sh int, idx []int32) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sc.errs[sh] = s.shards[sh].queryBatchIdx(ctx, addrs, idx, out)
+		}(sh, idx)
+	}
+	sc.errs[last] = s.shards[last].queryBatchIdx(ctx, addrs, groups[last], out)
+	wg.Wait()
+	for _, err := range sc.errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // InferredLocations merges every shard's served address->location map into a

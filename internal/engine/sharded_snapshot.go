@@ -140,6 +140,7 @@ func (s *ShardedEngine) applyManifestMeta(m *shardManifest) error {
 		}
 		s.addrShard[id] = shardIdx
 	}
+	s.publishRoutesLocked()
 	return nil
 }
 
@@ -196,6 +197,7 @@ func (s *ShardedEngine) migrateLegacy(data []byte) error {
 	for id, sh := range route {
 		s.addrShard[id] = sh
 	}
+	s.publishRoutesLocked()
 	s.mu.Unlock()
 	return nil
 }

@@ -135,10 +135,7 @@ func (e *Engine) RestoreSnapshot(r io.Reader) (err error) {
 	}
 	e.mu.Unlock()
 
-	e.stateMu.Lock()
-	e.st = &state{matcher: matcher, store: store, locs: locs}
-	e.stateMu.Unlock()
-	hotSwaps.Inc()
+	e.publish(&state{matcher: matcher, store: store, locs: locs})
 	e.log.Info("snapshot restored",
 		"dataset", sn.Name, "addresses", len(sn.Addresses), "locations", len(locs))
 	return nil
