@@ -8,7 +8,7 @@
 GO ?= go
 COVER_FLOOR ?= 75
 
-.PHONY: build test race vet cover bench bench-all bench-read bench-regress smoke-metrics
+.PHONY: build test race vet cover bench bench-all bench-read bench-regress smoke-metrics smoke-stream
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/... ./internal/obs/... ./internal/wal/...
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,11 @@ vet:
 # required family present.
 smoke-metrics:
 	bash scripts/metrics_smoke.sh
+
+# Boot a WAL-backed server, stream trajectories, SIGKILL it, restart on the
+# same -wal-dir, and verify no acknowledged point was lost.
+smoke-stream:
+	bash scripts/stream_smoke.sh
 
 # Aggregate statement coverage with a floor (override: make cover COVER_FLOOR=60).
 cover:

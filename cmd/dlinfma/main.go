@@ -31,6 +31,7 @@ import (
 	"dlinfma/internal/obs/trace"
 	"dlinfma/internal/shard"
 	"dlinfma/internal/synth"
+	"dlinfma/internal/wal"
 )
 
 func main() {
@@ -130,10 +131,11 @@ func shardFlags(fs *flag.FlagSet) (shards, precision *int) {
 // or N regional shards behind a geohash router. Both satisfy engine.Runtime,
 // so every subcommand drives them identically. log and tracer may be nil
 // (batch subcommands report through stdout and don't trace).
-func newEngine(workers, shards, precision int, log *obs.Logger, tracer *trace.Tracer) (engine.Runtime, error) {
+func newEngine(workers, shards, precision, maxPending int, log *obs.Logger, tracer *trace.Tracer) (engine.Runtime, error) {
 	cfg := engineConfig(workers)
 	cfg.Logger = log
 	cfg.Tracer = tracer
+	cfg.MaxPendingTrips = maxPending
 	if shards <= 1 {
 		return engine.New(cfg), nil
 	}
@@ -148,7 +150,7 @@ func newEngine(workers, shards, precision int, log *obs.Logger, tracer *trace.Tr
 // and runs one full re-inference — the same path the serve subcommand's
 // background jobs take, so batch and online runs cannot drift apart.
 func runPipeline(ctx context.Context, ds *model.Dataset, workers, shards, precision int) (engine.Runtime, error) {
-	e, err := newEngine(workers, shards, precision, nil, nil)
+	e, err := newEngine(workers, shards, precision, 0, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +235,12 @@ func cmdServe(ctx context.Context, args []string) error {
 	listen := fs.String("listen", ":8080", "HTTP listen address")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores; >1 also parallelizes training)")
 	snap := fs.String("snapshot", "", "snapshot path: restored on start if present, saved on shutdown")
+	walDir := fs.String("wal-dir", "",
+		"write-ahead-log directory: existing records are replayed on start, every accepted ingest is logged while serving (\"\" disables durability)")
+	walFsync := fs.String("wal-fsync", "interval",
+		"WAL fsync policy: always (fsync every append), interval (flush every append, fsync periodically), never")
+	maxPending := fs.Int("max-pending-trips", 0,
+		"reject ingest with 429 once this many trips await re-inference (0 = unbounded)")
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error (debug adds per-request access lines)")
 	logFormat := fs.String("log-format", "logfmt", "log line encoding: logfmt|json")
 	debugListen := fs.String("debug-listen", "",
@@ -265,7 +273,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		})
 	}
 
-	e, err := newEngine(*workers, *shards, *precision, log.With("component", "engine"), tracer)
+	e, err := newEngine(*workers, *shards, *precision, *maxPending, log.With("component", "engine"), tracer)
 	if err != nil {
 		return err
 	}
@@ -281,7 +289,33 @@ func cmdServe(ctx context.Context, args []string) error {
 			fmt.Printf("restored serving state from %s\n", *snap)
 		}
 	}
-	if *data != "" {
+	// The WAL replays on top of the restored snapshot, rebuilding the ingest
+	// state (pending trips, open streams) the snapshot omits; from then on
+	// every accepted ingest is logged before it is acknowledged.
+	replayed := 0
+	if *walDir != "" {
+		policy, perr := wal.ParsePolicy(*walFsync)
+		if perr != nil {
+			return perr
+		}
+		w, werr := wal.Open(*walDir, wal.Options{Policy: policy})
+		if werr != nil {
+			return fmt.Errorf("open wal %s: %w", *walDir, werr)
+		}
+		defer w.Close()
+		if replayed, err = e.ReplayWAL(ctx, w); err != nil {
+			return fmt.Errorf("replay wal %s: %w", *walDir, err)
+		}
+		e.AttachWAL(w)
+		if replayed > 0 {
+			fmt.Printf("replayed %d WAL records from %s\n", replayed, *walDir)
+		}
+	}
+	if *data != "" && replayed > 0 {
+		// The WAL already rebuilt the ingest state; re-ingesting the dataset
+		// file would duplicate every trip it covers.
+		fmt.Printf("skipping -data %s: WAL replay is the ingest authority\n", *data)
+	} else if *data != "" {
 		ds, err := model.LoadFile(*data)
 		if err != nil {
 			if !restored {
@@ -311,7 +345,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("sharded engine: %d shards at geohash precision %d\n", n, p)
 	}
-	fmt.Printf("serving %d inferred locations on %s (GET /v1/locations/{key}, POST /v1/locations:batch, POST /v1/ingest, POST /v1/reinfer, GET /v1/snapshot, GET /v1/metrics)\n",
+	fmt.Printf("serving %d inferred locations on %s (GET /v1/locations/{key}, POST /v1/locations:batch, POST /v1/ingest, POST /v1/trajectories:stream, POST /v1/reinfer, GET /v1/snapshot, GET /v1/metrics)\n",
 		st.Inferred, *listen)
 	if *debugListen != "" {
 		dsrv := deploy.NewServer(*debugListen, deploy.DebugHandler(tracer))

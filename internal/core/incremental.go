@@ -29,6 +29,18 @@ type IncrementalPoolBuilder struct {
 	// visits records, per appended trip, its stay visits tagged with the
 	// *builder-internal* item index; Finalize rewrites them to final ids.
 	visits [][]rawVisit
+	// pending holds trips whose stay points have been appended but not yet
+	// clustered into the pool; SealWindow turns them into one window. Each
+	// already owns a reserved slot in visits so trip order is fixed at
+	// append time.
+	pending []pendingTrip
+}
+
+// pendingTrip is one streamed trip awaiting its window seal.
+type pendingTrip struct {
+	slot    int // index into visits reserved for this trip
+	courier model.CourierID
+	stays   []traj.StayPoint
 }
 
 type incrementalItem struct {
@@ -64,13 +76,9 @@ func NewIncrementalPoolBuilder(cfg Config) *IncrementalPoolBuilder {
 // Cancelling ctx aborts before the builder state is touched, so a cancelled
 // AddWindow leaves the pool exactly as it was.
 func (b *IncrementalPoolBuilder) AddWindow(ctx context.Context, trips []model.Trip) error {
-	defer obs.StartSpanCtx(ctx, "pool_window", stagePoolWindow).End()
-	// Extract and cluster this window's stay points.
-	type stay struct {
-		sp      traj.StayPoint
-		trip    int // window-relative
-		courier model.CourierID
-	}
+	// Extract this window's stay points, then funnel through the same
+	// append/seal path the streaming engine drives point by point, so batch
+	// and streamed ingest produce identical pools.
 	perTrip := make([][]traj.StayPoint, len(trips))
 	err := nn.ParallelForCtx(ctx, b.cfg.workers(), len(trips), func(ti int) {
 		perTrip[ti] = extractStayPoints(trips[ti].Traj, b.cfg)
@@ -78,10 +86,44 @@ func (b *IncrementalPoolBuilder) AddWindow(ctx context.Context, trips []model.Tr
 	if err != nil {
 		return err
 	}
-	var stays []stay
 	for ti := range trips {
-		for _, sp := range perTrip[ti] {
-			stays = append(stays, stay{sp: sp, trip: ti, courier: trips[ti].Courier})
+		b.AppendTripStays(trips[ti].Courier, perTrip[ti])
+	}
+	return b.SealWindow(ctx)
+}
+
+// AppendTripStays queues one trip's already-extracted stay points for the
+// next window seal, reserving the trip's slot in the visit log immediately
+// (trip order across the builder's lifetime is append order). The builder
+// takes ownership of stays. This is the streaming entry point: the engine
+// feeds it stay points as its StreamExtractor closes them, then calls
+// SealWindow on the window's time or size bound.
+func (b *IncrementalPoolBuilder) AppendTripStays(courier model.CourierID, stays []traj.StayPoint) {
+	slot := len(b.visits)
+	b.visits = append(b.visits, nil)
+	b.pending = append(b.pending, pendingTrip{slot: slot, courier: courier, stays: stays})
+}
+
+// PendingTrips reports how many appended trips await a SealWindow.
+func (b *IncrementalPoolBuilder) PendingTrips() int { return len(b.pending) }
+
+// SealWindow clusters every pending trip's stay points as one window and
+// merges the window's candidates into the pool, exactly as AddWindow does
+// for a batch. A seal with nothing pending is a no-op. ctx carries the
+// trace span only; the seal always completes once started.
+func (b *IncrementalPoolBuilder) SealWindow(ctx context.Context) error {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	defer obs.StartSpanCtx(ctx, "pool_window", stagePoolWindow).End()
+	type stay struct {
+		sp   traj.StayPoint
+		trip int // index into b.pending
+	}
+	var stays []stay
+	for ti := range b.pending {
+		for _, sp := range b.pending[ti].stays {
+			stays = append(stays, stay{sp: sp, trip: ti})
 		}
 	}
 	pts := make([]geo.Point, len(stays))
@@ -96,7 +138,7 @@ func (b *IncrementalPoolBuilder) AddWindow(ctx context.Context, trips []model.Tr
 	}
 
 	// Install the window's candidates as new items and record visits.
-	windowVisits := make([][]rawVisit, len(trips))
+	windowVisits := make([][]rawVisit, len(b.pending))
 	for _, c := range windowClusters {
 		item := incrementalItem{
 			centroid: c.Centroid,
@@ -113,17 +155,18 @@ func (b *IncrementalPoolBuilder) AddWindow(ctx context.Context, trips []model.Tr
 				hour += 24
 			}
 			item.hist[hour]++
-			item.couriers[s.courier] = struct{}{}
+			item.couriers[b.pending[s.trip].courier] = struct{}{}
 			windowVisits[s.trip] = append(windowVisits[s.trip], rawVisit{
 				item: id, arriveT: s.sp.ArriveT, leaveT: s.sp.LeaveT, midT: s.sp.MidT(),
 			})
 		}
 		b.items = append(b.items, item)
 	}
-	for _, vs := range windowVisits {
+	for ti, vs := range windowVisits {
 		sort.Slice(vs, func(i, j int) bool { return vs[i].arriveT < vs[j].arriveT })
-		b.visits = append(b.visits, vs)
+		b.visits[b.pending[ti].slot] = vs
 	}
+	b.pending = nil
 
 	b.mergeAlive()
 	return nil
@@ -184,6 +227,10 @@ func (b *IncrementalPoolBuilder) Finalize() *Pool {
 // FinalizeCtx is Finalize with the caller's context, so the finalize stage
 // span lands in the request or job trace carrying the builder.
 func (b *IncrementalPoolBuilder) FinalizeCtx(ctx context.Context) *Pool {
+	// Trips still awaiting a window seal (streamed in but not yet bounded by
+	// time or size) form one final window, mirroring BuildPoolIncrementally's
+	// trailing partial batch.
+	_ = b.SealWindow(ctx)
 	defer obs.StartSpanCtx(ctx, "pool_finalize", stagePoolFinalize).End()
 	// Assign dense ids to alive items.
 	finalID := make(map[int]int)

@@ -32,6 +32,14 @@ const (
 	// CodeReinferInFlight: a re-inference job is already running. Maps to
 	// 409; details carry the running job.
 	CodeReinferInFlight = "reinfer_in_flight"
+	// CodeBackpressure: the engine's ingest backlog is full (pending trips at
+	// the configured bound); producers should back off and retry after the
+	// next re-inference drains it. Maps to 429.
+	CodeBackpressure = "backpressure"
+	// CodeUnimplemented: the route exists but this engine does not support
+	// it (e.g. point streaming against an engine without a streaming ingest
+	// path). Maps to 501.
+	CodeUnimplemented = "unimplemented"
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal = "internal"
 )
@@ -104,6 +112,29 @@ type IngestRequest struct {
 	Truth     map[string][2]float64 `json:"truth,omitempty"`
 }
 
+// StreamPoint is one NDJSON line of POST /v1/trajectories:stream: a single
+// GPS fix of one courier's trajectory, or (End true) the explicit end of
+// that courier's open trip. X, Y are meters in the dataset's local tangent
+// plane; T is seconds. Lines are applied in order; a trip also closes
+// implicitly when the gap between a courier's consecutive fixes exceeds the
+// engine's trip-gap bound.
+type StreamPoint struct {
+	Courier int64   `json:"courier"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	T       float64 `json:"t"`
+	End     bool    `json:"end,omitempty"`
+}
+
+// StreamIngestResponse summarizes one accepted stream session: how many
+// point lines and end markers were applied. It is only sent after every
+// line succeeded — a mid-stream failure answers the error envelope instead,
+// with the number of already-applied lines in the details.
+type StreamIngestResponse struct {
+	Points int `json:"points"`
+	Ends   int `json:"ends"`
+}
+
 // Job states of a background re-inference.
 const (
 	JobRunning = "running"
@@ -142,6 +173,9 @@ type EngineStatus struct {
 	PendingTrips   int  `json:"pending_trips"`
 	Reinfers       int  `json:"reinfers"`
 	ReinferRunning bool `json:"reinfer_running"`
+	// OpenStreams counts couriers with an open trajectory stream (points
+	// accepted, trip not yet closed by an end marker or the gap rule).
+	OpenStreams int `json:"open_streams,omitempty"`
 	// Shards lists per-shard summaries when the serving engine is sharded;
 	// empty for a single global engine. The top-level counters are then sums
 	// over the shards, and Ready is true as soon as any shard serves — one

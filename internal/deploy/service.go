@@ -15,6 +15,7 @@ import (
 	"dlinfma/internal/model"
 	"dlinfma/internal/obs"
 	"dlinfma/internal/obs/trace"
+	"dlinfma/internal/traj"
 )
 
 // Engine is deploy's view of the serving engine (implemented by
@@ -43,6 +44,30 @@ type Engine interface {
 // ErrReinferRunning is returned by Engine.StartReinfer while a re-inference
 // job is already in flight; the service maps it to 409 Conflict.
 var ErrReinferRunning = errors.New("deploy: re-inference already running")
+
+// ErrBackpressure is returned by ingest paths when the engine's reinfer
+// backlog (pending trips) has hit its configured bound; the service maps it
+// to 429 so well-behaved producers back off until the next re-inference
+// drains the queue.
+var ErrBackpressure = errors.New("deploy: ingest backlog full, retry after reinfer")
+
+// StreamIngestor is the optional point-streaming ingest surface. Engines
+// that implement it (both shapes in internal/engine do) accept trajectory
+// fixes one at a time per courier and assemble trips server-side: a trip
+// closes on an explicit CloseStream or when the courier's inter-fix gap
+// exceeds the engine's trip-gap bound. POST /v1/trajectories:stream feeds
+// this interface; engines without it answer that route 501.
+type StreamIngestor interface {
+	// IngestPoint appends one GPS fix to courier's open trajectory stream,
+	// opening a stream as needed. It returns ErrBackpressure when the
+	// pending-trip bound is hit; a nil return means the point is accepted
+	// and — when a write-ahead log is attached — durable per its fsync
+	// policy.
+	IngestPoint(ctx context.Context, courier model.CourierID, pt traj.GPSPoint) error
+	// CloseStream ends courier's open trip, delivering it to the candidate
+	// pool. Closing a courier without an open stream is a no-op.
+	CloseStream(ctx context.Context, courier model.CourierID) error
+}
 
 // The wire schema lives in internal/deploy/api; deploy re-exports the types
 // the engine and long-standing callers use so the move is source-compatible.
@@ -107,6 +132,7 @@ func Service(e Engine) http.Handler { return NewService(e, Options{}) }
 //	POST /v1/locations:batch   resolve many address keys per call (bulk hot path)
 //	GET  /v1/locations/{key}   query one address via the address->building->geocode chain
 //	POST /v1/ingest            append a window of trips (api.IngestRequest)
+//	POST /v1/trajectories:stream  stream courier fixes as NDJSON api.StreamPoint lines
 //	POST /v1/reinfer           start a background retrain+re-infer job (202)
 //	GET  /v1/reinfer           poll the latest job's status
 //	GET  /v1/snapshot          stream the serving state for on-disk persistence
@@ -132,6 +158,7 @@ func NewService(e Engine, opts Options) http.Handler {
 	handle("/v1/locations/{key}", "/v1/locations/{key}", methodsOnly(s.handleLocation, http.MethodGet))
 	handle("/v1/locations:batch", "/v1/locations:batch", methodsOnly(s.handleBatch, http.MethodPost))
 	handle("/v1/ingest", "/v1/ingest", methodsOnly(s.handleIngest, http.MethodPost))
+	handle("/v1/trajectories:stream", "/v1/trajectories:stream", methodsOnly(s.handleStream, http.MethodPost))
 	handle("/v1/reinfer", "/v1/reinfer", methodsOnly(s.handleReinfer, http.MethodPost, http.MethodGet))
 	handle("/v1/snapshot", "/v1/snapshot", methodsOnly(s.handleSnapshot, http.MethodGet))
 	handle("/v1/metrics", "/v1/metrics", methodsOnly(metricsExposition, http.MethodGet))
@@ -247,6 +274,10 @@ func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		truth[id] = geo.Point{X: v[0], Y: v[1]}
 	}
 	if err := s.e.Ingest(r.Context(), req.Trips, req.Addresses, truth); err != nil {
+		if errors.Is(err, ErrBackpressure) {
+			writeError(w, http.StatusTooManyRequests, api.CodeBackpressure, err.Error(), nil)
+			return
+		}
 		s.log.WithTrace(r.Context()).Warn("ingest failed", "err", err, "request_id", RequestID(r.Context()))
 		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
 		return

@@ -1,0 +1,98 @@
+package deploy
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"dlinfma/internal/deploy/api"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/obs/trace"
+	"dlinfma/internal/traj"
+)
+
+// maxStreamLineBytes bounds one NDJSON line of a streaming session; a
+// StreamPoint is tens of bytes, so 64 KiB is generous headroom, not a limit
+// honest clients ever see.
+const maxStreamLineBytes = 64 << 10
+
+// handleStream is POST /v1/trajectories:stream: an NDJSON body of
+// api.StreamPoint lines, applied in order. Each line is one courier fix (or
+// an explicit end marker); the engine assembles trips server-side and logs
+// every accepted line to its write-ahead log before acknowledging. The 200
+// response with the applied counts is the acknowledgement; any failure
+// answers the error envelope with the counts applied so far in the details,
+// so producers know exactly where to resume. Backpressure (pending-trip
+// backlog full) maps to 429.
+func (s *service) handleStream(w http.ResponseWriter, r *http.Request) {
+	si, ok := s.e.(StreamIngestor)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, api.CodeUnimplemented,
+			"this engine does not support trajectory streaming", nil)
+		return
+	}
+	ctx, sp := trace.Start(r.Context(), "deploy.stream_session")
+	defer sp.End()
+
+	sc := bufio.NewScanner(io.LimitReader(r.Body, maxIngestBytes))
+	sc.Buffer(make([]byte, 0, 4096), maxStreamLineBytes)
+	points, ends, line := 0, 0, 0
+	progress := func() map[string]any {
+		sp.SetAttr("points", points)
+		sp.SetAttr("ends", ends)
+		return map[string]any{"line": line, "points": points, "ends": ends}
+	}
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var p api.StreamPoint
+		if err := json.Unmarshal(raw, &p); err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+				fmt.Sprintf("decode stream line %d: %v", line, err), progress())
+			return
+		}
+		if p.Courier < math.MinInt32 || p.Courier > math.MaxInt32 {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+				"courier id out of range", progress())
+			return
+		}
+		courier := model.CourierID(p.Courier)
+		var err error
+		if p.End {
+			if err = si.CloseStream(ctx, courier); err == nil {
+				ends++
+			}
+		} else {
+			if err = si.IngestPoint(ctx, courier, traj.GPSPoint{P: geo.Point{X: p.X, Y: p.Y}, T: p.T}); err == nil {
+				points++
+			}
+		}
+		if err != nil {
+			if errors.Is(err, ErrBackpressure) {
+				writeError(w, http.StatusTooManyRequests, api.CodeBackpressure, err.Error(), progress())
+				return
+			}
+			sp.RecordError(err)
+			s.log.WithTrace(ctx).Warn("stream ingest failed",
+				"err", err, "line", line, "request_id", RequestID(ctx))
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), progress())
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			fmt.Sprintf("read stream body: %v", err), progress())
+		return
+	}
+	progress()
+	writeJSON(w, http.StatusOK, api.StreamIngestResponse{Points: points, Ends: ends})
+}

@@ -1,0 +1,162 @@
+// Tests for POST /v1/trajectories:stream against stub engines: ack counts,
+// application order, mid-stream error reporting with resume position, the
+// backpressure mapping, and the 501 answer from a non-streaming engine. The
+// real-engine streaming semantics (trip cutting, WAL, replay) are covered in
+// internal/engine.
+package deploy_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/deploy/api"
+	"dlinfma/internal/model"
+	"dlinfma/internal/traj"
+)
+
+// streamStub is a stubEngine that also records streaming calls, optionally
+// failing after a set number of accepted points.
+type streamStub struct {
+	stubEngine
+	events    []string
+	failAfter int // accepted points before erroring; 0 = never fail
+	failWith  error
+}
+
+func (s *streamStub) IngestPoint(_ context.Context, c model.CourierID, pt traj.GPSPoint) error {
+	if s.failAfter > 0 && len(s.events) >= s.failAfter {
+		return s.failWith
+	}
+	s.events = append(s.events, fmt.Sprintf("pt %d %.0f", c, pt.T))
+	return nil
+}
+
+func (s *streamStub) CloseStream(_ context.Context, c model.CourierID) error {
+	s.events = append(s.events, fmt.Sprintf("end %d", c))
+	return nil
+}
+
+func postStream(t *testing.T, srv *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+"/v1/trajectories:stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeStreamErr(t *testing.T, resp *http.Response) *api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+		t.Fatalf("decode error envelope: %v", err)
+	}
+	return env.Error
+}
+
+func TestStreamEndpointAcksInOrder(t *testing.T) {
+	stub := &streamStub{stubEngine: *readyStub()}
+	srv := httptest.NewServer(deploy.Service(stub))
+	defer srv.Close()
+
+	resp := postStream(t, srv, `
+{"courier":5,"x":1,"y":2,"t":100}
+{"courier":6,"x":3,"y":4,"t":101}
+
+{"courier":5,"x":1.5,"y":2.5,"t":110}
+{"courier":5,"end":true}
+`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var ack api.StreamIngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Points != 3 || ack.Ends != 1 {
+		t.Fatalf("ack = %+v, want 3 points 1 end", ack)
+	}
+	want := []string{"pt 5 100", "pt 6 101", "pt 5 110", "end 5"}
+	if fmt.Sprint(stub.events) != fmt.Sprint(want) {
+		t.Fatalf("applied order %v, want %v", stub.events, want)
+	}
+}
+
+func TestStreamEndpointRejectsBadLineWithProgress(t *testing.T) {
+	stub := &streamStub{stubEngine: *readyStub()}
+	srv := httptest.NewServer(deploy.Service(stub))
+	defer srv.Close()
+
+	resp := postStream(t, srv, "{\"courier\":5,\"x\":1,\"y\":2,\"t\":100}\nnot json\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	e := decodeStreamErr(t, resp)
+	if e.Code != api.CodeInvalidArgument {
+		t.Fatalf("code = %q", e.Code)
+	}
+	// The details tell the producer exactly where to resume.
+	if e.Details["line"] != float64(2) || e.Details["points"] != float64(1) || e.Details["ends"] != float64(0) {
+		t.Fatalf("details = %v", e.Details)
+	}
+	if len(stub.events) != 1 {
+		t.Fatalf("events after bad line: %v", stub.events)
+	}
+}
+
+func TestStreamEndpointBackpressureMapsTo429(t *testing.T) {
+	stub := &streamStub{stubEngine: *readyStub(), failAfter: 2, failWith: deploy.ErrBackpressure}
+	srv := httptest.NewServer(deploy.Service(stub))
+	defer srv.Close()
+
+	body := `{"courier":1,"x":0,"y":0,"t":1}
+{"courier":1,"x":0,"y":0,"t":2}
+{"courier":1,"x":0,"y":0,"t":3}
+`
+	resp := postStream(t, srv, body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	e := decodeStreamErr(t, resp)
+	if e.Code != api.CodeBackpressure {
+		t.Fatalf("code = %q", e.Code)
+	}
+	if e.Details["points"] != float64(2) {
+		t.Fatalf("details = %v, want 2 acked points", e.Details)
+	}
+}
+
+func TestStreamEndpointUnimplementedWithoutStreaming(t *testing.T) {
+	srv := httptest.NewServer(deploy.Service(readyStub())) // no StreamIngestor
+	defer srv.Close()
+
+	resp := postStream(t, srv, `{"courier":1,"x":0,"y":0,"t":1}`)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+	if e := decodeStreamErr(t, resp); e.Code != api.CodeUnimplemented {
+		t.Fatalf("code = %q", e.Code)
+	}
+}
+
+func TestStreamEndpointRejectsOutOfRangeCourier(t *testing.T) {
+	stub := &streamStub{stubEngine: *readyStub()}
+	srv := httptest.NewServer(deploy.Service(stub))
+	defer srv.Close()
+
+	resp := postStream(t, srv, `{"courier":5000000000,"x":0,"y":0,"t":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if e := decodeStreamErr(t, resp); e.Code != api.CodeInvalidArgument {
+		t.Fatalf("code = %q", e.Code)
+	}
+}

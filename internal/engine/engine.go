@@ -33,6 +33,7 @@ import (
 	"dlinfma/internal/model"
 	"dlinfma/internal/obs"
 	"dlinfma/internal/obs/trace"
+	"dlinfma/internal/wal"
 )
 
 // Config bundles the engine's pipeline, model, and training knobs.
@@ -40,6 +41,14 @@ type Config struct {
 	Core    core.Config
 	Matcher core.LocMatcherConfig
 	Sample  core.SampleOptions
+	// Stream bounds the online point-by-point ingest path (stream.go). The
+	// zero value inherits the batch path's window grid and sane gap bounds.
+	Stream StreamConfig
+	// MaxPendingTrips bounds the ingest backlog: once this many trips have
+	// accumulated since the served state was built, live ingest (batch and
+	// streamed) answers deploy.ErrBackpressure until a re-inference drains
+	// the backlog. 0 = unbounded.
+	MaxPendingTrips int
 	// ValFraction is the share of labelled samples held out for early
 	// stopping during re-inference training (0 trains on everything).
 	ValFraction float64
@@ -92,6 +101,14 @@ type Engine struct {
 	truth    map[model.AddressID]geo.Point
 	// pending counts trips ingested after the served state was built.
 	pending int
+	// ss tracks open courier streams and the streamed pool window.
+	ss *streamSet
+	// wal, when attached, logs every accepted ingest operation for crash
+	// recovery; reinferSeq is the WAL position the last completed
+	// re-inference covered, safe to truncate through once a snapshot of
+	// that state reaches durable storage.
+	wal        *wal.WAL
+	reinferSeq uint64
 
 	// stateMu guards the hot-swapped serving state and the health record of
 	// the last re-inference attempt.
@@ -129,6 +146,7 @@ func New(cfg Config) *Engine {
 		builder:  core.NewIncrementalPoolBuilder(cfg.Core),
 		addrSeen: make(map[model.AddressID]bool),
 		truth:    make(map[model.AddressID]geo.Point),
+		ss:       newStreamSet(cfg.Stream, cfg.Core),
 	}
 }
 
@@ -154,11 +172,25 @@ func (e *Engine) SetName(name string) {
 // not touched until the next Reinfer. Cancelling ctx mid-window returns
 // ctx.Err() with the pool unchanged.
 func (e *Engine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error {
+	return e.ingest(ctx, trips, addrs, truth, true)
+}
+
+// ingest is the shared live/replay core of Ingest. A live window is rejected
+// under backpressure before any state changes, and appended to the WAL only
+// after the whole window applied — a rejected or cancelled window never
+// enters the log. (A WAL append that itself fails leaves the window applied
+// but unacknowledged; the caller's retry then duplicates it, the same
+// at-least-once edge every acknowledge-after-apply log has.)
+func (e *Engine) ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point, live bool) error {
 	ctx, tsp := trace.Start(ctx, "engine.ingest")
 	tsp.SetAttr("trips", len(trips))
 	defer tsp.End()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if live && len(trips) > 0 && e.cfg.MaxPendingTrips > 0 && e.pending >= e.cfg.MaxPendingTrips {
+		backpressureRejects.Inc()
+		return deploy.ErrBackpressure
+	}
 	newAddrs := 0
 	for _, a := range addrs {
 		if !e.addrSeen[a.ID] {
@@ -171,17 +203,28 @@ func (e *Engine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.A
 	for id, p := range truth {
 		e.truth[id] = p
 	}
-	if len(trips) == 0 {
+	if len(trips) > 0 {
+		// Seal any pending streamed trips first so the batch window clusters
+		// exactly the trips it was handed — streamed and batch windows stay
+		// distinct pool windows.
+		e.sealStreamWindowLocked(ctx)
+		if err := e.builder.AddWindow(ctx, trips); err != nil {
+			tsp.RecordError(err)
+			return err
+		}
+		e.trips = append(e.trips, trips...)
+		e.pending += len(trips)
+		ingestTrips.Add(int64(len(trips)))
+		ingestWindows.Inc()
+	} else if len(addrs) == 0 && len(truth) == 0 {
 		return nil
 	}
-	if err := e.builder.AddWindow(ctx, trips); err != nil {
-		tsp.RecordError(err)
-		return err
+	if live && e.wal != nil {
+		if _, err := e.wal.Append(encodeWALIngest(trips, addrs, truth)); err != nil {
+			tsp.RecordError(err)
+			return err
+		}
 	}
-	e.trips = append(e.trips, trips...)
-	e.pending += len(trips)
-	ingestTrips.Add(int64(len(trips)))
-	ingestWindows.Inc()
 	e.log.WithTrace(ctx).Debug("ingest window",
 		"trips", len(trips), "new_addrs", newAddrs, "total_trips", len(e.trips))
 	return nil
@@ -285,6 +328,11 @@ func (e *Engine) reinfer(ctx context.Context) error {
 		e.mu.Unlock()
 		return errors.New("engine: no trips ingested")
 	}
+	// Everything logged up to here (minus still-open streams) is about to be
+	// folded into the new serving state; once that state is snapshotted, the
+	// WAL below this boundary is dead weight.
+	boundary := e.walBoundaryLocked()
+	e.sealStreamWindowLocked(ctx)
 	pool := e.builder.FinalizeCtx(ctx)
 	ds := &model.Dataset{
 		Name:      e.name,
@@ -350,6 +398,9 @@ func (e *Engine) reinfer(ctx context.Context) error {
 
 	e.mu.Lock()
 	e.pending = len(e.trips) - nTrips
+	if boundary > e.reinferSeq {
+		e.reinferSeq = boundary
+	}
 	e.mu.Unlock()
 	return nil
 }
@@ -513,6 +564,7 @@ func (e *Engine) Status() deploy.EngineStatus {
 		Dataset:      e.name,
 		Addresses:    len(e.addrs),
 		PendingTrips: e.pending,
+		OpenStreams:  e.ss.open(),
 		Reinfers:     reinfers,
 		Failed:       failed,
 		LastError:    lastErr,

@@ -30,6 +30,18 @@ var (
 	hotSwaps = obs.Default.Counter("dlinfma_engine_hot_swaps_total",
 		"Atomic serving-state swaps (completed re-inferences plus snapshot restores).")
 
+	streamPoints = obs.Default.Counter("dlinfma_engine_stream_points_total",
+		"GPS fixes accepted on the streaming ingest path.")
+	streamTripsByReason = obs.Default.CounterVec("dlinfma_engine_stream_trips_total",
+		"Streamed trips closed, by close reason (gap rule vs explicit end marker).",
+		"reason")
+	streamTripsGap   = streamTripsByReason.With("gap")
+	streamTripsEnd   = streamTripsByReason.With("end")
+	openStreamsGauge = obs.Default.Gauge("dlinfma_engine_open_streams",
+		"Couriers with an open trajectory stream (points accepted, trip not yet closed).")
+	backpressureRejects = obs.Default.Counter("dlinfma_engine_backpressure_rejections_total",
+		"Ingest operations rejected because the pending-trip backlog hit MaxPendingTrips.")
+
 	snapshotOps = obs.Default.CounterVec("dlinfma_engine_snapshot_ops_total",
 		"Snapshot operations by kind (save/restore) and outcome (ok/error).",
 		"op", "outcome")

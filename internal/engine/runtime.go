@@ -7,6 +7,7 @@ import (
 	"dlinfma/internal/deploy"
 	"dlinfma/internal/geo"
 	"dlinfma/internal/model"
+	"dlinfma/internal/wal"
 )
 
 // Runtime is the full lifecycle surface shared by the single Engine and the
@@ -19,6 +20,9 @@ type Runtime interface {
 	// scatter/gathers across shards, the single form answers from one
 	// frozen-store load.
 	deploy.BatchQuerier
+	// Both shapes accept point-by-point trajectory streaming with WAL-backed
+	// durability and backpressure.
+	deploy.StreamIngestor
 
 	SetName(name string)
 	IngestDataset(ctx context.Context, ds *model.Dataset) error
@@ -27,6 +31,12 @@ type Runtime interface {
 	RestoreSnapshot(r io.Reader) error
 	SaveSnapshotFile(path string) error
 	LoadSnapshotFile(path string) error
+	// AttachWAL starts logging every accepted ingest operation to w;
+	// ReplayWAL re-applies a log on top of the current (typically
+	// just-restored) state. Boot order: restore snapshot, ReplayWAL,
+	// AttachWAL, serve.
+	AttachWAL(w *wal.WAL)
+	ReplayWAL(ctx context.Context, w *wal.WAL) (int, error)
 	Close()
 }
 

@@ -16,6 +16,7 @@ import (
 	"dlinfma/internal/obs"
 	"dlinfma/internal/obs/trace"
 	"dlinfma/internal/shard"
+	"dlinfma/internal/wal"
 )
 
 // ShardedEngine owns one Engine per geographic shard behind a shard.Router.
@@ -42,12 +43,24 @@ type ShardedEngine struct {
 	rootCtx context.Context
 	cancel  context.CancelFunc
 
+	// ingestMu serializes every mutating ingest operation (batch windows,
+	// streamed points, end markers, WAL replay) so the WAL append order
+	// equals the apply order. It nests outside mu and the shards' locks; the
+	// lock-free query path never touches it. ss, wal, and the streamed
+	// window grid live under it (see sharded_stream.go).
+	ingestMu sync.Mutex
+	ss       *streamSet
+	wal      *wal.WAL
+
 	// mu guards the mutable routing state (writers: ingest, restore).
 	mu        sync.RWMutex
 	name      string
 	addrShard map[model.AddressID]int
 	nTrips    int
 	reinfers  int
+	// reinferSeq is the WAL position the last fully successful re-inference
+	// covered (safe to truncate through after a durable snapshot).
+	reinferSeq uint64
 
 	// routes is the lock-free read path's routing table: an immutable copy
 	// of addrShard republished after every mutation (ingest windows and
@@ -79,10 +92,14 @@ func NewSharded(cfg Config, r *shard.Router) *ShardedEngine {
 		cancel:    cancel,
 		addrShard: make(map[model.AddressID]int),
 	}
+	s.ss = newStreamSet(cfg.Stream, cfg.Core)
 	s.routeCounters = make([]*obs.Counter, r.N())
 	for i := range s.shards {
 		shardCfg := cfg
 		shardCfg.Logger = cfg.Logger.With("shard", i)
+		// Backpressure is enforced at the sharded level (summed backlog);
+		// shards must never double-reject their owner's deliveries.
+		shardCfg.MaxPendingTrips = 0
 		s.shards[i] = New(shardCfg)
 		s.routeCounters[i] = shardRoutedQueries.With(strconv.Itoa(i))
 	}
@@ -125,6 +142,23 @@ func (s *ShardedEngine) SetName(name string) {
 // without; re-inference tolerates the imbalance, but callers wanting a clean
 // window boundary should retry the whole window.
 func (s *ShardedEngine) Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error {
+	return s.ingest(ctx, trips, addrs, truth, true)
+}
+
+// ingest is the shared live/replay core of Ingest. It holds ingestMu across
+// the whole window — including the per-shard fan-out — so the WAL's append
+// order equals the apply order even with streamed points racing batch
+// windows. Live windows are rejected under backpressure before any state
+// changes and logged only after every shard applied (a partially applied,
+// cancelled window never enters the log; the caller's documented recourse is
+// retrying the whole window either way).
+func (s *ShardedEngine) ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point, live bool) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if live && len(trips) > 0 && s.overloaded() {
+		backpressureRejects.Inc()
+		return deploy.ErrBackpressure
+	}
 	s.mu.Lock()
 	added := 0
 	for _, a := range addrs {
@@ -158,6 +192,11 @@ func (s *ShardedEngine) Ingest(ctx context.Context, trips []model.Trip, addrs []
 		}
 		ssp.End()
 	}
+	if live && s.wal != nil && (len(trips) > 0 || len(addrs) > 0 || len(truth) > 0) {
+		if _, err := s.wal.Append(encodeWALIngest(trips, addrs, truth)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -188,6 +227,14 @@ func (s *ShardedEngine) IngestDataset(ctx context.Context, ds *model.Dataset) er
 // error with their shard index and do not disturb the other shards' swaps or
 // the failing shard's previously served state.
 func (s *ShardedEngine) Reinfer(ctx context.Context) error {
+	// Seal every shard's open streamed window so this retrain sees whole
+	// windows, and fix the WAL position the retrain will cover (held back
+	// below any still-open stream's first point).
+	s.ingestMu.Lock()
+	s.sealStreamWindowsLocked(ctx)
+	boundary := walBoundary(s.wal, s.ss)
+	s.ingestMu.Unlock()
+
 	s.mu.RLock()
 	total := s.nTrips
 	s.mu.RUnlock()
@@ -251,6 +298,11 @@ func (s *ShardedEngine) Reinfer(ctx context.Context) error {
 	if swapped {
 		s.mu.Lock()
 		s.reinfers++
+		// Advance the truncation boundary only when every shard that ran
+		// succeeded: a failed shard's trips live nowhere but the WAL.
+		if len(failed) == 0 && boundary > s.reinferSeq {
+			s.reinferSeq = boundary
+		}
 		s.mu.Unlock()
 	}
 	return errors.Join(failed...)
@@ -462,6 +514,10 @@ func (s *ShardedEngine) Status() deploy.EngineStatus {
 	s.jobMu.Lock()
 	out.ReinferRunning = s.job != nil && s.job.State == deploy.JobRunning
 	s.jobMu.Unlock()
+	// Streams are tracked globally, not per shard.
+	s.ingestMu.Lock()
+	out.OpenStreams = s.ss.open()
+	s.ingestMu.Unlock()
 	return out
 }
 

@@ -228,11 +228,14 @@ func (s *ShardedEngine) SaveSnapshotFile(path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(doc, '\n'), 0o644); err != nil {
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		_, werr := w.Write(append(doc, '\n'))
+		return werr
+	}); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	s.maybeTruncateWAL()
+	return nil
 }
 
 // LoadSnapshotFile restores from a manifest (or legacy snapshot) file.

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"context"
+
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/traj"
+	"dlinfma/internal/wal"
+)
+
+// Sharded streaming ingest. The sharded engine keeps ONE stream set and ONE
+// WAL at the top level rather than one per shard: trip cutting (the gap
+// rule) and pool-window boundaries are global decisions — a shard must see
+// the same trips and the same window grid one unsharded engine would — and a
+// single log yields a single total order to replay. Closed trips route to
+// their shard by trajectory (streamed fixes carry no waybills) and enter the
+// shard's pool through the window-less addStreamedTrip path; the sharded
+// engine seals every shard's streamed window together when the global grid
+// boundary passes.
+//
+// ingestMu serializes every mutating ingest operation (batch windows,
+// streamed points, end markers, replay) so the WAL's append order equals the
+// apply order — replaying the log reproduces the exact ingest state. It
+// nests outside mu and the shards' own locks; the query path touches none of
+// them.
+
+// IngestPoint accepts one streamed GPS fix (deploy.StreamIngestor), logging
+// it durably before it can close a trip or touch any shard's pool.
+func (s *ShardedEngine) IngestPoint(ctx context.Context, courier model.CourierID, pt traj.GPSPoint) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.ingestPointLocked(ctx, courier, pt, 0, true)
+}
+
+// CloseStream explicitly ends a courier's open trip (deploy.StreamIngestor).
+func (s *ShardedEngine) CloseStream(ctx context.Context, courier model.CourierID) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.closeStreamLocked(ctx, courier, true)
+}
+
+// ingestPointLocked mirrors Engine.ingestPointLocked at the sharded level:
+// live points are rejected under backpressure and logged before any state
+// changes; replayed points carry their original sequence.
+func (s *ShardedEngine) ingestPointLocked(ctx context.Context, courier model.CourierID, pt traj.GPSPoint, seq uint64, live bool) error {
+	if live {
+		if s.overloaded() {
+			backpressureRejects.Inc()
+			return deploy.ErrBackpressure
+		}
+		if s.wal != nil {
+			sq, err := s.wal.Append(encodeWALPoint(courier, pt))
+			if err != nil {
+				return err
+			}
+			seq = sq
+		}
+	}
+	closed := s.ss.point(courier, pt)
+	s.ss.noteSeq(courier, seq)
+	if closed != nil {
+		s.deliverStreamedTripLocked(ctx, closed)
+	}
+	return nil
+}
+
+// closeStreamLocked mirrors Engine.closeStreamLocked: the end marker hits
+// the WAL before teardown; closing a courier with no open stream is a no-op.
+func (s *ShardedEngine) closeStreamLocked(ctx context.Context, courier model.CourierID, live bool) error {
+	if live {
+		if _, ok := s.ss.streams[courier]; !ok {
+			return nil
+		}
+		if s.wal != nil {
+			if _, err := s.wal.Append(encodeWALEnd(courier)); err != nil {
+				return err
+			}
+		}
+	}
+	if closed := s.ss.end(courier); closed != nil {
+		s.deliverStreamedTripLocked(ctx, closed)
+	}
+	return nil
+}
+
+// deliverStreamedTripLocked routes one closed trip to its shard, driving the
+// GLOBAL streamed window grid: crossing a time boundary (or the stay-point
+// size bound) seals every shard's pending streamed trips together, so shard
+// pools see the same window cuts one global engine would.
+func (s *ShardedEngine) deliverStreamedTripLocked(ctx context.Context, st *streamedTrip) {
+	ss := s.ss
+	if ss.winEnd == 0 {
+		ss.winEnd = st.trip.StartT + ss.cfg.WindowSeconds
+	}
+	if st.trip.StartT >= ss.winEnd {
+		s.sealStreamWindowsLocked(ctx)
+		for st.trip.StartT >= ss.winEnd {
+			ss.winEnd += ss.cfg.WindowSeconds
+		}
+	}
+	sh := s.router.TripShard(st.trip)
+	s.shards[sh].addStreamedTrip(st)
+	ss.winStays += len(st.stays)
+	s.mu.Lock()
+	s.nTrips++
+	s.mu.Unlock()
+	if ss.winStays >= ss.cfg.MaxWindowStays {
+		s.sealStreamWindowsLocked(ctx)
+	}
+}
+
+// sealStreamWindowsLocked seals the streamed window on every shard (no-op on
+// shards with nothing pending) and resets the global size counter.
+func (s *ShardedEngine) sealStreamWindowsLocked(ctx context.Context) {
+	s.ss.winStays = 0
+	for _, sh := range s.shards {
+		sh.sealStreamWindow(ctx)
+	}
+}
+
+// overloaded reports whether the summed pending-trip backlog across shards
+// has reached MaxPendingTrips.
+func (s *ShardedEngine) overloaded() bool {
+	if s.cfg.MaxPendingTrips <= 0 {
+		return false
+	}
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.pendingCount()
+		if total >= s.cfg.MaxPendingTrips {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachWAL makes w the sharded engine's write-ahead log. Attach after
+// ReplayWAL so replayed records are not re-appended.
+func (s *ShardedEngine) AttachWAL(w *wal.WAL) {
+	s.ingestMu.Lock()
+	s.wal = w
+	s.ingestMu.Unlock()
+}
+
+// ReplayWAL re-applies every record of w through the sharded live paths
+// (minus backpressure and re-logging), rebuilding the routing and per-shard
+// ingest state snapshots omit. Returns the number of records applied.
+func (s *ShardedEngine) ReplayWAL(ctx context.Context, w *wal.WAL) (int, error) {
+	return replayWAL(ctx, w, s.applyWALRecord)
+}
+
+func (s *ShardedEngine) applyWALRecord(ctx context.Context, seq uint64, rec *walRecord) error {
+	switch rec.Kind {
+	case walKindIngest:
+		return s.ingest(ctx, rec.Trips, rec.Addrs, rec.Truth, false)
+	case walKindPoint:
+		s.ingestMu.Lock()
+		defer s.ingestMu.Unlock()
+		return s.ingestPointLocked(ctx, rec.Courier, traj.GPSPoint{P: geo.Point{X: rec.X, Y: rec.Y}, T: rec.T}, seq, false)
+	case walKindEnd:
+		s.ingestMu.Lock()
+		defer s.ingestMu.Unlock()
+		return s.closeStreamLocked(ctx, rec.Courier, false)
+	default:
+		return errUnknownWALKind(rec.Kind)
+	}
+}
+
+// maybeTruncateWAL drops WAL segments wholly covered by the last fully
+// successful re-inference, once the manifest reached durable storage.
+func (s *ShardedEngine) maybeTruncateWAL() {
+	s.ingestMu.Lock()
+	w := s.wal
+	s.ingestMu.Unlock()
+	s.mu.RLock()
+	seq := s.reinferSeq
+	s.mu.RUnlock()
+	if w != nil && seq > 0 {
+		_ = w.TruncateThrough(seq)
+	}
+}

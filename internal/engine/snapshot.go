@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"dlinfma/internal/core"
 	"dlinfma/internal/deploy"
@@ -141,15 +142,35 @@ func (e *Engine) RestoreSnapshot(r io.Reader) (err error) {
 	return nil
 }
 
-// SaveSnapshotFile writes the snapshot to path atomically (temp file +
-// rename), so a crash mid-write never corrupts the previous snapshot.
+// SaveSnapshotFile writes the snapshot to path atomically and durably
+// (temp file + fsync + rename), so a crash mid-write never corrupts the
+// previous snapshot and a completed save survives power loss. Once the
+// snapshot is durable, WAL segments wholly covered by the snapshotted state
+// are dropped.
 func (e *Engine) SaveSnapshotFile(path string) error {
+	if err := writeFileAtomic(path, e.WriteSnapshot); err != nil {
+		return err
+	}
+	e.maybeTruncateWAL()
+	return nil
+}
+
+// writeFileAtomic streams write's output into a temp file in path's
+// directory, fsyncs it, and renames it over path, then best-effort syncs the
+// directory so the rename itself is durable. On any failure the previous
+// file at path is untouched.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := e.WriteSnapshot(f); err != nil {
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -158,7 +179,15 @@ func (e *Engine) SaveSnapshotFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadSnapshotFile restores from a snapshot file written by

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"context"
+
+	"dlinfma/internal/core"
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/model"
+	"dlinfma/internal/obs"
+	"dlinfma/internal/traj"
+)
+
+// StreamConfig bounds the online point-by-point ingest path: how a courier's
+// open trajectory is cut into trips and how streamed trips are grouped into
+// pool windows. The zero value means "use the defaults" everywhere.
+type StreamConfig struct {
+	// TripGapSeconds closes a courier's open trip when the gap between two
+	// consecutive fixes reaches it (0 = 600, ten minutes — longer than any
+	// in-trip sampling gap, shorter than the break between delivery trips).
+	TripGapSeconds float64
+	// WindowSeconds is the streamed pool-window length. 0 inherits
+	// Core.PoolWindowSeconds (itself defaulting to the paper's bi-weekly 14
+	// days), so streamed and batch ingest seal on the same grid.
+	WindowSeconds float64
+	// MaxWindowStays additionally seals the open window once it holds this
+	// many stay points, bounding the memory and clustering cost of one seal
+	// regardless of wall time (0 = 4096).
+	MaxWindowStays int
+}
+
+// withDefaults resolves the zero values against the engine's core config.
+func (c StreamConfig) withDefaults(poolWindow float64) StreamConfig {
+	if c.TripGapSeconds <= 0 {
+		c.TripGapSeconds = 600
+	}
+	if c.WindowSeconds <= 0 {
+		c.WindowSeconds = poolWindow
+	}
+	if c.WindowSeconds <= 0 {
+		c.WindowSeconds = 14 * 86400
+	}
+	if c.MaxWindowStays <= 0 {
+		c.MaxWindowStays = 4096
+	}
+	return c
+}
+
+// courierStream is one courier's open trip: the raw fixes accepted so far,
+// the incremental stay-point extractor consuming them, and the stay points
+// it has closed. firstSeq remembers the WAL sequence of the trip's first
+// point so re-inference never truncates a segment a still-open trip needs
+// for crash recovery.
+type courierStream struct {
+	courier  model.CourierID
+	ex       *traj.StreamExtractor
+	pts      traj.Trajectory
+	stays    []traj.StayPoint
+	firstSeq uint64
+	lastT    float64
+}
+
+// streamedTrip is one closed trip leaving the stream layer: the assembled
+// model.Trip (full raw trajectory, no waybills — streamed fixes carry none),
+// its extracted stay points, and the WAL sequence of its first point.
+type streamedTrip struct {
+	trip     model.Trip
+	stays    []traj.StayPoint
+	firstSeq uint64
+}
+
+// streamSet tracks every courier's open trajectory stream plus the open
+// streamed pool window. Both engine shapes embed exactly one: the single
+// Engine's lives under its ingest mutex, the sharded engine keeps one global
+// set so trip cutting and window boundaries match what one unsharded engine
+// would compute. Not safe for concurrent use; the owner's lock serializes.
+type streamSet struct {
+	cfg     StreamConfig
+	noise   traj.NoiseFilterConfig
+	stay    traj.StayPointConfig
+	streams map[model.CourierID]*courierStream
+	// winEnd / winStays track the open streamed window: end of the current
+	// window grid cell (0 before the first streamed trip) and stay points
+	// delivered into it so far.
+	winEnd   float64
+	winStays int
+}
+
+// newStreamSet builds a stream set whose extraction parameters come from the
+// same core config the batch path uses — the bit-identity contract between
+// streamed and batch ingest starts here.
+func newStreamSet(cfg StreamConfig, coreCfg core.Config) *streamSet {
+	return &streamSet{
+		cfg:     cfg.withDefaults(coreCfg.PoolWindowSeconds),
+		noise:   coreCfg.Noise,
+		stay:    coreCfg.Stay,
+		streams: make(map[model.CourierID]*courierStream),
+	}
+}
+
+// point feeds one fix into the courier's stream, opening one if needed. If
+// the gap rule closes the previous trip, the closed trip is returned (the
+// new fix has already been accepted into a fresh stream).
+func (ss *streamSet) point(courier model.CourierID, pt traj.GPSPoint) *streamedTrip {
+	var closed *streamedTrip
+	cs := ss.streams[courier]
+	if cs != nil && pt.T-cs.lastT >= ss.cfg.TripGapSeconds {
+		closed = ss.finish(cs, streamTripsGap)
+		cs = nil
+	}
+	if cs == nil {
+		cs = &courierStream{courier: courier, ex: traj.NewStreamExtractor(ss.noise, ss.stay)}
+		ss.streams[courier] = cs
+		openStreamsGauge.Set(float64(len(ss.streams)))
+	}
+	cs.pts = append(cs.pts, pt)
+	cs.stays = append(cs.stays, cs.ex.Push(pt)...)
+	cs.lastT = pt.T
+	streamPoints.Inc()
+	return closed
+}
+
+// end closes the courier's open trip explicitly; nil if none is open (an
+// end marker with no stream is an idempotent no-op).
+func (ss *streamSet) end(courier model.CourierID) *streamedTrip {
+	cs := ss.streams[courier]
+	if cs == nil {
+		return nil
+	}
+	return ss.finish(cs, streamTripsEnd)
+}
+
+// noteSeq records the WAL sequence of the point just accepted on the
+// courier's open stream; only the first point's sequence sticks. seq 0 means
+// "no WAL attached" and is ignored.
+func (ss *streamSet) noteSeq(courier model.CourierID, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	if cs := ss.streams[courier]; cs != nil && cs.firstSeq == 0 {
+		cs.firstSeq = seq
+	}
+}
+
+// open reports how many courier streams are currently open.
+func (ss *streamSet) open() int { return len(ss.streams) }
+
+// minOpenSeq returns the smallest WAL firstSeq across open streams, and
+// whether any open stream has points not yet covered by a sequence (which
+// forbids truncation entirely). ok is true when there are no such holes.
+func (ss *streamSet) minOpenSeq() (min uint64, ok bool) {
+	min, ok = 0, true
+	for _, cs := range ss.streams {
+		if cs.firstSeq == 0 {
+			return 0, false
+		}
+		if min == 0 || cs.firstSeq < min {
+			min = cs.firstSeq
+		}
+	}
+	return min, ok
+}
+
+// finish removes the stream from the set and assembles its closed trip.
+func (ss *streamSet) finish(cs *courierStream, reason *obs.Counter) *streamedTrip {
+	delete(ss.streams, cs.courier)
+	openStreamsGauge.Set(float64(len(ss.streams)))
+	cs.stays = append(cs.stays, cs.ex.Flush()...)
+	reason.Inc()
+	return &streamedTrip{
+		trip: model.Trip{
+			Courier: cs.courier,
+			StartT:  cs.pts[0].T,
+			EndT:    cs.pts[len(cs.pts)-1].T,
+			Traj:    cs.pts,
+		},
+		stays:    cs.stays,
+		firstSeq: cs.firstSeq,
+	}
+}
+
+// IngestPoint accepts one streamed GPS fix for a courier, durably logging it
+// (when a WAL is attached) before it can close a trip or touch the candidate
+// pool. It returns deploy.ErrBackpressure when the pending-trip backlog has
+// reached Config.MaxPendingTrips — producers should back off until the next
+// re-inference drains it. Implements deploy.StreamIngestor.
+func (e *Engine) IngestPoint(ctx context.Context, courier model.CourierID, pt traj.GPSPoint) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingestPointLocked(ctx, courier, pt, 0, true)
+}
+
+// CloseStream explicitly ends a courier's open trip (deploy.StreamIngestor).
+// Closing a courier with no open stream is a no-op.
+func (e *Engine) CloseStream(ctx context.Context, courier model.CourierID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closeStreamLocked(ctx, courier, true)
+}
+
+// ingestPointLocked is the shared live/replay core of IngestPoint. Live
+// points are rejected under backpressure and appended to the WAL before any
+// state changes (a failed append leaves the engine untouched, so the
+// unacknowledged point can simply be retried); replayed points pass their
+// original sequence in seq and skip both.
+func (e *Engine) ingestPointLocked(ctx context.Context, courier model.CourierID, pt traj.GPSPoint, seq uint64, live bool) error {
+	if live {
+		if e.cfg.MaxPendingTrips > 0 && e.pending >= e.cfg.MaxPendingTrips {
+			backpressureRejects.Inc()
+			return deploy.ErrBackpressure
+		}
+		if e.wal != nil {
+			s, err := e.wal.Append(encodeWALPoint(courier, pt))
+			if err != nil {
+				return err
+			}
+			seq = s
+		}
+	}
+	closed := e.ss.point(courier, pt)
+	e.ss.noteSeq(courier, seq)
+	if closed != nil {
+		e.deliverStreamedTripLocked(ctx, closed)
+	}
+	return nil
+}
+
+// closeStreamLocked is the shared live/replay core of CloseStream. The end
+// marker hits the WAL before the stream is torn down, so a failed append
+// leaves the trip open for a clean retry.
+func (e *Engine) closeStreamLocked(ctx context.Context, courier model.CourierID, live bool) error {
+	if live {
+		if _, ok := e.ss.streams[courier]; !ok {
+			return nil
+		}
+		if e.wal != nil {
+			if _, err := e.wal.Append(encodeWALEnd(courier)); err != nil {
+				return err
+			}
+		}
+	}
+	if closed := e.ss.end(courier); closed != nil {
+		e.deliverStreamedTripLocked(ctx, closed)
+	}
+	return nil
+}
+
+// deliverStreamedTripLocked hands a closed trip to the ingest state, sealing
+// the open streamed window first when the trip starts past the window grid
+// (mirroring forEachWindow's time boundary) and after when the stay-point
+// size bound trips.
+func (e *Engine) deliverStreamedTripLocked(ctx context.Context, st *streamedTrip) {
+	ss := e.ss
+	if ss.winEnd == 0 {
+		ss.winEnd = st.trip.StartT + ss.cfg.WindowSeconds
+	}
+	if st.trip.StartT >= ss.winEnd {
+		e.sealStreamWindowLocked(ctx)
+		for st.trip.StartT >= ss.winEnd {
+			ss.winEnd += ss.cfg.WindowSeconds
+		}
+	}
+	e.appendStreamedTripLocked(st)
+	if ss.winStays >= ss.cfg.MaxWindowStays {
+		e.sealStreamWindowLocked(ctx)
+	}
+}
+
+// appendStreamedTripLocked installs one closed trip into the accumulating
+// dataset and queues its stay points for the next window seal. No window
+// logic: the single engine drives boundaries in deliverStreamedTripLocked,
+// the sharded engine globally.
+func (e *Engine) appendStreamedTripLocked(st *streamedTrip) {
+	e.builder.AppendTripStays(st.trip.Courier, st.stays)
+	e.trips = append(e.trips, st.trip)
+	e.pending++
+	e.ss.winStays += len(st.stays)
+	ingestTrips.Inc()
+}
+
+// sealStreamWindowLocked clusters the pending streamed trips into the pool
+// as one window. Nothing pending is a no-op, so batch and streamed windows
+// interleave without producing empty pool windows.
+func (e *Engine) sealStreamWindowLocked(ctx context.Context) {
+	e.ss.winStays = 0
+	if e.builder.PendingTrips() == 0 {
+		return
+	}
+	// SealWindow only errors on a cancelled context before doing anything;
+	// streamed seals run to completion like the batch path's merge step.
+	_ = e.builder.SealWindow(ctx)
+	ingestWindows.Inc()
+}
+
+// addStreamedTrip appends one already-closed streamed trip without any
+// window bookkeeping — the sharded engine's delivery path, which owns the
+// global window grid itself.
+func (e *Engine) addStreamedTrip(st *streamedTrip) {
+	e.mu.Lock()
+	e.appendStreamedTripLocked(st)
+	e.mu.Unlock()
+}
+
+// sealStreamWindow is the lock-acquiring form of sealStreamWindowLocked for
+// the sharded engine's global window boundaries.
+func (e *Engine) sealStreamWindow(ctx context.Context) {
+	e.mu.Lock()
+	e.sealStreamWindowLocked(ctx)
+	e.mu.Unlock()
+}
+
+// pendingCount reports trips ingested since the served state was built; the
+// sharded engine sums it across shards for its backpressure bound.
+func (e *Engine) pendingCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pending
+}

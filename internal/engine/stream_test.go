@@ -1,0 +1,395 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+	"dlinfma/internal/shard"
+	"dlinfma/internal/synth"
+	"dlinfma/internal/traj"
+	"dlinfma/internal/wal"
+)
+
+// streamTestConfig keeps extraction deterministic and training fast.
+func streamTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Core.Workers = 1
+	cfg.Matcher.MaxEpochs = 2
+	cfg.Matcher.LR = 1e-3
+	return cfg
+}
+
+// genTrip builds one courier trip of 90 s dwells (10 s fixes, small jitter)
+// at each site, with StartT/EndT pinned to the first/last fix exactly as the
+// streaming layer reconstructs them.
+func genTrip(rng *rand.Rand, courier model.CourierID, t0 float64, sites ...geo.Point) model.Trip {
+	var tr traj.Trajectory
+	t := t0
+	for _, s := range sites {
+		for end := t + 90; t < end; t += 10 {
+			tr = append(tr, traj.GPSPoint{
+				P: geo.Point{X: s.X + rng.NormFloat64()*2, Y: s.Y + rng.NormFloat64()*2},
+				T: t,
+			})
+		}
+		t += 120 // travel gap, well under the 600 s trip-gap bound
+	}
+	return model.Trip{Courier: courier, StartT: tr[0].T, EndT: tr[len(tr)-1].T, Traj: tr}
+}
+
+// streamTrip pushes a trip's fixes one at a time and closes the stream.
+func streamTrip(t *testing.T, si deploy.StreamIngestor, tr model.Trip) {
+	t.Helper()
+	ctx := context.Background()
+	for _, p := range tr.Traj {
+		if err := si.IngestPoint(ctx, tr.Courier, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := si.CloseStream(ctx, tr.Courier); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// requireSameIngestState asserts two single engines accumulated identical
+// ingest state: same trips, same addresses and truth, same candidate pool
+// (locations and visit logs), same open streams.
+func requireSameIngestState(t *testing.T, want, got *Engine) {
+	t.Helper()
+	if !reflect.DeepEqual(want.trips, got.trips) {
+		t.Fatalf("trips differ: %d vs %d", len(want.trips), len(got.trips))
+	}
+	if !reflect.DeepEqual(want.addrs, got.addrs) {
+		t.Fatalf("addresses differ:\nwant %+v\ngot  %+v", want.addrs, got.addrs)
+	}
+	if !reflect.DeepEqual(want.truth, got.truth) {
+		t.Fatalf("truth differs")
+	}
+	if want.ss.open() != got.ss.open() {
+		t.Fatalf("open streams: want %d, got %d", want.ss.open(), got.ss.open())
+	}
+	for c, cs := range want.ss.streams {
+		gs := got.ss.streams[c]
+		if gs == nil || !reflect.DeepEqual(cs.pts, gs.pts) || !reflect.DeepEqual(cs.stays, gs.stays) {
+			t.Fatalf("open stream for courier %d differs", c)
+		}
+	}
+	pw, pg := want.builder.Finalize(), got.builder.Finalize()
+	if !reflect.DeepEqual(pw.Locations, pg.Locations) {
+		t.Fatalf("pool locations differ:\nwant %+v\ngot  %+v", pw.Locations, pg.Locations)
+	}
+	if !reflect.DeepEqual(pw.Visits, pg.Visits) {
+		t.Fatalf("pool visit logs differ")
+	}
+}
+
+// TestStreamedIngestMatchesBatch is the engine half of the streaming
+// bit-identity contract: feeding trips point by point through IngestPoint /
+// CloseStream must leave the engine in exactly the state batch ingest of the
+// same trips produces — same trips, same pool windows, same visit logs.
+func TestStreamedIngestMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sites := []geo.Point{{X: 100, Y: 100}, {X: 140, Y: 100}, {X: 500, Y: 400}, {X: 90, Y: 430}}
+	var trips []model.Trip
+	t0 := 0.0
+	for w := 0; w < 3; w++ { // three pool windows of streamed trips
+		for c := 0; c < 4; c++ {
+			a, b := sites[rng.Intn(len(sites))], sites[rng.Intn(len(sites))]
+			trips = append(trips, genTrip(rng, model.CourierID(c), t0, a, b))
+			t0 += 2000
+		}
+		t0 += 14 * 86400
+	}
+
+	batch := New(streamTestConfig())
+	defer batch.Close()
+	if err := batch.IngestDataset(context.Background(), &model.Dataset{Name: "s", Trips: trips}); err != nil {
+		t.Fatal(err)
+	}
+	streamed := New(streamTestConfig())
+	defer streamed.Close()
+	for _, tr := range trips {
+		streamTrip(t, streamed, tr)
+	}
+
+	requireSameIngestState(t, batch, streamed)
+	if got := streamed.Status().PendingTrips; got != len(trips) {
+		t.Fatalf("PendingTrips = %d, want %d", got, len(trips))
+	}
+}
+
+// TestStreamGapRuleCutsTrips pins the implicit trip boundary: a gap of
+// TripGapSeconds or more between a courier's fixes closes the open trip; an
+// explicit CloseStream closes the rest.
+func TestStreamGapRuleCutsTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	e := New(streamTestConfig())
+	defer e.Close()
+	ctx := context.Background()
+	first := genTrip(rng, 7, 0, geo.Point{X: 50, Y: 50})
+	for _, p := range first.Traj {
+		if err := e.IngestPoint(ctx, 7, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Status(); st.OpenStreams != 1 || len(e.trips) != 0 {
+		t.Fatalf("before gap: open=%d trips=%d", st.OpenStreams, len(e.trips))
+	}
+	// Next fix lands 900 s after the last one: the gap rule closes trip one.
+	second := genTrip(rng, 7, first.EndT+900, geo.Point{X: 300, Y: 50})
+	for _, p := range second.Traj {
+		if err := e.IngestPoint(ctx, 7, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.trips) != 1 {
+		t.Fatalf("gap did not close the first trip: %d trips", len(e.trips))
+	}
+	if tr := e.trips[0]; tr.StartT != first.StartT || tr.EndT != first.EndT || !reflect.DeepEqual(tr.Traj, first.Traj) {
+		t.Fatalf("gap-closed trip differs from its fixes: %+v", tr)
+	}
+	if err := e.CloseStream(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.trips) != 2 || e.Status().OpenStreams != 0 {
+		t.Fatalf("after close: %d trips, %d open", len(e.trips), e.Status().OpenStreams)
+	}
+	// Closing again is a no-op, not an error.
+	if err := e.CloseStream(ctx, 7); err != nil || len(e.trips) != 2 {
+		t.Fatalf("idempotent close: err=%v trips=%d", err, len(e.trips))
+	}
+}
+
+// TestBackpressure pins the bounded-backlog contract: once MaxPendingTrips
+// trips await re-inference, live batch and point ingest answer
+// deploy.ErrBackpressure (and count the rejection), while address-only
+// metadata still flows.
+func TestBackpressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cfg := streamTestConfig()
+	cfg.MaxPendingTrips = 2
+	e := New(cfg)
+	defer e.Close()
+	ctx := context.Background()
+	site := geo.Point{X: 80, Y: 80}
+	win := []model.Trip{genTrip(rng, 0, 0, site), genTrip(rng, 1, 300, site)}
+	if err := e.Ingest(ctx, win, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	before := backpressureRejects.Value()
+	err := e.IngestPoint(ctx, 2, traj.GPSPoint{P: site, T: 1000})
+	if !errors.Is(err, deploy.ErrBackpressure) {
+		t.Fatalf("IngestPoint under backlog: %v, want ErrBackpressure", err)
+	}
+	err = e.Ingest(ctx, []model.Trip{genTrip(rng, 2, 2000, site)}, nil, nil)
+	if !errors.Is(err, deploy.ErrBackpressure) {
+		t.Fatalf("Ingest under backlog: %v, want ErrBackpressure", err)
+	}
+	if got := backpressureRejects.Value() - before; got != 2 {
+		t.Fatalf("backpressure rejections counter moved by %d, want 2", got)
+	}
+	// Metadata-only ingest is never backpressured.
+	if err := e.Ingest(ctx, nil, []model.AddressInfo{{ID: 9}}, nil); err != nil {
+		t.Fatalf("address-only ingest under backlog: %v", err)
+	}
+	if e.Status().PendingTrips != 2 {
+		t.Fatalf("rejected operations leaked into pending: %d", e.Status().PendingTrips)
+	}
+}
+
+// TestEngineWALCrashRecovery is the end-to-end durability contract: kill the
+// process mid-session (simulated by abandoning the engine and its WAL
+// without any orderly shutdown) and a fresh engine replaying the WAL holds
+// exactly the state the dead one had — including the still-open stream.
+func TestEngineWALCrashRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{Policy: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := New(streamTestConfig())
+	defer live.Close()
+	live.AttachWAL(w)
+	ctx := context.Background()
+
+	siteA, siteB := geo.Point{X: 100, Y: 100}, geo.Point{X: 400, Y: 250}
+	batchWin := []model.Trip{genTrip(rng, 0, 0, siteA), genTrip(rng, 1, 500, siteB)}
+	addrs := []model.AddressInfo{{ID: 1}, {ID: 2}}
+	truth := map[model.AddressID]geo.Point{1: siteA}
+	if err := live.Ingest(ctx, batchWin, addrs, truth); err != nil {
+		t.Fatal(err)
+	}
+	// Two interleaved courier streams; courier 5 closes, courier 6 stays open.
+	t5, t6 := genTrip(rng, 5, 3000, siteA, siteB), genTrip(rng, 6, 3100, siteB)
+	for i := 0; i < len(t5.Traj) || i < len(t6.Traj); i++ {
+		if i < len(t5.Traj) {
+			if err := live.IngestPoint(ctx, 5, t5.Traj[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i < len(t6.Traj) {
+			if err := live.IngestPoint(ctx, 6, t6.Traj[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := live.CloseStream(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := 1 + len(t5.Traj) + len(t6.Traj) + 1 // ingest + points + end
+	if got := w.LastSeq(); got != uint64(wantRecords) {
+		t.Fatalf("WAL holds %d records, want %d", got, wantRecords)
+	}
+	// Crash: no Close on the engine or the WAL.
+
+	w2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recovered := New(streamTestConfig())
+	defer recovered.Close()
+	n, err := recovered.ReplayWAL(ctx, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantRecords {
+		t.Fatalf("replayed %d records, want %d", n, wantRecords)
+	}
+	recovered.AttachWAL(w2)
+	requireSameIngestState(t, live, recovered)
+	if st := recovered.Status(); st.OpenStreams != 1 || st.PendingTrips != 3 {
+		t.Fatalf("recovered status: open=%d pending=%d, want 1/3", st.OpenStreams, st.PendingTrips)
+	}
+	// The recovered engine keeps streaming where the dead one left off:
+	// closing courier 6 yields the identical trip on both engines.
+	if err := live.CloseStream(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.CloseStream(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live.trips, recovered.trips) {
+		t.Fatal("post-recovery stream close diverged from the never-crashed engine")
+	}
+}
+
+// TestWALTruncationAfterSnapshot checks the log-compaction loop: after a
+// re-inference and a durable snapshot, WAL segments wholly covered by the
+// snapshotted state are dropped, and a restart from snapshot + remaining WAL
+// still serves.
+func TestWALTruncationAfterSnapshot(t *testing.T) {
+	ds, _, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Small segments so ingest spans several and truncation visibly deletes.
+	w, err := wal.Open(dir, wal.Options{SegmentBytes: 4096, Policy: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	e := New(streamTestConfig())
+	defer e.Close()
+	e.AttachWAL(w)
+	ctx := context.Background()
+	if err := e.IngestDataset(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	if w.SegmentCount() < 2 {
+		t.Fatalf("need several segments to observe truncation, got %d", w.SegmentCount())
+	}
+	if err := e.Reinfer(ctx); err != nil {
+		t.Fatal(err)
+	}
+	segsBefore := w.SegmentCount()
+	snap := filepath.Join(dir, "snap.json")
+	if err := e.SaveSnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SegmentCount(); got >= segsBefore {
+		t.Fatalf("snapshot did not truncate the WAL: %d segments before, %d after", segsBefore, got)
+	}
+
+	// Restart: snapshot restores the serving state, the surviving WAL tail
+	// replays without error, and queries answer.
+	e2 := New(streamTestConfig())
+	defer e2.Close()
+	if err := e2.LoadSnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.ReplayWAL(ctx, w); err != nil {
+		t.Fatal(err)
+	}
+	if !e2.Status().Ready {
+		t.Fatal("restarted engine not ready")
+	}
+}
+
+// TestShardedStreamingCrashRecovery runs the same kill-and-replay contract
+// through the sharded engine: one global WAL and stream set on top, shards
+// fed deterministically, so a replayed sharded engine matches shard by
+// shard.
+func TestShardedStreamingCrashRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{Policy: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := shard.NewRouter(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewSharded(streamTestConfig(), r)
+	defer live.Close()
+	live.AttachWAL(w)
+	ctx := context.Background()
+
+	// Two far-apart regions so both shards see work.
+	east, west := geo.Point{X: 50, Y: 50}, geo.Point{X: 90000, Y: 90000}
+	addrs := []model.AddressInfo{{ID: 1, Geocode: east}, {ID: 2, Geocode: west}}
+	if err := live.Ingest(ctx, []model.Trip{genTrip(rng, 0, 0, east), genTrip(rng, 1, 300, west)}, addrs, nil); err != nil {
+		t.Fatal(err)
+	}
+	streamTrip(t, live, genTrip(rng, 5, 2000, east))
+	streamTrip(t, live, genTrip(rng, 6, 2500, west))
+	open := genTrip(rng, 7, 3000, east)
+	for _, p := range open.Traj {
+		if err := live.IngestPoint(ctx, 7, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := live.Status(); st.OpenStreams != 1 || st.PendingTrips != 4 {
+		t.Fatalf("live status: open=%d pending=%d, want 1/4", st.OpenStreams, st.PendingTrips)
+	}
+	// Crash without any orderly shutdown.
+
+	w2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recovered := NewSharded(streamTestConfig(), r)
+	defer recovered.Close()
+	if _, err := recovered.ReplayWAL(ctx, w2); err != nil {
+		t.Fatal(err)
+	}
+	recovered.AttachWAL(w2)
+	if st := recovered.Status(); st.OpenStreams != 1 || st.PendingTrips != 4 {
+		t.Fatalf("recovered status: open=%d pending=%d, want 1/4", st.OpenStreams, st.PendingTrips)
+	}
+	for i := range live.shards {
+		requireSameIngestState(t, live.shards[i], recovered.shards[i])
+	}
+}

@@ -1,0 +1,26 @@
+package wal
+
+import "dlinfma/internal/obs"
+
+// WAL metrics live on the obs default registry so they surface on
+// /v1/metrics alongside the engine and pipeline families. All WALs in a
+// process share the families (one serve process runs one WAL).
+var (
+	appendsTotal = obs.Default.Counter("dlinfma_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	appendBytes = obs.Default.Counter("dlinfma_wal_append_bytes_total",
+		"Bytes appended to the write-ahead log, headers included.")
+	appendDuration = obs.Default.Histogram("dlinfma_wal_append_duration_seconds",
+		"Wall time of one WAL append, including any policy-mandated fsync.",
+		obs.RequestLatencyBuckets)
+	fsyncsTotal = obs.Default.Counter("dlinfma_wal_fsyncs_total",
+		"fsync calls issued by the write-ahead log.")
+	rotationsTotal = obs.Default.Counter("dlinfma_wal_rotations_total",
+		"Segment rotations (active segment sealed, fresh one opened).")
+	segmentsDeleted = obs.Default.Counter("dlinfma_wal_segments_deleted_total",
+		"Sealed segments deleted after a snapshot made them redundant.")
+	replayRecords = obs.Default.Counter("dlinfma_wal_replay_records_total",
+		"Records decoded during WAL replay at startup.")
+	tornTailTruncations = obs.Default.Counter("dlinfma_wal_torn_tail_truncations_total",
+		"Torn tail records discarded when opening the log after a crash.")
+)

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end durability smoke for the streaming ingest path: boots a server
+# with a write-ahead log, streams two complete courier trips plus one
+# still-open stream over POST /v1/trajectories:stream, kills the server with
+# SIGKILL (no shutdown, no snapshot), restarts it on the same -wal-dir, and
+# asserts the replayed engine still holds every acknowledged point: the same
+# pending trips, the same open stream, and a replay count matching exactly
+# what was acked. Run via `make smoke-stream`.
+set -euo pipefail
+
+PORT="${PORT:-18081}"
+BIN_DIR="$(mktemp -d)"
+WAL_DIR="$(mktemp -d)"
+trap 'kill -9 "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$BIN_DIR" "$WAL_DIR"' EXIT
+
+go build -o "$BIN_DIR/dlinfma" ./cmd/dlinfma
+
+start_server() {
+  "$BIN_DIR/dlinfma" serve -data "" -listen "127.0.0.1:$PORT" \
+    -wal-dir "$WAL_DIR" -wal-fsync always >"$1" 2>&1 &
+  SERVER_PID=$!
+  disown "$SERVER_PID" # keep bash from reporting the deliberate SIGKILL
+  for _ in $(seq 1 50); do
+    # A cold engine answers 503 on /healthz; any response means the
+    # listener is up.
+    if curl -sS -o /dev/null "http://127.0.0.1:$PORT/healthz" 2>/dev/null; then
+      return
+    fi
+    sleep 0.1
+  done
+  echo "stream smoke: server never came up" >&2
+  cat "$1" >&2
+  exit 1
+}
+
+start_server "$BIN_DIR/server1.log"
+
+# Two complete trips (10 fixes each, explicit end) and one open stream
+# (3 fixes, no end): 23 points + 2 ends = 25 WAL records.
+BODY=""
+for i in $(seq 0 9); do
+  BODY+="{\"courier\":1,\"x\":100,\"y\":100,\"t\":$((i * 10))}"$'\n'
+done
+BODY+='{"courier":1,"end":true}'$'\n'
+for i in $(seq 0 9); do
+  BODY+="{\"courier\":2,\"x\":400,\"y\":250,\"t\":$((500 + i * 10))}"$'\n'
+done
+BODY+='{"courier":2,"end":true}'$'\n'
+for i in $(seq 0 2); do
+  BODY+="{\"courier\":3,\"x\":100,\"y\":100,\"t\":$((900 + i * 10))}"$'\n'
+done
+
+ACK="$(curl -sS -X POST --data-binary "$BODY" "http://127.0.0.1:$PORT/v1/trajectories:stream")"
+if ! grep -q '"points":23' <<<"$ACK" || ! grep -q '"ends":2' <<<"$ACK"; then
+  echo "stream smoke: unexpected ack: $ACK" >&2
+  exit 1
+fi
+
+BEFORE="$(curl -sS "http://127.0.0.1:$PORT/healthz")"
+if ! grep -q '"pending_trips":2' <<<"$BEFORE" || ! grep -q '"open_streams":1' <<<"$BEFORE"; then
+  echo "stream smoke: pre-kill status wrong: $BEFORE" >&2
+  exit 1
+fi
+
+# Crash: no graceful shutdown, no snapshot — the WAL is all that survives.
+kill -9 "$SERVER_PID"
+while kill -0 "$SERVER_PID" 2>/dev/null; do sleep 0.05; done
+
+start_server "$BIN_DIR/server2.log"
+
+if ! grep -q "replayed 25 WAL records" "$BIN_DIR/server2.log"; then
+  echo "stream smoke: restart did not replay all 25 acked records" >&2
+  cat "$BIN_DIR/server2.log" >&2
+  exit 1
+fi
+AFTER="$(curl -sS "http://127.0.0.1:$PORT/healthz")"
+if ! grep -q '"pending_trips":2' <<<"$AFTER" || ! grep -q '"open_streams":1' <<<"$AFTER"; then
+  echo "stream smoke: acked state lost across the crash: $AFTER" >&2
+  exit 1
+fi
+
+# The recovered stream keeps going: closing courier 3 yields a third trip.
+CLOSE="$(curl -sS -X POST --data-binary '{"courier":3,"end":true}' "http://127.0.0.1:$PORT/v1/trajectories:stream")"
+if ! grep -q '"ends":1' <<<"$CLOSE"; then
+  echo "stream smoke: close after recovery failed: $CLOSE" >&2
+  exit 1
+fi
+FINAL="$(curl -sS "http://127.0.0.1:$PORT/healthz")"
+# open_streams is omitempty: absence means zero.
+if ! grep -q '"pending_trips":3' <<<"$FINAL" || grep -q '"open_streams"' <<<"$FINAL"; then
+  echo "stream smoke: post-recovery close not reflected: $FINAL" >&2
+  exit 1
+fi
+
+echo "stream smoke: OK"
