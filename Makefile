@@ -8,7 +8,7 @@
 GO ?= go
 COVER_FLOOR ?= 75
 
-.PHONY: build test race vet cover bench bench-all bench-read bench-regress smoke-metrics smoke-stream
+.PHONY: build test race vet cover bench bench-all bench-read bench-regress smoke-metrics smoke-stream smoke-cluster
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/... ./internal/obs/... ./internal/wal/...
+	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/... ./internal/cluster/... ./internal/obs/... ./internal/wal/...
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,12 @@ smoke-metrics:
 # same -wal-dir, and verify no acknowledged point was lost.
 smoke-stream:
 	bash scripts/stream_smoke.sh
+
+# Boot a real two-peer cluster behind a -peers frontend with replication 2,
+# SIGKILL one peer, and verify every answer survives byte-identically via
+# ring-ordered replica failover.
+smoke-cluster:
+	bash scripts/cluster_smoke.sh
 
 # Aggregate statement coverage with a floor (override: make cover COVER_FLOOR=60).
 cover:

@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dlinfma/internal/cluster"
 	"dlinfma/internal/deploy"
 	"dlinfma/internal/engine"
 	"dlinfma/internal/eval"
@@ -117,6 +119,18 @@ func engineConfig(workers int) engine.Config {
 	cfg.Matcher = eval.ExperimentLocMatcherConfig()
 	cfg.Matcher.Workers = workers
 	return cfg
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // shardFlags adds the shard topology flags shared by infer, eval, and serve.
@@ -241,6 +255,12 @@ func cmdServe(ctx context.Context, args []string) error {
 		"WAL fsync policy: always (fsync every append), interval (flush every append, fsync periodically), never")
 	maxPending := fs.Int("max-pending-trips", 0,
 		"reject ingest with 429 once this many trips await re-inference (0 = unbounded)")
+	autoPending := fs.Int("auto-reinfer-pending", 0,
+		"start a re-inference automatically once this many trips await one (0 disables the size trigger)")
+	autoAge := fs.Duration("auto-reinfer-age", 0,
+		"start a re-inference automatically once the oldest pending trip has waited this long (0 disables the age trigger)")
+	autoInterval := fs.Duration("auto-reinfer-interval", engine.DefaultAutoReinferInterval,
+		"how often the auto-reinfer monitor polls the engine status")
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error (debug adds per-request access lines)")
 	logFormat := fs.String("log-format", "logfmt", "log line encoding: logfmt|json")
 	debugListen := fs.String("debug-listen", "",
@@ -251,6 +271,12 @@ func cmdServe(ctx context.Context, args []string) error {
 		"requests at least this slow are traced even when head sampling passed (0 disables the rule)")
 	traceBuffer := fs.Int("trace-buffer", 256,
 		"completed traces kept in the in-memory ring buffer behind /v1/debug/traces (0 disables tracing)")
+	peers := fs.String("peers", "",
+		"comma-separated peer base URLs (http://host:port); turns this process into a cluster frontend that routes every shard to its ring owner in the peer set instead of running engines in-process")
+	replication := fs.Int("replication", 1,
+		"with -peers: distinct peers serving each shard (owner + replicas); writes go to all, reads fail over in ring order")
+	peerTimeout := fs.Duration("peer-timeout", cluster.DefaultTimeout, "with -peers: per-call timeout of one peer RPC")
+	peerRetries := fs.Int("peer-retries", 1, "with -peers: extra retry rounds over a shard's replica list after the first pass")
 	shards, precision := shardFlags(fs)
 	fs.Parse(args)
 
@@ -273,9 +299,44 @@ func cmdServe(ctx context.Context, args []string) error {
 		})
 	}
 
-	e, err := newEngine(*workers, *shards, *precision, *maxPending, log.With("component", "engine"), tracer)
-	if err != nil {
-		return err
+	var e engine.Runtime
+	if *peers != "" {
+		// Frontend mode: shards live in the peer processes; this process
+		// routes, replicates, and aggregates. Durability (snapshots, WAL)
+		// belongs to each peer, so the local persistence flags must be off.
+		if *snap != "" || *walDir != "" {
+			return errors.New("-snapshot and -wal-dir are per-shard-process concerns; unset them when -peers is given")
+		}
+		peerList := splitPeers(*peers)
+		if len(peerList) == 0 {
+			return errors.New("-peers is set but names no peers")
+		}
+		r, rerr := shard.NewRouter(*shards, *precision)
+		if rerr != nil {
+			return rerr
+		}
+		cfg := engineConfig(*workers)
+		cfg.Logger = log.With("component", "engine")
+		cfg.Tracer = tracer
+		backends, ring, berr := cluster.NewFrontendBackends(r, cluster.FrontendOptions{
+			Peers:       peerList,
+			Replication: *replication,
+			Timeout:     *peerTimeout,
+			Retries:     *peerRetries,
+			Logger:      log.With("component", "cluster"),
+		})
+		if berr != nil {
+			return berr
+		}
+		if e, err = engine.NewShardedBackends(cfg, r, backends); err != nil {
+			return err
+		}
+		fmt.Printf("cluster frontend: %d shards over %d peers (replication %d)\n",
+			r.N(), ring.NumPeers(), *replication)
+	} else {
+		if e, err = newEngine(*workers, *shards, *precision, *maxPending, log.With("component", "engine"), tracer); err != nil {
+			return err
+		}
 	}
 	defer e.Close()
 
@@ -356,14 +417,21 @@ func cmdServe(ctx context.Context, args []string) error {
 		}()
 		log.Info("debug listener up", "addr", *debugListen)
 	}
+	auto := engine.StartAutoReinfer(e, engine.AutoReinferConfig{
+		MaxPending: *autoPending,
+		MaxAge:     *autoAge,
+		Interval:   *autoInterval,
+	}, log.With("component", "auto_reinfer"))
 	srv := deploy.NewServer(*listen, deploy.NewService(e, deploy.Options{
 		Logger: log.With("component", "http"),
 		Tracer: tracer,
 	}))
 	err = deploy.Serve(ctx, srv)
-	// Join any in-flight background re-inference before persisting, so the
-	// snapshot observes a settled engine (Close is idempotent; the deferred
-	// call becomes a no-op).
+	// Stop the staleness monitor first so no new job starts mid-shutdown,
+	// then join any in-flight background re-inference before persisting, so
+	// the snapshot observes a settled engine (Close is idempotent; the
+	// deferred call becomes a no-op).
+	auto.Stop()
 	e.Close()
 	if *snap != "" && e.Status().Ready {
 		if serr := e.SaveSnapshotFile(*snap); serr != nil {

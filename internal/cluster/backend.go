@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"context"
+	"io"
+
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/geo"
+	"dlinfma/internal/model"
+)
+
+// ShardBackend is the transport seam between a sharded engine's fan-out
+// logic and the shard that executes it. engine.ShardedEngine used to reach
+// into sibling *engine.Engine structs directly; everything it needs from a
+// shard is now behind this interface, so a shard can be an in-process engine
+// (*engine.Engine implements ShardBackend as-is) or a remote process spoken
+// to over HTTP (Client below). The seam covers exactly the operations that
+// fan out per shard — single query, batch query, window ingest,
+// re-inference, health, and snapshot streaming; stream assembly, the WAL,
+// and snapshot files stay owners' local concerns.
+//
+// Contract notes, written against the in-process implementation so a remote
+// backend cannot drift from it:
+//
+//   - Query never blocks on ingest or retraining and answers
+//     deploy.SourceNone for unknown addresses and cold shards. The
+//     in-process form is lock-free and allocation-free; remote forms bound
+//     the hop with their own timeout.
+//   - QueryBatchIdx answers addrs[i] into out[i] for each position i in idx
+//     (idx nil: every position), touching no other slot of out — a sharded
+//     scatter/gather hands every backend the same addrs/out pair and
+//     disjoint idx sets.
+//   - Ingest applies one already-partitioned window; it returns
+//     deploy.ErrBackpressure (possibly wrapped) when the shard's backlog is
+//     full.
+//   - Reinfer blocks until the shard's retrain finished, failed, or ctx
+//     ended, like engine.Engine.Reinfer does.
+//   - Status never fails: a backend that cannot reach its shard reports
+//     Failed with the reason in LastError.
+type ShardBackend interface {
+	// Query answers one address from the shard's served state.
+	Query(addr model.AddressID) (geo.Point, deploy.Source)
+	// QueryBatchIdx answers the idx positions of addrs into the same
+	// positions of out (idx nil: all of addrs).
+	QueryBatchIdx(ctx context.Context, addrs []model.AddressID, idx []int32, out []deploy.BatchAnswer) error
+	// Ingest applies one partitioned window of trips, addresses, and truth.
+	Ingest(ctx context.Context, trips []model.Trip, addrs []model.AddressInfo, truth map[model.AddressID]geo.Point) error
+	// Reinfer retrains the shard and swaps its serving state, synchronously.
+	Reinfer(ctx context.Context) error
+	// Status summarizes the shard's health for /healthz aggregation.
+	Status() deploy.EngineStatus
+	// WriteSnapshot streams the shard's serving snapshot to w.
+	WriteSnapshot(w io.Writer) error
+}

@@ -1,8 +1,12 @@
 // Package cluster implements the clustering algorithms the paper uses or
-// compares against for candidate pool construction: centroid-linkage
+// compares against for candidate pool construction — centroid-linkage
 // hierarchical clustering with a distance cutoff (the paper's choice,
 // Section III-B), DBSCAN (the GeoCloud baseline), grid merging (the
-// DLInfMA-Grid variant) and k-means (a comparison utility).
+// DLInfMA-Grid variant) and k-means (a comparison utility) — and, in its
+// second role, the process-cluster transport of the serving system: the
+// ShardBackend seam engine.ShardedEngine fans out through, its HTTP
+// implementation speaking the /v1 wire schema (backend.go, httpbackend.go),
+// and the ring-routed query frontend (frontend.go).
 package cluster
 
 import (

@@ -170,7 +170,15 @@ type EngineStatus struct {
 	Inferred      int `json:"inferred"`
 	PoolLocations int `json:"pool_locations"`
 	// PendingTrips counts trips ingested after the serving state was built.
-	PendingTrips   int  `json:"pending_trips"`
+	PendingTrips int `json:"pending_trips"`
+	// PendingAgeSeconds is how long the oldest trip of the current pending
+	// backlog has been waiting for a re-inference (0 while the backlog is
+	// empty). Auto-reinfer triggers and remote shard owners read it here.
+	PendingAgeSeconds float64 `json:"pending_age_seconds,omitempty"`
+	// Trips counts every trip ingested since the engine started (pending or
+	// already folded into the served state). Remote shard backends use it to
+	// skip re-inference on empty shards.
+	Trips          int  `json:"trips,omitempty"`
 	Reinfers       int  `json:"reinfers"`
 	ReinferRunning bool `json:"reinfer_running"`
 	// OpenStreams counts couriers with an open trajectory stream (points
@@ -186,6 +194,9 @@ type EngineStatus struct {
 // ShardStatus is one shard's EngineStatus inside a sharded /healthz payload.
 type ShardStatus struct {
 	Shard int `json:"shard"`
+	// Peer is the base URL of the process serving the shard when it lives
+	// behind a remote backend or cluster frontend; empty for in-process shards.
+	Peer string `json:"peer,omitempty"`
 	EngineStatus
 }
 

@@ -51,6 +51,18 @@ var ErrReinferRunning = errors.New("deploy: re-inference already running")
 // drains the queue.
 var ErrBackpressure = errors.New("deploy: ingest backlog full, retry after reinfer")
 
+// ContextQuerier is the optional request-scoped single-key read path. Engines
+// whose Query crosses a process boundary (the cluster frontend proxying to
+// ring owners) implement it so the outbound hop can carry the request's
+// deadline, trace context, and correlation id; the service prefers it over
+// the plain Query when present. In-process engines stay on Query — their
+// lock-free read path has nothing to propagate.
+type ContextQuerier interface {
+	// QueryCtx answers one address like Engine.Query, bounded and annotated
+	// by ctx.
+	QueryCtx(ctx context.Context, addr model.AddressID) (geo.Point, Source)
+}
+
 // StreamIngestor is the optional point-streaming ingest surface. Engines
 // that implement it (both shapes in internal/engine do) accept trajectory
 // fixes one at a time per courier and assemble trips server-side: a trip
@@ -222,9 +234,19 @@ func parseAddrKey(r *http.Request) (model.AddressID, *api.Error) {
 // resolve answers one address against the engine, mapping the miss to the
 // right envelope: 503 engine_not_ready on a cold engine, 404 not_found once
 // a store is deployed. The Status() call happens only on misses, keeping the
-// hot path to a single store lookup.
-func (s *service) resolve(addr model.AddressID) (api.Location, *api.Error, int) {
-	loc, src := s.e.Query(addr)
+// hot path to a single store lookup. Engines with a request-scoped read path
+// (ContextQuerier) get the request context so a remote hop inherits the
+// deadline and trace.
+func (s *service) resolve(ctx context.Context, addr model.AddressID) (api.Location, *api.Error, int) {
+	var (
+		loc geo.Point
+		src Source
+	)
+	if cq, ok := s.e.(ContextQuerier); ok {
+		loc, src = cq.QueryCtx(ctx, addr)
+	} else {
+		loc, src = s.e.Query(addr)
+	}
 	if src == SourceNone {
 		if !s.e.Status().Ready {
 			return api.Location{}, &api.Error{
@@ -247,7 +269,7 @@ func (s *service) handleLocation(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, api.ErrorEnvelope{Error: aerr})
 		return
 	}
-	loc, aerr, code := s.resolve(addr)
+	loc, aerr, code := s.resolve(r.Context(), addr)
 	if aerr != nil {
 		writeJSON(w, code, api.ErrorEnvelope{Error: aerr})
 		return

@@ -37,6 +37,23 @@ func (s Source) String() string {
 	}
 }
 
+// ParseSource maps a wire source label (api.Location.Source) back to the
+// Source it names. Unknown labels parse as SourceNone — a remote answer the
+// local fallback chain cannot classify is still an answer, just an
+// unattributed one.
+func ParseSource(s string) Source {
+	switch s {
+	case "address":
+		return SourceAddress
+	case "building":
+		return SourceBuilding
+	case "geocode":
+		return SourceGeocode
+	default:
+		return SourceNone
+	}
+}
+
 // Store is the key-value delivery-location store of Figure 14. It is safe
 // for concurrent readers and writers.
 type Store struct {

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dlinfma/internal/core"
 	"dlinfma/internal/deploy"
@@ -99,8 +100,11 @@ type Engine struct {
 	addrs    []model.AddressInfo
 	addrSeen map[model.AddressID]bool
 	truth    map[model.AddressID]geo.Point
-	// pending counts trips ingested after the served state was built.
-	pending int
+	// pending counts trips ingested after the served state was built;
+	// pendingSince is when the current backlog started accumulating (zero
+	// while it is empty) — the age the auto-reinfer trigger watches.
+	pending      int
+	pendingSince time.Time
 	// ss tracks open courier streams and the streamed pool window.
 	ss *streamSet
 	// wal, when attached, logs every accepted ingest operation for crash
@@ -213,7 +217,7 @@ func (e *Engine) ingest(ctx context.Context, trips []model.Trip, addrs []model.A
 			return err
 		}
 		e.trips = append(e.trips, trips...)
-		e.pending += len(trips)
+		e.addPendingLocked(len(trips))
 		ingestTrips.Add(int64(len(trips)))
 		ingestWindows.Inc()
 	} else if len(addrs) == 0 && len(truth) == 0 {
@@ -398,11 +402,31 @@ func (e *Engine) reinfer(ctx context.Context) error {
 
 	e.mu.Lock()
 	e.pending = len(e.trips) - nTrips
+	// Trips that raced the retrain arrived somewhere during it; restarting
+	// their age at the swap slightly underestimates, which only delays the
+	// age-based auto-reinfer trigger by at most one training run.
+	if e.pending > 0 {
+		e.pendingSince = time.Now()
+	} else {
+		e.pendingSince = time.Time{}
+	}
 	if boundary > e.reinferSeq {
 		e.reinferSeq = boundary
 	}
 	e.mu.Unlock()
 	return nil
+}
+
+// addPendingLocked grows the pending-trip backlog, stamping the backlog's
+// start time when it goes from empty to non-empty. Callers hold mu.
+func (e *Engine) addPendingLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	if e.pending == 0 {
+		e.pendingSince = time.Now()
+	}
+	e.pending += n
 }
 
 // StartReinfer launches Reinfer on the engine's root context in a
@@ -418,6 +442,9 @@ func (e *Engine) StartReinfer() (deploy.JobStatus, error) {
 	e.jobSeq++
 	job := &deploy.JobStatus{ID: e.jobSeq, State: deploy.JobRunning}
 	e.job = job
+	// Snapshot before the goroutine exists: a fast job could finish (and
+	// rewrite *job under jobMu) before this function returns.
+	js := *job
 	e.jobMu.Unlock()
 
 	e.jobWG.Add(1)
@@ -441,7 +468,7 @@ func (e *Engine) StartReinfer() (deploy.JobStatus, error) {
 		job.State = deploy.JobDone
 		job.Inferred = len(e.InferredLocations())
 	}()
-	return *job, nil
+	return js, nil
 }
 
 // ReinferStatus reports the latest background job; ok is false before the
@@ -491,6 +518,15 @@ func (e *Engine) QueryBatch(ctx context.Context, addrs []model.AddressID, out []
 // cooperative ctx checks: large enough to amortize the check, small enough
 // that cancellation lands promptly.
 const queryBatchChunk = 512
+
+// QueryBatchIdx is the shard-backend form of the bulk read path: it answers
+// addrs[i] into out[i] for each position i in idx (idx nil: all of addrs),
+// leaving every other slot of out untouched. It is what a sharded fan-out
+// calls per backend so workers can write disjoint slots of one shared result
+// slice — see cluster.ShardBackend.
+func (e *Engine) QueryBatchIdx(ctx context.Context, addrs []model.AddressID, idx []int32, out []deploy.BatchAnswer) error {
+	return e.queryBatchIdx(ctx, addrs, idx, out)
+}
 
 // queryBatchIdx answers addrs[i] into out[i] for each i in idx (idx nil: all
 // of addrs) from a single frozen-store load. Per-source metrics are tallied
@@ -564,10 +600,14 @@ func (e *Engine) Status() deploy.EngineStatus {
 		Dataset:      e.name,
 		Addresses:    len(e.addrs),
 		PendingTrips: e.pending,
+		Trips:        len(e.trips),
 		OpenStreams:  e.ss.open(),
 		Reinfers:     reinfers,
 		Failed:       failed,
 		LastError:    lastErr,
+	}
+	if e.pending > 0 && !e.pendingSince.IsZero() {
+		s.PendingAgeSeconds = time.Since(e.pendingSince).Seconds()
 	}
 	e.mu.Unlock()
 	if st != nil {

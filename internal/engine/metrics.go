@@ -42,14 +42,20 @@ var (
 	backpressureRejects = obs.Default.Counter("dlinfma_engine_backpressure_rejections_total",
 		"Ingest operations rejected because the pending-trip backlog hit MaxPendingTrips.")
 
+	autoReinferTriggers = obs.Default.CounterVec("dlinfma_engine_auto_reinfer_triggers_total",
+		"Re-inferences fired by the auto-reinfer monitor, by tripping condition (backlog size vs backlog age).",
+		"reason")
+	autoReinferBacklog = autoReinferTriggers.With("backlog")
+	autoReinferAge     = autoReinferTriggers.With("age")
+
 	snapshotOps = obs.Default.CounterVec("dlinfma_engine_snapshot_ops_total",
 		"Snapshot operations by kind (save/restore) and outcome (ok/error).",
 		"op", "outcome")
-	snapshotSaveOK       = snapshotOps.With("save", "ok")
-	snapshotSaveErr      = snapshotOps.With("save", "error")
-	snapshotRestoreOK    = snapshotOps.With("restore", "ok")
-	snapshotRestoreErr   = snapshotOps.With("restore", "error")
-	shardRoutedQueries   = obs.Default.CounterVec("dlinfma_engine_shard_queries_total",
+	snapshotSaveOK     = snapshotOps.With("save", "ok")
+	snapshotSaveErr    = snapshotOps.With("save", "error")
+	snapshotRestoreOK  = snapshotOps.With("restore", "ok")
+	snapshotRestoreErr = snapshotOps.With("restore", "error")
+	shardRoutedQueries = obs.Default.CounterVec("dlinfma_engine_shard_queries_total",
 		"Queries routed to each shard of a sharded engine.",
 		"shard")
 	shardUnroutedQueries = shardRoutedQueries.With("none")

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dlinfma/internal/cluster"
 	"dlinfma/internal/core"
 	"dlinfma/internal/deploy"
 	"dlinfma/internal/geo"
@@ -34,7 +35,17 @@ import (
 type ShardedEngine struct {
 	cfg    Config
 	router *shard.Router
-	shards []*Engine
+	// backends is what every fan-out path talks to — the transport seam. In
+	// the in-process topology each entry is the matching shards[i] engine; in
+	// the remote topology (NewShardedBackends) entries are cluster HTTP
+	// clients and the shards slots stay nil.
+	backends []cluster.ShardBackend
+	shards   []*Engine
+	// remote is true when any shard lives out of process. The local-only
+	// paths — streaming ingest, the WAL, snapshot restore and snapshot files —
+	// refuse to run then, because they reach into *Engine internals no wire
+	// protocol carries.
+	remote bool
 	// lcAuto: the caller left Core.LCTotalTrips at 0, so Reinfer maintains
 	// the global trip universe on each shard automatically.
 	lcAuto bool
@@ -86,6 +97,7 @@ func NewSharded(cfg Config, r *shard.Router) *ShardedEngine {
 	s := &ShardedEngine{
 		cfg:       cfg,
 		router:    r,
+		backends:  make([]cluster.ShardBackend, r.N()),
 		shards:    make([]*Engine, r.N()),
 		lcAuto:    cfg.Core.LCTotalTrips == 0,
 		rootCtx:   ctx,
@@ -101,9 +113,53 @@ func NewSharded(cfg Config, r *shard.Router) *ShardedEngine {
 		// shards must never double-reject their owner's deliveries.
 		shardCfg.MaxPendingTrips = 0
 		s.shards[i] = New(shardCfg)
+		s.backends[i] = s.shards[i]
 		s.routeCounters[i] = shardRoutedQueries.With(strconv.Itoa(i))
 	}
 	return s
+}
+
+// NewShardedBackends returns a sharded engine whose shards live behind the
+// given backends — typically cluster HTTP clients pointing at other
+// processes — instead of in-process engines. backends[i] serves shard i of
+// r's routing space, so len(backends) must equal r.N().
+//
+// The remote topology keeps the full fan-out semantics (routed ingest,
+// parallel re-inference, scatter/gather reads, aggregated status, manifest
+// snapshots) but refuses the local-only paths: streaming ingest, WAL
+// attach/replay, snapshot restore, and snapshot files all reach into shard
+// internals that have no wire form, and each remote process owns its own.
+// Two caveats follow from the same boundary: automatic LC-normalization
+// pinning cannot cross the wire (pin cfg.Core.LCTotalTrips in every shard
+// process for bit-identical features), and backpressure is each shard
+// process's own MaxPendingTrips — a remote reject still surfaces here as
+// deploy.ErrBackpressure.
+func NewShardedBackends(cfg Config, r *shard.Router, backends []cluster.ShardBackend) (*ShardedEngine, error) {
+	if len(backends) != r.N() {
+		return nil, fmt.Errorf("engine: %d backends for %d shards", len(backends), r.N())
+	}
+	for i, b := range backends {
+		if b == nil {
+			return nil, fmt.Errorf("engine: nil backend for shard %d", i)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &ShardedEngine{
+		cfg:       cfg,
+		router:    r,
+		backends:  append([]cluster.ShardBackend(nil), backends...),
+		shards:    make([]*Engine, r.N()),
+		remote:    true,
+		rootCtx:   ctx,
+		cancel:    cancel,
+		addrShard: make(map[model.AddressID]int),
+	}
+	s.ss = newStreamSet(cfg.Stream, cfg.Core)
+	s.routeCounters = make([]*obs.Counter, r.N())
+	for i := range s.routeCounters {
+		s.routeCounters[i] = shardRoutedQueries.With(strconv.Itoa(i))
+	}
+	return s, nil
 }
 
 // Router returns the router the engine shards by.
@@ -121,17 +177,22 @@ func (s *ShardedEngine) Close() {
 	s.cancel()
 	s.jobWG.Wait()
 	for _, sh := range s.shards {
-		sh.Close()
+		if sh != nil {
+			sh.Close()
+		}
 	}
 }
 
-// SetName labels the dataset on the manifest and every shard.
+// SetName labels the dataset on the manifest and every in-process shard.
+// Remote shard processes keep their own dataset labels.
 func (s *ShardedEngine) SetName(name string) {
 	s.mu.Lock()
 	s.name = name
 	s.mu.Unlock()
 	for _, sh := range s.shards {
-		sh.SetName(name)
+		if sh != nil {
+			sh.SetName(name)
+		}
 	}
 }
 
@@ -184,7 +245,7 @@ func (s *ShardedEngine) ingest(ctx context.Context, trips []model.Trip, addrs []
 		}
 		sctx, ssp := trace.Start(ctx, "engine.shard_ingest")
 		ssp.SetAttr("shard", i)
-		if err := s.shards[i].Ingest(sctx, p.Trips, p.Addrs, p.Truth); err != nil {
+		if err := s.backends[i].Ingest(sctx, p.Trips, p.Addrs, p.Truth); err != nil {
 			err = fmt.Errorf("engine: shard %d: %w", i, err)
 			ssp.RecordError(err)
 			ssp.End()
@@ -211,7 +272,9 @@ func (s *ShardedEngine) IngestDataset(ctx context.Context, ds *model.Dataset) er
 	name := s.name
 	s.mu.Unlock()
 	for _, sh := range s.shards {
-		sh.SetName(name)
+		if sh != nil { // remote shards name themselves from their own ingest
+			sh.SetName(name)
+		}
 	}
 	if err := s.Ingest(ctx, nil, ds.Addresses, ds.Truth); err != nil {
 		return err
@@ -241,9 +304,13 @@ func (s *ShardedEngine) Reinfer(ctx context.Context) error {
 	if s.lcAuto {
 		// The per-shard trip universe for LC normalization is the global
 		// distinct trip count: replicas exist on several shards, but each is
-		// one trip of one global dataset.
+		// one trip of one global dataset. Only in-process shards can be
+		// pinned; remote topologies pin LCTotalTrips in each shard process's
+		// own config instead (see NewShardedBackends).
 		for _, sh := range s.shards {
-			sh.setLCTotalTrips(total)
+			if sh != nil {
+				sh.setLCTotalTrips(total)
+			}
 		}
 	}
 
@@ -255,33 +322,40 @@ func (s *ShardedEngine) Reinfer(ctx context.Context) error {
 		workers = len(s.shards)
 	}
 	sem := make(chan struct{}, workers)
-	errs := make([]error, len(s.shards))
-	ran := make([]bool, len(s.shards))
+	errs := make([]error, len(s.backends))
+	ran := make([]bool, len(s.backends))
 	var wg sync.WaitGroup
-	for i, sh := range s.shards {
-		if sh.tripCount() == 0 {
-			continue // empty region: nothing to train, keep any served state
+	for i, b := range s.backends {
+		// Empty region: nothing to train, keep any served state. In-process
+		// shards answer from their counter; remote shards answer through the
+		// seam's health summary.
+		if sh := s.shards[i]; sh != nil {
+			if sh.tripCount() == 0 {
+				continue
+			}
+		} else if b.Status().Trips == 0 {
+			continue
 		}
 		ran[i] = true
 		wg.Add(1)
-		go func(i int, sh *Engine) {
+		go func(i int, b cluster.ShardBackend) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			sctx, ssp := trace.Start(ctx, "engine.shard_reinfer")
 			ssp.SetAttr("shard", i)
-			if err := sh.Reinfer(sctx); err != nil {
+			if err := b.Reinfer(sctx); err != nil {
 				errs[i] = fmt.Errorf("engine: shard %d: %w", i, err)
 				ssp.RecordError(errs[i])
 			}
 			ssp.End()
-		}(i, sh)
+		}(i, b)
 	}
 	wg.Wait()
 
 	any, swapped := false, false
 	var failed []error
-	for i := range s.shards {
+	for i := range s.backends {
 		if !ran[i] {
 			continue
 		}
@@ -321,6 +395,9 @@ func (s *ShardedEngine) StartReinfer() (deploy.JobStatus, error) {
 	s.jobSeq++
 	job := &deploy.JobStatus{ID: s.jobSeq, State: deploy.JobRunning}
 	s.job = job
+	// Snapshot before the goroutine exists: a fast job could finish (and
+	// rewrite *job under jobMu) before this function returns.
+	js := *job
 	s.jobMu.Unlock()
 
 	s.jobWG.Add(1)
@@ -341,9 +418,9 @@ func (s *ShardedEngine) StartReinfer() (deploy.JobStatus, error) {
 			return
 		}
 		job.State = deploy.JobDone
-		job.Inferred = len(s.InferredLocations())
+		job.Inferred = s.inferredCount()
 	}()
-	return *job, nil
+	return js, nil
 }
 
 // ReinferStatus reports the latest background job; ok is false before the
@@ -384,7 +461,32 @@ func (s *ShardedEngine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
 		return geo.Point{}, deploy.SourceNone
 	}
 	s.routeCounters[sh].Inc()
-	return s.shards[sh].Query(addr)
+	return s.backends[sh].Query(addr)
+}
+
+// QueryCtx is Query carrying the request context (deploy.ContextQuerier), so
+// a remote shard hop propagates the caller's trace and request id. Backends
+// without a context-aware read — in-process engines, whose Query is the
+// lock-free frozen path — answer exactly like Query.
+func (s *ShardedEngine) QueryCtx(ctx context.Context, addr model.AddressID) (geo.Point, deploy.Source) {
+	rt := s.routes.Load()
+	if rt == nil {
+		shardUnroutedQueries.Inc()
+		return geo.Point{}, deploy.SourceNone
+	}
+	sh, ok := (*rt)[addr]
+	if !ok {
+		shardUnroutedQueries.Inc()
+		return geo.Point{}, deploy.SourceNone
+	}
+	s.routeCounters[sh].Inc()
+	if cq, ok := s.backends[sh].(interface {
+		QueryOne(context.Context, model.AddressID) (geo.Point, deploy.Source, error)
+	}); ok {
+		p, src, _ := cq.QueryOne(ctx, addr)
+		return p, src
+	}
+	return s.backends[sh].Query(addr)
 }
 
 // QueryBatch is the batched scatter/gather read path: keys are grouped by
@@ -408,7 +510,7 @@ func (s *ShardedEngine) QueryBatch(ctx context.Context, addrs []model.AddressID,
 
 	sc := scatterPool.Get().(*scatter)
 	defer sc.release()
-	groups := sc.group(len(s.shards), *rt, addrs, out)
+	groups := sc.group(len(s.backends), *rt, addrs, out)
 
 	active := 0
 	last := -1
@@ -433,7 +535,7 @@ func (s *ShardedEngine) QueryBatch(ctx context.Context, addrs []model.AddressID,
 			if len(idx) == 0 {
 				continue
 			}
-			if err := s.shards[sh].queryBatchIdx(ctx, addrs, idx, out); err != nil {
+			if err := s.backends[sh].QueryBatchIdx(ctx, addrs, idx, out); err != nil {
 				return out, err
 			}
 		}
@@ -450,10 +552,10 @@ func (s *ShardedEngine) QueryBatch(ctx context.Context, addrs []model.AddressID,
 		go func(sh int, idx []int32) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			sc.errs[sh] = s.shards[sh].queryBatchIdx(ctx, addrs, idx, out)
+			sc.errs[sh] = s.backends[sh].QueryBatchIdx(ctx, addrs, idx, out)
 		}(sh, idx)
 	}
-	sc.errs[last] = s.shards[last].queryBatchIdx(ctx, addrs, groups[last], out)
+	sc.errs[last] = s.backends[last].QueryBatchIdx(ctx, addrs, groups[last], out)
 	wg.Wait()
 	for _, err := range sc.errs {
 		if err != nil {
@@ -463,12 +565,16 @@ func (s *ShardedEngine) QueryBatch(ctx context.Context, addrs []model.AddressID,
 	return out, nil
 }
 
-// InferredLocations merges every shard's served address->location map into a
-// fresh map (nil before any shard serves). Shards own disjoint addresses, so
-// the merge is a disjoint union.
+// InferredLocations merges every in-process shard's served address->location
+// map into a fresh map (nil before any shard serves, and nil for remote
+// shards — the wire carries per-key queries and snapshots, not bulk dumps).
+// Shards own disjoint addresses, so the merge is a disjoint union.
 func (s *ShardedEngine) InferredLocations() map[model.AddressID]geo.Point {
 	var out map[model.AddressID]geo.Point
 	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
 		locs := sh.InferredLocations()
 		if len(locs) == 0 {
 			continue
@@ -483,23 +589,29 @@ func (s *ShardedEngine) InferredLocations() map[model.AddressID]geo.Point {
 	return out
 }
 
-// Status aggregates the shard statuses: counters are sums, Ready is true as
-// soon as any shard serves, and the per-shard breakdown rides along for
-// /healthz.
+// Status aggregates the shard statuses through the backend seam: counters
+// are sums, Ready is true as soon as any shard serves, and the per-shard
+// breakdown rides along for /healthz — remote shards carrying their owner's
+// endpoint in Peer, and an unreachable one surfacing as a Failed shard
+// rather than an error.
 func (s *ShardedEngine) Status() deploy.EngineStatus {
 	s.mu.RLock()
 	out := deploy.EngineStatus{
 		Dataset:  s.name,
+		Trips:    s.nTrips,
 		Reinfers: s.reinfers,
-		Shards:   make([]deploy.ShardStatus, 0, len(s.shards)),
+		Shards:   make([]deploy.ShardStatus, 0, len(s.backends)),
 	}
 	s.mu.RUnlock()
-	for i, sh := range s.shards {
-		st := sh.Status()
+	for i, b := range s.backends {
+		st := b.Status()
 		out.Addresses += st.Addresses
 		out.Inferred += st.Inferred
 		out.PoolLocations += st.PoolLocations
 		out.PendingTrips += st.PendingTrips
+		if st.PendingAgeSeconds > out.PendingAgeSeconds {
+			out.PendingAgeSeconds = st.PendingAgeSeconds
+		}
 		if st.Ready {
 			out.Ready = true
 		}
@@ -509,7 +621,11 @@ func (s *ShardedEngine) Status() deploy.EngineStatus {
 				out.LastError = fmt.Sprintf("shard %d: %s", i, st.LastError)
 			}
 		}
-		out.Shards = append(out.Shards, deploy.ShardStatus{Shard: i, EngineStatus: st})
+		shardSt := deploy.ShardStatus{Shard: i, EngineStatus: st}
+		if ep, ok := b.(interface{ Endpoint() string }); ok {
+			shardSt.Peer = ep.Endpoint()
+		}
+		out.Shards = append(out.Shards, shardSt)
 	}
 	s.jobMu.Lock()
 	out.ReinferRunning = s.job != nil && s.job.State == deploy.JobRunning
@@ -521,5 +637,21 @@ func (s *ShardedEngine) Status() deploy.EngineStatus {
 	return out
 }
 
-// statically assert that ShardedEngine satisfies deploy's interface.
-var _ deploy.Engine = (*ShardedEngine)(nil)
+// inferredCount reports how many addresses the cluster serves: a bulk-map
+// count for in-process shards, a summed health counter for remote ones.
+func (s *ShardedEngine) inferredCount() int {
+	if !s.remote {
+		return len(s.InferredLocations())
+	}
+	n := 0
+	for _, b := range s.backends {
+		n += b.Status().Inferred
+	}
+	return n
+}
+
+// statically assert that ShardedEngine satisfies deploy's interfaces.
+var (
+	_ deploy.Engine         = (*ShardedEngine)(nil)
+	_ deploy.ContextQuerier = (*ShardedEngine)(nil)
+)

@@ -13,6 +13,12 @@ import (
 	"dlinfma/internal/model"
 )
 
+// errRemoteSnapshotFiles rejects restore and snapshot-file paths in the
+// remote topology: those install serving state into *Engine structs this
+// process does not own. Each shard process restores its own snapshot;
+// WriteSnapshot (the read side) still works everywhere through the seam.
+var errRemoteSnapshotFiles = errors.New("engine: snapshot restore requires in-process shards; restore each shard process from its own snapshot")
+
 // shardManifest is the version-2 snapshot format: the routing state plus one
 // single-engine snapshot per shard, inline (Shards, the streaming /snapshot
 // form) or as sibling files (Files, the on-disk form where each shard file
@@ -31,17 +37,19 @@ type shardManifest struct {
 }
 
 // WriteSnapshot streams a version-2 manifest with every ready shard's
-// snapshot inline. It fails while no shard has anything to serve.
+// snapshot inline — fetched through the backend seam, so a remote topology
+// assembles the same manifest from its shard processes' /v1/snapshot
+// streams. It fails while no shard has anything to serve.
 func (s *ShardedEngine) WriteSnapshot(w io.Writer) error {
 	m, err := s.newManifest()
 	if err != nil {
 		return err
 	}
 	ready := false
-	m.Shards = make([]json.RawMessage, len(s.shards))
-	for i, sh := range s.shards {
+	m.Shards = make([]json.RawMessage, len(s.backends))
+	for i, b := range s.backends {
 		var buf bytes.Buffer
-		if err := sh.WriteSnapshot(&buf); err != nil {
+		if err := b.WriteSnapshot(&buf); err != nil {
 			m.Shards[i] = json.RawMessage("null")
 			continue
 		}
@@ -77,6 +85,9 @@ func (s *ShardedEngine) newManifest() (*shardManifest, error) {
 // serves its own slice of the old global state (sharing the old global
 // model) until its next retrain. Unknown versions are rejected.
 func (s *ShardedEngine) RestoreSnapshot(r io.Reader) error {
+	if s.remote {
+		return errRemoteSnapshotFiles
+	}
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return fmt.Errorf("engine: read snapshot: %w", err)
@@ -206,6 +217,9 @@ func (s *ShardedEngine) migrateLegacy(data []byte) error {
 // (path.shardN, each atomic) plus the manifest at path (atomic), so a crash
 // at any point leaves the previous generation loadable.
 func (s *ShardedEngine) SaveSnapshotFile(path string) error {
+	if s.remote {
+		return errRemoteSnapshotFiles
+	}
 	m, err := s.newManifest()
 	if err != nil {
 		return err
@@ -240,6 +254,9 @@ func (s *ShardedEngine) SaveSnapshotFile(path string) error {
 
 // LoadSnapshotFile restores from a manifest (or legacy snapshot) file.
 func (s *ShardedEngine) LoadSnapshotFile(path string) error {
+	if s.remote {
+		return errRemoteSnapshotFiles
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err

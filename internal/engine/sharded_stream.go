@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 
 	"dlinfma/internal/deploy"
 	"dlinfma/internal/geo"
@@ -26,9 +27,18 @@ import (
 // nests outside mu and the shards' own locks; the query path touches none of
 // them.
 
+// errRemoteStreaming rejects the local-only ingest surfaces in the remote
+// topology: streamed trips enter shard pools through the window-less
+// addStreamedTrip path, which has no wire form. Stream into each shard
+// process directly instead.
+var errRemoteStreaming = errors.New("engine: streaming ingest requires in-process shards; stream to the shard processes directly")
+
 // IngestPoint accepts one streamed GPS fix (deploy.StreamIngestor), logging
 // it durably before it can close a trip or touch any shard's pool.
 func (s *ShardedEngine) IngestPoint(ctx context.Context, courier model.CourierID, pt traj.GPSPoint) error {
+	if s.remote {
+		return errRemoteStreaming
+	}
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	return s.ingestPointLocked(ctx, courier, pt, 0, true)
@@ -36,6 +46,9 @@ func (s *ShardedEngine) IngestPoint(ctx context.Context, courier model.CourierID
 
 // CloseStream explicitly ends a courier's open trip (deploy.StreamIngestor).
 func (s *ShardedEngine) CloseStream(ctx context.Context, courier model.CourierID) error {
+	if s.remote {
+		return errRemoteStreaming
+	}
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	return s.closeStreamLocked(ctx, courier, true)
@@ -111,23 +124,30 @@ func (s *ShardedEngine) deliverStreamedTripLocked(ctx context.Context, st *strea
 	}
 }
 
-// sealStreamWindowsLocked seals the streamed window on every shard (no-op on
-// shards with nothing pending) and resets the global size counter.
+// sealStreamWindowsLocked seals the streamed window on every in-process
+// shard (no-op on shards with nothing pending) and resets the global size
+// counter. Remote shards seal their own streamed windows.
 func (s *ShardedEngine) sealStreamWindowsLocked(ctx context.Context) {
 	s.ss.winStays = 0
 	for _, sh := range s.shards {
-		sh.sealStreamWindow(ctx)
+		if sh != nil {
+			sh.sealStreamWindow(ctx)
+		}
 	}
 }
 
-// overloaded reports whether the summed pending-trip backlog across shards
-// has reached MaxPendingTrips.
+// overloaded reports whether the summed pending-trip backlog across the
+// in-process shards has reached MaxPendingTrips. Remote shards enforce their
+// own processes' bounds and answer 429 through the backend seam instead.
 func (s *ShardedEngine) overloaded() bool {
 	if s.cfg.MaxPendingTrips <= 0 {
 		return false
 	}
 	total := 0
 	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
 		total += sh.pendingCount()
 		if total >= s.cfg.MaxPendingTrips {
 			return true
@@ -137,8 +157,12 @@ func (s *ShardedEngine) overloaded() bool {
 }
 
 // AttachWAL makes w the sharded engine's write-ahead log. Attach after
-// ReplayWAL so replayed records are not re-appended.
+// ReplayWAL so replayed records are not re-appended. The remote topology
+// refuses a WAL: durability belongs to each shard process.
 func (s *ShardedEngine) AttachWAL(w *wal.WAL) {
+	if s.remote {
+		panic("engine: a remote-sharded engine cannot own a WAL")
+	}
 	s.ingestMu.Lock()
 	s.wal = w
 	s.ingestMu.Unlock()
@@ -148,6 +172,9 @@ func (s *ShardedEngine) AttachWAL(w *wal.WAL) {
 // (minus backpressure and re-logging), rebuilding the routing and per-shard
 // ingest state snapshots omit. Returns the number of records applied.
 func (s *ShardedEngine) ReplayWAL(ctx context.Context, w *wal.WAL) (int, error) {
+	if s.remote {
+		return 0, errRemoteStreaming
+	}
 	return replayWAL(ctx, w, s.applyWALRecord)
 }
 

@@ -272,7 +272,7 @@ func (e *Engine) deliverStreamedTripLocked(ctx context.Context, st *streamedTrip
 func (e *Engine) appendStreamedTripLocked(st *streamedTrip) {
 	e.builder.AppendTripStays(st.trip.Courier, st.stays)
 	e.trips = append(e.trips, st.trip)
-	e.pending++
+	e.addPendingLocked(1)
 	e.ss.winStays += len(st.stays)
 	ingestTrips.Inc()
 }
