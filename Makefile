@@ -1,6 +1,6 @@
 # Build/test/bench entry points. The race target covers the packages with
-# concurrency (tensor engine, pipeline, serving engine, HTTP service, and the
-# obs metrics/logging layer); bench regenerates the LocMatcher + serving
+# concurrency (tensor engine, pipeline, serving engine, HTTP service, the
+# obs metrics/logging layer, and the load generator); bench regenerates the LocMatcher + serving
 # performance numbers and their machine-readable BENCH_locmatcher.json; cover
 # enforces a coverage floor; smoke-metrics boots a server and validates the
 # /v1/metrics exposition end to end.
@@ -8,7 +8,7 @@
 GO ?= go
 COVER_FLOOR ?= 75
 
-.PHONY: build test race vet cover bench bench-all bench-read bench-regress smoke-metrics smoke-stream smoke-cluster
+.PHONY: build test race vet cover bench bench-all bench-read bench-regress bench-capacity smoke-metrics smoke-stream smoke-cluster smoke-swarm
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/... ./internal/cluster/... ./internal/obs/... ./internal/wal/...
+	$(GO) test -race ./internal/core/... ./internal/nn/... ./internal/engine/... ./internal/deploy/... ./internal/shard/... ./internal/cluster/... ./internal/obs/... ./internal/wal/... ./internal/loadgen/...
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,12 @@ smoke-stream:
 smoke-cluster:
 	bash scripts/cluster_smoke.sh
 
+# Boot a server, drive a short fixed-rate open-loop swarm (zero errors
+# required), then a mini-ramp whose verdict must land in a populated
+# capacity report.
+smoke-swarm:
+	bash scripts/swarm_smoke.sh
+
 # Aggregate statement coverage with a floor (override: make cover COVER_FLOOR=60).
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -73,3 +79,9 @@ bench-read:
 # queries/sec regression against the committed BENCH_locmatcher.json.
 bench-regress:
 	bash scripts/bench_regress.sh
+
+# Capacity model: ramp the open-loop swarm against shards=1/2/4 in-process
+# plus a two-peer cluster until the SLO breaks -> BENCH_capacity.json.
+# Tune with STAGE/RAMP_START/RAMP_GROWTH/SLO_P99/MIX env knobs.
+bench-capacity:
+	bash scripts/bench_capacity.sh

@@ -585,7 +585,7 @@ func benchEngine(b *testing.B, shards int, doc []byte) engine.Runtime {
 }
 
 // runServeQueries restores the snapshot into a fresh engine of the given
-// shard count and drives concurrent legacy /location queries through an
+// shard count and drives concurrent GET /v1/locations/{key} queries through an
 // httptest server built with opts, using the default HTTP client (the
 // long-standing baseline configuration).
 func runServeQueries(b *testing.B, shards int, doc []byte, addrs []model.AddressInfo, opts deploy.Options) {
@@ -605,7 +605,7 @@ func runServeQueriesClient(b *testing.B, shards int, doc []byte, addrs []model.A
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			resp, err := client.Get(fmt.Sprintf("%s/location?addr=%d", srv.URL, addrs[i%len(addrs)].ID))
+			resp, err := client.Get(fmt.Sprintf("%s/v1/locations/%d", srv.URL, addrs[i%len(addrs)].ID))
 			if err != nil {
 				b.Error(err)
 				return

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"dlinfma/internal/loadgen"
+)
+
+// capacityMain is the -capacity mode: it collects swarm capacity rows (one
+// JSON object per row — either raw on stdin, NDJSON-style, or indented
+// multi-line objects back to back, which is what `swarm | ...` emits) into
+// the committed BENCH_capacity.json, and optionally gates a config's
+// max_sustainable_qps against a baseline report.
+func capacityMain(out, baseline, gate string, maxRegress float64) {
+	rows, err := readCapacityRows(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: capacity:", err)
+		os.Exit(1)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: capacity: no rows on stdin")
+		os.Exit(1)
+	}
+	rep := loadgen.CapacityReport{
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Rows:   rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d capacity rows to %s\n", len(rows), out)
+
+	if baseline != "" && gate != "" {
+		base, err := loadCapacityReport(baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		if err := capacityGate(rep, base, gate, maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate %s within %.0f%% of baseline capacity\n",
+			gate, maxRegress)
+	}
+}
+
+// readCapacityRows decodes a stream of JSON capacity-row objects. A JSON
+// decoder handles both one-object-per-line and indented objects; stray
+// non-JSON noise lines (swarm's stderr should not be piped here, but be
+// forgiving about blank lines) abort with a clear error.
+func readCapacityRows(r io.Reader) ([]loadgen.CapacityRow, error) {
+	br := bufio.NewReader(r)
+	dec := json.NewDecoder(br)
+	var rows []loadgen.CapacityRow
+	for {
+		var row loadgen.CapacityRow
+		err := dec.Decode(&row)
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", len(rows)+1, err)
+		}
+		if strings.TrimSpace(row.Config) == "" {
+			return nil, fmt.Errorf("row %d: missing config label", len(rows)+1)
+		}
+		rows = append(rows, row)
+	}
+}
+
+// loadCapacityReport reads a previously committed capacity report.
+func loadCapacityReport(path string) (loadgen.CapacityReport, error) {
+	var rep loadgen.CapacityReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+// capacityRow finds one config's row.
+func capacityRow(rep loadgen.CapacityReport, config string) (loadgen.CapacityRow, bool) {
+	for _, r := range rep.Rows {
+		if r.Config == config {
+			return r, true
+		}
+	}
+	return loadgen.CapacityRow{}, false
+}
+
+// capacityGate fails when a config's max sustainable qps fell more than
+// maxPct percent below the baseline. Capacity is higher-is-better, and
+// client-saturated rows (in either run) only warn: the number measures the
+// generator's ceiling, not the server's, so gating on it would flake.
+func capacityGate(cur, base loadgen.CapacityReport, config string, maxPct float64) error {
+	cr, ok := capacityRow(cur, config)
+	if !ok {
+		return fmt.Errorf("run has no capacity row %q", config)
+	}
+	br, ok := capacityRow(base, config)
+	if !ok {
+		return fmt.Errorf("baseline has no capacity row %q", config)
+	}
+	if cr.ClientSaturated || br.ClientSaturated {
+		fmt.Fprintf(os.Stderr, "benchjson: gate %s skipped: client-saturated row (cur=%v base=%v)\n",
+			config, cr.ClientSaturated, br.ClientSaturated)
+		return nil
+	}
+	if br.MaxSustainableQPS <= 0 {
+		return fmt.Errorf("baseline %s capacity is %v, cannot gate", config, br.MaxSustainableQPS)
+	}
+	regressPct := (br.MaxSustainableQPS - cr.MaxSustainableQPS) / br.MaxSustainableQPS * 100
+	if regressPct > maxPct {
+		return fmt.Errorf("%s capacity regressed %.1f%% (baseline %.1f qps, got %.1f qps, limit %.0f%%)",
+			config, regressPct, br.MaxSustainableQPS, cr.MaxSustainableQPS, maxPct)
+	}
+	return nil
+}

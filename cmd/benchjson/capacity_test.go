@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dlinfma/internal/loadgen"
+)
+
+// TestReadCapacityRows decodes the concatenated indented JSON objects swarm
+// runs emit (no separators beyond whitespace).
+func TestReadCapacityRows(t *testing.T) {
+	in := `{
+  "config": "shards=1",
+  "max_sustainable_qps": 450.5,
+  "p50_ms": 1.2,
+  "p99_ms": 40,
+  "error_rate": 0,
+  "breach": "p99"
+}
+{"config":"cluster=2","peers":2,"max_sustainable_qps":300,"client_saturated":true}
+`
+	rows, err := readCapacityRows(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("parsed %d rows, want 2", len(rows))
+	}
+	if rows[0].Config != "shards=1" || rows[0].MaxSustainableQPS != 450.5 || rows[0].Breach != "p99" {
+		t.Fatalf("row 0: %+v", rows[0])
+	}
+	if rows[1].Peers != 2 || !rows[1].ClientSaturated {
+		t.Fatalf("row 1: %+v", rows[1])
+	}
+}
+
+// TestReadCapacityRowsRejectsUnlabelled: a row without a config label can't
+// be gated or charted, so it's an input error, not a silent blank.
+func TestReadCapacityRowsRejectsUnlabelled(t *testing.T) {
+	if _, err := readCapacityRows(strings.NewReader(`{"max_sustainable_qps":1}`)); err == nil {
+		t.Fatal("unlabelled row accepted")
+	}
+}
+
+// TestCapacityGate covers pass, regression failure, and the client-saturated
+// skip.
+func TestCapacityGate(t *testing.T) {
+	base := loadgen.CapacityReport{Rows: []loadgen.CapacityRow{
+		{Config: "shards=1", MaxSustainableQPS: 1000},
+		{Config: "cluster=2", MaxSustainableQPS: 500, ClientSaturated: true},
+	}}
+	cur := loadgen.CapacityReport{Rows: []loadgen.CapacityRow{
+		{Config: "shards=1", MaxSustainableQPS: 900},
+		{Config: "cluster=2", MaxSustainableQPS: 100},
+	}}
+	// 10% down, limit 15%: pass.
+	if err := capacityGate(cur, base, "shards=1", 15); err != nil {
+		t.Fatalf("10%% regression failed a 15%% gate: %v", err)
+	}
+	// Limit 5%: fail.
+	if err := capacityGate(cur, base, "shards=1", 5); err == nil {
+		t.Fatal("10% regression passed a 5% gate")
+	}
+	// Baseline row was client-saturated: only warn, never fail.
+	if err := capacityGate(cur, base, "cluster=2", 5); err != nil {
+		t.Fatalf("client-saturated baseline must skip the gate: %v", err)
+	}
+	// Unknown config: error.
+	if err := capacityGate(cur, base, "shards=64", 5); err == nil {
+		t.Fatal("unknown config gated successfully")
+	}
+}

@@ -1,0 +1,268 @@
+// Command swarm is the open-loop load generator for a live dlinfma server
+// or cluster frontend. It offers a mixed workload — single and batched
+// address lookups, NDJSON trajectory-streaming bursts, optional re-inference
+// storms — on a timer-driven arrival schedule that never waits for
+// responses, so slow servers get measured instead of accidentally throttling
+// the load (coordinated omission).
+//
+// Two modes:
+//
+//	swarm -target http://host:port -rate 200 -duration 30s
+//	    holds a fixed arrival rate and reports the stage summary.
+//
+//	swarm -target http://host:port -ramp-start 50 -ramp-growth 1.5 -stage 10s
+//	    ramps the rate until the SLO (p99, error rate) breaks and reports
+//	    the capacity verdict as a loadgen.CapacityRow.
+//
+// Machine-readable JSON goes to stdout; progress and the optional -tui
+// dashboard go to stderr, so output pipes cleanly into benchjson -capacity.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dlinfma/internal/loadgen"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "", "base URL of the server under test (required)")
+		config   = flag.String("config", "", "configuration label for the capacity row, e.g. shards=2")
+		shards   = flag.Int("shards", 0, "in-process shard count of the target (report metadata)")
+		peers    = flag.Int("peers", 0, "remote cluster peer count of the target (report metadata)")
+		mix      = flag.String("mix", "lookup=80,batch=10,stream=10", "endpoint weights, name=weight comma-separated (lookup, batch, stream, reinfer)")
+		seed     = flag.Int64("seed", 1, "seed for address sampling, bodies, and Poisson arrivals")
+		poisson  = flag.Bool("poisson", false, "Poisson arrivals instead of uniform pacing")
+		inFlight = flag.Int("max-in-flight", 0, "bound on concurrent requests (0: default)")
+		batchKey = flag.Int("batch-keys", 64, "addresses per batch request")
+		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for the target's /v1/healthz to answer ready")
+		interval = flag.Duration("interval", time.Second, "timeseries sampling interval")
+		tui      = flag.Bool("tui", false, "live terminal dashboard on stderr")
+		out      = flag.String("out", "", "also write the JSON verdict to this file")
+
+		rate     = flag.Float64("rate", 0, "fixed arrival rate (qps); selects fixed mode")
+		duration = flag.Duration("duration", 10*time.Second, "fixed-mode run duration")
+
+		rampStart  = flag.Float64("ramp-start", 0, "first ramp stage rate (qps); selects ramp mode")
+		rampStep   = flag.Float64("ramp-step", 0, "additive rate increase per stage")
+		rampGrowth = flag.Float64("ramp-growth", 0, "multiplicative rate increase per stage (overrides -ramp-step)")
+		rampMax    = flag.Float64("ramp-max", 0, "stop ramping past this rate even if the SLO holds (0: unbounded)")
+		stage      = flag.Duration("stage", 10*time.Second, "ramp stage duration")
+		sloP99     = flag.Duration("slo-p99", 250*time.Millisecond, "p99 latency SLO")
+		sloErrors  = flag.Float64("slo-errors", 0.01, "error-rate SLO (fraction)")
+	)
+	flag.Parse()
+	if *target == "" {
+		fatal("swarm: -target is required")
+	}
+	if (*rate > 0) == (*rampStart > 0) {
+		fatal("swarm: pick exactly one of -rate (fixed) or -ramp-start (ramp)")
+	}
+	m, err := parseMix(*mix)
+	if err != nil {
+		fatal("swarm: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w, err := waitReady(ctx, *target, m, *seed, *batchKey, *wait)
+	if err != nil {
+		fatal("swarm: %v", err)
+	}
+
+	// The sampler sees the currently offered rate through an atomic cell the
+	// stage loop updates; float bits through a uint64.
+	var targetRate atomic.Uint64
+	setRate := func(r float64) { targetRate.Store(math.Float64bits(r)) }
+	getRate := func() float64 { return math.Float64frombits(targetRate.Load()) }
+
+	ts := loadgen.NewTimeseries()
+	var onSample func(loadgen.SeriesPoint)
+	if *tui {
+		dash := loadgen.NewDashboard(os.Stderr, w.Stats(), ts)
+		onSample = dash.Render
+	}
+	sampleCtx, stopSampler := context.WithCancel(ctx)
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		loadgen.Sample(sampleCtx, w.Stats(), ts, *interval, time.Now(), getRate, onSample)
+	}()
+
+	opts := loadgen.StageOptions{Poisson: *poisson, Seed: *seed, MaxInFlight: *inFlight}
+	var verdict any
+	if *rate > 0 {
+		setRate(*rate)
+		res := loadgen.RunStage(ctx, w, *rate, *duration, opts)
+		verdict = fixedReport{
+			Config: *config, Stage: res,
+			Endpoints: endpointSummaries(w.Stats()),
+			Series:    ts.Points(),
+		}
+	} else {
+		stageN := 0
+		outcome, err := loadgen.Ramp(ctx, loadgen.RampConfig{
+			StartQPS:      *rampStart,
+			StepQPS:       *rampStep,
+			Growth:        *rampGrowth,
+			MaxQPS:        *rampMax,
+			StageDuration: *stage,
+			SLO:           loadgen.SLO{P99: *sloP99, MaxErrorRate: *sloErrors},
+		}, func(ctx context.Context, r float64, d time.Duration) (loadgen.StageResult, error) {
+			stageN++
+			setRate(r)
+			fmt.Fprintf(os.Stderr, "swarm: stage %d at %.0f qps for %s\n", stageN, r, d)
+			res := loadgen.RunStage(ctx, w, r, d, opts)
+			fmt.Fprintf(os.Stderr, "swarm:   achieved %.0f qps, p99 %s, errors %d, dropped %d\n",
+				res.AchievedQPS, res.P99, res.Errors, res.Dropped)
+			return res, nil
+		})
+		if err != nil {
+			fatal("swarm: ramp: %v", err)
+		}
+		label := *config
+		if label == "" {
+			label = fmt.Sprintf("shards=%d", *shards)
+		}
+		verdict = outcome.Row(label, *shards, *peers)
+	}
+	stopSampler()
+	<-samplerDone
+
+	data, err := json.MarshalIndent(verdict, "", "  ")
+	if err != nil {
+		fatal("swarm: %v", err)
+	}
+	data = append(data, '\n')
+	if _, err := os.Stdout.Write(data); err != nil {
+		fatal("swarm: %v", err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal("swarm: %v", err)
+		}
+	}
+}
+
+// fixedReport is the stdout JSON of a fixed-rate run.
+type fixedReport struct {
+	Config    string                `json:"config,omitempty"`
+	Stage     loadgen.StageResult   `json:"stage"`
+	Endpoints []endpointSummary     `json:"endpoints"`
+	Series    []loadgen.SeriesPoint `json:"series,omitempty"`
+}
+
+type endpointSummary struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	LastErr  string  `json:"last_error,omitempty"`
+}
+
+func endpointSummaries(stats *loadgen.Stats) []endpointSummary {
+	snap := stats.Snapshot()
+	var out []endpointSummary
+	for _, ep := range loadgen.Endpoints() {
+		e := snap.Endpoints[ep]
+		if e.OK+e.Errors == 0 {
+			continue
+		}
+		out = append(out, endpointSummary{
+			Endpoint: ep.String(),
+			Requests: e.OK + e.Errors,
+			Errors:   e.Errors,
+			P50MS:    float64(e.Hist.Quantile(0.50)) / 1e6,
+			P99MS:    float64(e.Hist.Quantile(0.99)) / 1e6,
+			LastErr:  e.LastErr,
+		})
+	}
+	return out
+}
+
+// waitReady polls the target's typed health status until it reports ready
+// (or the deadline passes), then builds the workload. Building after
+// readiness matters: the workload sizes its address universe from the
+// deployed engine's status.
+func waitReady(ctx context.Context, target string, m loadgen.Mix, seed int64, batchKeys int, wait time.Duration) (*loadgen.Workload, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		w, err := loadgen.NewWorkload(loadgen.WorkloadConfig{
+			Target:    target,
+			Mix:       m,
+			Seed:      seed,
+			BatchKeys: batchKeys,
+		})
+		if err == nil {
+			st, herr := w.Health(ctx)
+			if herr == nil && (st.Ready || wait == 0) {
+				return w, nil
+			}
+			if wait == 0 {
+				return w, nil
+			}
+			err = fmt.Errorf("target not ready (ready=%v)", st.Ready)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("wait for %s: %w", target, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// parseMix reads "lookup=80,batch=10,stream=10,reinfer=0".
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return m, fmt.Errorf("mix weight %q must be a non-negative integer", val)
+		}
+		switch name {
+		case "lookup":
+			m.Lookup = n
+		case "batch":
+			m.Batch = n
+		case "stream":
+			m.Stream = n
+		case "reinfer":
+			m.Reinfer = n
+		default:
+			return m, fmt.Errorf("unknown mix endpoint %q (lookup, batch, stream, reinfer)", name)
+		}
+	}
+	if m.Total() == 0 {
+		return m, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return m, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

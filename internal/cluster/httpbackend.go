@@ -27,7 +27,7 @@ const (
 	routeIngest   = "/v1/ingest"
 	routeReinfer  = "/v1/reinfer"
 	routeSnapshot = "/v1/snapshot"
-	routeHealthz  = "/healthz"
+	routeHealthz  = "/v1/healthz"
 )
 
 // DefaultTimeout bounds one HTTP call of a backend RPC when ClientOptions
@@ -442,11 +442,11 @@ func (c *Client) reinferEndpoint(ctx context.Context, ep string) error {
 	}
 }
 
-// Status fetches the shard's /healthz summary (ShardBackend). An unreachable
+// Status fetches the shard's typed /v1/healthz summary (ShardBackend). An unreachable
 // shard reports Failed with the transport error, never panics or blocks past
 // the retry budget — Status has no error channel by design.
 func (c *Client) Status() deploy.EngineStatus {
-	status, data, err := c.call(context.Background(), routeHealthz, http.MethodGet, "/healthz", nil)
+	status, data, err := c.call(context.Background(), routeHealthz, http.MethodGet, "/v1/healthz", nil)
 	if err != nil {
 		return deploy.EngineStatus{Failed: true, LastError: "backend unreachable: " + err.Error()}
 	}

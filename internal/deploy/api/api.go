@@ -7,8 +7,9 @@
 // Versioning policy: routes live under /v1/...; fields are only ever added
 // (never renamed or repurposed) within a major version, and a breaking
 // change mints /v2 alongside a deprecated /v1. The pre-versioning routes
-// (/location, /ingest, /reinfer, /snapshot) are served as deprecated aliases
-// that emit a Deprecation header and a successor-version Link.
+// (/location, /ingest, /reinfer, /snapshot) went through the full
+// deprecation cycle — aliases with a Deprecation header first, then 410 Gone
+// tombstones that keep pointing at the /v1 successor via a Link header.
 package api
 
 import (
@@ -26,6 +27,10 @@ const (
 	CodeNotFound = "not_found"
 	// CodeMethodNotAllowed: the route exists but not for this HTTP method.
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeGone: the route existed in a pre-/v1 release and has been retired.
+	// Maps to 410; details name the /v1 successor, which the Link header
+	// also carries as rel="successor-version".
+	CodeGone = "gone"
 	// CodeEngineNotReady: no serving state deployed yet (cold engine) — load
 	// balancers should retry another instance. Maps to 503.
 	CodeEngineNotReady = "engine_not_ready"
@@ -151,8 +156,10 @@ type JobStatus struct {
 	Inferred int `json:"inferred,omitempty"`
 }
 
-// EngineStatus is the /healthz payload: a summary of the engine's serving
-// and ingest state.
+// EngineStatus is the GET /v1/healthz payload (bare /healthz serves the same
+// body as a probe alias): a summary of the engine's serving and ingest state.
+// Machine consumers — the load swarm, smoke scripts, cluster peers — parse
+// this typed form rather than grepping raw JSON.
 type EngineStatus struct {
 	Dataset string `json:"dataset,omitempty"`
 	// Ready is true once a (pool, model, store) triple is being served —
@@ -191,7 +198,7 @@ type EngineStatus struct {
 	Shards []ShardStatus `json:"shards,omitempty"`
 }
 
-// ShardStatus is one shard's EngineStatus inside a sharded /healthz payload.
+// ShardStatus is one shard's EngineStatus inside a sharded health payload.
 type ShardStatus struct {
 	Shard int `json:"shard"`
 	// Peer is the base URL of the process serving the shard when it lives

@@ -237,7 +237,7 @@ func TestHTTPQueryAPI(t *testing.T) {
 	srv := httptest.NewServer(Handler(s))
 	defer srv.Close()
 
-	resp, err := srv.Client().Get(srv.URL + "/location?addr=7")
+	resp, err := srv.Client().Get(srv.URL + "/v1/locations/7")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,18 +253,25 @@ func TestHTTPQueryAPI(t *testing.T) {
 		t.Errorf("response %+v", qr)
 	}
 
-	// Unknown address -> 404; bad parameter -> 400; wrong method -> 405.
-	if resp, _ := srv.Client().Get(srv.URL + "/location?addr=999"); resp.StatusCode != 404 {
+	// Unknown address -> 404; bad key -> 400; wrong method -> 405; the
+	// retired pre-/v1 alias -> 410.
+	if resp, _ := srv.Client().Get(srv.URL + "/v1/locations/999"); resp.StatusCode != 404 {
 		t.Errorf("unknown address status %d", resp.StatusCode)
 	}
-	if resp, _ := srv.Client().Get(srv.URL + "/location?addr=abc"); resp.StatusCode != 400 {
-		t.Errorf("bad param status %d", resp.StatusCode)
+	if resp, _ := srv.Client().Get(srv.URL + "/v1/locations/abc"); resp.StatusCode != 400 {
+		t.Errorf("bad key status %d", resp.StatusCode)
 	}
-	if resp, _ := srv.Client().Post(srv.URL+"/location?addr=7", "", nil); resp.StatusCode != 405 {
+	if resp, _ := srv.Client().Post(srv.URL+"/v1/locations/7", "", nil); resp.StatusCode != 405 {
 		t.Errorf("POST status %d", resp.StatusCode)
+	}
+	if resp, _ := srv.Client().Get(srv.URL + "/location?addr=7"); resp.StatusCode != 410 {
+		t.Errorf("legacy alias status %d, want 410", resp.StatusCode)
 	}
 	if resp, _ := srv.Client().Get(srv.URL + "/healthz"); resp.StatusCode != 200 {
 		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if resp, _ := srv.Client().Get(srv.URL + "/v1/healthz"); resp.StatusCode != 200 {
+		t.Errorf("/v1/healthz status %d", resp.StatusCode)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 
+	"dlinfma/internal/deploy/api"
 	"dlinfma/internal/obs"
 	"dlinfma/internal/obs/trace"
 )
@@ -26,9 +27,6 @@ var (
 		obs.RequestLatencyBuckets, "route")
 	httpInFlight = obs.Default.Gauge("dlinfma_http_in_flight_requests",
 		"Requests currently being handled.")
-	httpDeprecated = obs.Default.CounterVec("dlinfma_http_deprecated_requests_total",
-		"Requests hitting a deprecated pre-/v1 alias route.",
-		"route")
 )
 
 // statusRecorder captures the status code and body size a handler wrote.
@@ -157,22 +155,21 @@ func Instrument(route string, log *obs.Logger, tracer *trace.Tracer, h http.Hand
 	})
 }
 
-// deprecate marks a legacy alias: every response carries a Deprecation
-// header plus a successor-version Link (RFC 8594), and the hit lands in the
-// deprecated-requests metric so operators can watch residual legacy traffic
-// drain before removing the alias.
-func deprecate(route, successor string, h http.HandlerFunc) http.HandlerFunc {
-	hits := httpDeprecated.With(route)
-	// The header values never vary per request, so share one backing slice
+// gone serves a retired pre-/v1 route's tombstone: 410 with the uniform
+// error envelope (code "gone") and a successor-version Link, so a stale
+// client sees both the machine-readable code and where the endpoint moved.
+// The routes went through a deprecation-header release cycle first; keeping
+// the tombstone (rather than letting the path fall through to 404) preserves
+// the distinction between "never existed" and "removed, use the successor".
+func gone(successor string) http.HandlerFunc {
+	// The header value never varies per request, so share one backing slice
 	// across responses (net/http only reads header value slices).
-	deprecation := []string{"true"}
 	link := []string{"<" + successor + `>; rel="successor-version"`}
 	return func(w http.ResponseWriter, r *http.Request) {
-		hits.Inc()
-		hdr := w.Header()
-		hdr["Deprecation"] = deprecation
-		hdr["Link"] = link
-		h(w, r)
+		w.Header()["Link"] = link
+		writeError(w, http.StatusGone, api.CodeGone,
+			"this pre-/v1 endpoint has been removed; use its /v1 successor",
+			map[string]any{"successor": successor})
 	}
 }
 

@@ -10,11 +10,11 @@ import (
 )
 
 // Handler returns the read-only HTTP handler over a bare Store, speaking the
-// same /v1 query surface (and legacy /location alias) as the engine-backed
+// same /v1 query surface (and the /location tombstone) as the engine-backed
 // service. The engine-backed NewService supersedes it for serving; it
 // remains for store-only embedding (evaluation harnesses, examples). A bare
-// store is "deployed" by construction, so misses are plain 404s and
-// /healthz always answers 200.
+// store is "deployed" by construction, so misses are plain 404s and the
+// health routes always answer 200.
 func Handler(s *Store) http.Handler {
 	resolve := func(addr model.AddressID) (api.Location, *api.Error, int) {
 		loc, src := s.Query(addr)
@@ -69,9 +69,11 @@ func Handler(s *Store) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/locations/{key}", Instrument("/v1/locations/{key}", nil, nil, location))
 	mux.Handle("/v1/locations:batch", Instrument("/v1/locations:batch", nil, nil, batch))
-	mux.Handle("/location", Instrument("/location", nil, nil, deprecate("/location", "/v1/locations/{key}", location)))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/location", Instrument("/location", nil, nil, gone("/v1/locations/{key}")))
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
-	})
+	}
+	mux.HandleFunc("/v1/healthz", healthz)
+	mux.HandleFunc("/healthz", healthz)
 	return mux
 }

@@ -84,7 +84,7 @@ type StreamIngestor interface {
 // The wire schema lives in internal/deploy/api; deploy re-exports the types
 // the engine and long-standing callers use so the move is source-compatible.
 type (
-	// EngineStatus is the /healthz payload (api.EngineStatus).
+	// EngineStatus is the /v1/healthz payload (api.EngineStatus).
 	EngineStatus = api.EngineStatus
 	// ShardStatus is one shard's status inside EngineStatus.
 	ShardStatus = api.ShardStatus
@@ -149,22 +149,21 @@ func Service(e Engine) http.Handler { return NewService(e, Options{}) }
 //	GET  /v1/reinfer           poll the latest job's status
 //	GET  /v1/snapshot          stream the serving state for on-disk persistence
 //	GET  /v1/metrics           Prometheus text exposition of the obs registry
-//	GET  /healthz              EngineStatus; 503 before readiness or while a shard is failed
+//	GET  /v1/healthz           EngineStatus; 503 before readiness or while a shard is failed
+//	GET  /healthz              thin alias of /v1/healthz for load-balancer and kubelet probes
 //
-// The pre-versioning routes /location, /ingest, /reinfer, and /snapshot are
-// served as thin deprecated aliases of their /v1 successors: same handlers
-// and bodies, plus a Deprecation header, a successor-version Link, and a
-// deprecated-request metric. Every handler emits the api.ErrorEnvelope on
-// failure, and every route is wrapped in the request-logging + metrics
-// middleware (status, latency, in-flight).
+// The pre-versioning routes /location, /ingest, /reinfer, and /snapshot were
+// deprecated aliases for several releases and are now retired: they answer
+// 410 Gone with the uniform error envelope (code "gone") and a Link header
+// naming the /v1 successor, so a stale client learns where to go from the
+// response alone. Every handler emits the api.ErrorEnvelope on failure, and
+// every route is wrapped in the request-logging + metrics middleware
+// (status, latency, in-flight).
 func NewService(e Engine, opts Options) http.Handler {
 	s := &service{e: e, log: opts.Logger, tracer: opts.Tracer}
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		mux.Handle(pattern, Instrument(route, s.log, s.tracer, h))
-	}
-	alias := func(pattern, successor string, h http.HandlerFunc) {
-		mux.Handle(pattern, Instrument(pattern, s.log, s.tracer, deprecate(pattern, successor, h)))
 	}
 
 	handle("/v1/locations/{key}", "/v1/locations/{key}", methodsOnly(s.handleLocation, http.MethodGet))
@@ -176,12 +175,13 @@ func NewService(e Engine, opts Options) http.Handler {
 	handle("/v1/metrics", "/v1/metrics", methodsOnly(metricsExposition, http.MethodGet))
 	handle("/v1/debug/traces", "/v1/debug/traces", methodsOnly(traceListHandler(s.tracer), http.MethodGet))
 	handle("/v1/debug/traces/{id}", "/v1/debug/traces/{id}", methodsOnly(traceGetHandler(s.tracer), http.MethodGet))
+	handle("/v1/healthz", "/v1/healthz", methodsOnly(s.handleHealthz, http.MethodGet))
 	handle("/healthz", "/healthz", methodsOnly(s.handleHealthz, http.MethodGet))
 
-	alias("/location", "/v1/locations/{key}", methodsOnly(s.handleLocation, http.MethodGet))
-	alias("/ingest", "/v1/ingest", methodsOnly(s.handleIngest, http.MethodPost))
-	alias("/reinfer", "/v1/reinfer", methodsOnly(s.handleReinfer, http.MethodPost, http.MethodGet))
-	alias("/snapshot", "/v1/snapshot", methodsOnly(s.handleSnapshot, http.MethodGet))
+	handle("/location", "/location", gone("/v1/locations/{key}"))
+	handle("/ingest", "/ingest", gone("/v1/ingest"))
+	handle("/reinfer", "/reinfer", gone("/v1/reinfer"))
+	handle("/snapshot", "/snapshot", gone("/v1/snapshot"))
 
 	// Everything else answers the envelope, grouped under one metric label
 	// so unmatched paths cannot blow up route cardinality.
@@ -213,13 +213,9 @@ func methodsOnly(h http.HandlerFunc, allowed ...string) http.HandlerFunc {
 	}
 }
 
-// parseAddrKey resolves the address key from the v1 path wildcard or, on the
-// legacy alias, the ?addr= query parameter.
+// parseAddrKey resolves the address key from the v1 path wildcard.
 func parseAddrKey(r *http.Request) (model.AddressID, *api.Error) {
 	key := r.PathValue("key")
-	if key == "" {
-		key = r.URL.Query().Get("addr")
-	}
 	id, err := strconv.ParseInt(key, 10, 32)
 	if err != nil {
 		return 0, &api.Error{

@@ -82,12 +82,12 @@ func TestServiceIngestReinferQuery(t *testing.T) {
 
 	// Cold engine: not ready, no job yet, nothing to snapshot or query.
 	var st deploy.EngineStatus
-	getJSON(t, c, srv.URL+"/healthz", http.StatusServiceUnavailable, &st)
+	getJSON(t, c, srv.URL+"/v1/healthz", http.StatusServiceUnavailable, &st)
 	if st.Ready || st.Addresses != 0 {
 		t.Fatalf("cold status %+v", st)
 	}
-	getJSON(t, c, srv.URL+"/reinfer", http.StatusNotFound, nil)
-	getJSON(t, c, srv.URL+"/snapshot", http.StatusServiceUnavailable, nil)
+	getJSON(t, c, srv.URL+"/v1/reinfer", http.StatusNotFound, nil)
+	getJSON(t, c, srv.URL+"/v1/snapshot", http.StatusServiceUnavailable, nil)
 
 	// Ingest the whole tiny dataset as one window.
 	req := deploy.IngestRequest{
@@ -98,7 +98,7 @@ func TestServiceIngestReinferQuery(t *testing.T) {
 	for id, p := range ds.Truth {
 		req.Truth[fmt.Sprint(id)] = [2]float64{p.X, p.Y}
 	}
-	resp := postJSON(t, c, srv.URL+"/ingest", req)
+	resp := postJSON(t, c, srv.URL+"/v1/ingest", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("ingest status %d", resp.StatusCode)
 	}
@@ -112,7 +112,7 @@ func TestServiceIngestReinferQuery(t *testing.T) {
 
 	// Start the background job; a duplicate start conflicts with the running
 	// job's status as the body.
-	resp = postJSON(t, c, srv.URL+"/reinfer", nil)
+	resp = postJSON(t, c, srv.URL+"/v1/reinfer", nil)
 	var job deploy.JobStatus
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("reinfer start status %d", resp.StatusCode)
@@ -124,7 +124,7 @@ func TestServiceIngestReinferQuery(t *testing.T) {
 	if job.State != deploy.JobRunning {
 		t.Fatalf("started job %+v", job)
 	}
-	resp = postJSON(t, c, srv.URL+"/reinfer", nil)
+	resp = postJSON(t, c, srv.URL+"/v1/reinfer", nil)
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate reinfer status %d, want 409", resp.StatusCode)
 	}
@@ -148,26 +148,26 @@ func TestServiceIngestReinferQuery(t *testing.T) {
 			t.Fatal("re-inference job did not finish")
 		case <-time.After(20 * time.Millisecond):
 		}
-		getJSON(t, c, srv.URL+"/reinfer", http.StatusOK, &job)
+		getJSON(t, c, srv.URL+"/v1/reinfer", http.StatusOK, &job)
 	}
 	if job.State != deploy.JobDone {
 		t.Fatalf("job ended %+v", job)
 	}
 
 	// Now ready: healthz flips to 200 and queries answer.
-	getJSON(t, c, srv.URL+"/healthz", http.StatusOK, &st)
+	getJSON(t, c, srv.URL+"/v1/healthz", http.StatusOK, &st)
 	if !st.Ready || st.Inferred == 0 || st.PendingTrips != 0 {
 		t.Fatalf("ready status %+v", st)
 	}
 	addr := ds.Trips[0].Waybills[0].Addr
 	var qr deploy.QueryResponse
-	getJSON(t, c, fmt.Sprintf("%s/location?addr=%d", srv.URL, addr), http.StatusOK, &qr)
+	getJSON(t, c, fmt.Sprintf("%s/v1/locations/%d", srv.URL, addr), http.StatusOK, &qr)
 	if qr.Addr != int64(addr) || qr.Source == "none" {
 		t.Fatalf("query response %+v", qr)
 	}
 
 	// The snapshot endpoint streams a state a fresh engine can serve from.
-	resp, err := c.Get(srv.URL + "/snapshot")
+	resp, err := c.Get(srv.URL + "/v1/snapshot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,35 +208,35 @@ func TestServiceErrorPaths(t *testing.T) {
 		}
 	}
 
-	resp, _ := c.Get(srv.URL + "/location?addr=abc")
+	resp, _ := c.Get(srv.URL + "/v1/locations/abc")
 	check(resp, http.StatusBadRequest, api.CodeInvalidArgument, "bad addr")
 	// A cold engine distinguishes "not ready" from "not found".
-	resp, _ = c.Get(srv.URL + "/location?addr=424242")
+	resp, _ = c.Get(srv.URL + "/v1/locations/424242")
 	check(resp, http.StatusServiceUnavailable, api.CodeEngineNotReady, "query on cold engine")
-	resp = postJSON(t, c, srv.URL+"/location?addr=1", nil)
-	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST /location")
-	resp, _ = c.Get(srv.URL + "/ingest")
-	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET /ingest")
-	resp, _ = c.Post(srv.URL+"/ingest", "application/json", bytes.NewReader([]byte("{nope")))
+	resp = postJSON(t, c, srv.URL+"/v1/locations/1", nil)
+	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST /v1/locations/{key}")
+	resp, _ = c.Get(srv.URL + "/v1/ingest")
+	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET /v1/ingest")
+	resp, _ = c.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte("{nope")))
 	check(resp, http.StatusBadRequest, api.CodeInvalidArgument, "bad ingest body")
-	resp, _ = c.Post(srv.URL+"/ingest", "application/json",
+	resp, _ = c.Post(srv.URL+"/v1/ingest", "application/json",
 		bytes.NewReader([]byte(`{"truth":{"xyz":[1,2]}}`)))
 	check(resp, http.StatusBadRequest, api.CodeInvalidArgument, "bad truth key")
-	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/reinfer", nil)
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/reinfer", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp, _ = c.Do(req)
-	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "DELETE /reinfer")
-	resp = postJSON(t, c, srv.URL+"/snapshot", nil)
-	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST /snapshot")
+	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "DELETE /v1/reinfer")
+	resp = postJSON(t, c, srv.URL+"/v1/snapshot", nil)
+	check(resp, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST /v1/snapshot")
 	resp, _ = c.Get(srv.URL + "/no/such/route")
 	check(resp, http.StatusNotFound, api.CodeNotFound, "unmatched path")
 }
 
 // TestServiceShardedHealthz serves a ShardedEngine through the same handler:
-// /healthz carries the per-shard breakdown, queries route to the owning
-// shard, and /snapshot streams a manifest a fresh sharded engine restores.
+// /v1/healthz carries the per-shard breakdown, queries route to the owning
+// shard, and /v1/snapshot streams a manifest a fresh sharded engine restores.
 func TestServiceShardedHealthz(t *testing.T) {
 	ds, _, err := synth.Generate(synth.Tiny())
 	if err != nil {
@@ -266,7 +266,7 @@ func TestServiceShardedHealthz(t *testing.T) {
 	c := srv.Client()
 
 	var st deploy.EngineStatus
-	getJSON(t, c, srv.URL+"/healthz", http.StatusOK, &st)
+	getJSON(t, c, srv.URL+"/v1/healthz", http.StatusOK, &st)
 	if !st.Ready {
 		t.Fatalf("sharded healthz %+v", st)
 	}
@@ -287,12 +287,12 @@ func TestServiceShardedHealthz(t *testing.T) {
 
 	addr := ds.Trips[0].Waybills[0].Addr
 	var qr deploy.QueryResponse
-	getJSON(t, c, fmt.Sprintf("%s/location?addr=%d", srv.URL, addr), http.StatusOK, &qr)
+	getJSON(t, c, fmt.Sprintf("%s/v1/locations/%d", srv.URL, addr), http.StatusOK, &qr)
 	if qr.Source == "none" {
 		t.Fatalf("sharded query %+v", qr)
 	}
 
-	resp, err := c.Get(srv.URL + "/snapshot")
+	resp, err := c.Get(srv.URL + "/v1/snapshot")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package deploy
 
 import (
 	"net/http"
+	"slices"
 	"sort"
 	"strconv"
 	"time"
@@ -13,6 +14,16 @@ import (
 // maxTraceList bounds a list response when the client sends no limit.
 const maxTraceList = 100
 
+// maxTraceListLimit is the hard ceiling on an explicit ?limit=: the ring
+// buffer behind the store is itself bounded, so anything larger is a typo.
+const maxTraceListLimit = 10000
+
+// traceListParams is the full query-parameter vocabulary of
+// GET /v1/debug/traces. Anything else is rejected with invalid_argument
+// rather than silently ignored — a typo like ?min_duration= must not turn a
+// filtered query into an unfiltered one.
+var traceListParams = []string{"limit", "min_dur", "error"}
+
 // traceListHandler serves GET /v1/debug/traces: recent kept traces, newest
 // first, filtered by ?min_dur= (Go duration), ?error=true, and ?limit=. A
 // nil tracer or store answers an empty list — the endpoint is always
@@ -21,6 +32,13 @@ func traceListHandler(t *trace.Tracer) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		f := trace.Filter{Limit: maxTraceList}
 		q := r.URL.Query()
+		for name := range q {
+			if !slices.Contains(traceListParams, name) {
+				writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+					"unknown query parameter", map[string]any{"param": name, "allowed": traceListParams})
+				return
+			}
+		}
 		if v := q.Get("min_dur"); v != "" {
 			d, err := time.ParseDuration(v)
 			if err != nil {
@@ -41,9 +59,9 @@ func traceListHandler(t *trace.Tracer) http.HandlerFunc {
 		}
 		if v := q.Get("limit"); v != "" {
 			n, err := strconv.Atoi(v)
-			if err != nil || n <= 0 {
+			if err != nil || n <= 0 || n > maxTraceListLimit {
 				writeError(w, http.StatusBadRequest, api.CodeInvalidArgument,
-					"limit must be a positive integer", map[string]any{"limit": v})
+					"limit must be a positive integer", map[string]any{"limit": v, "max": maxTraceListLimit})
 				return
 			}
 			f.Limit = n

@@ -281,15 +281,76 @@ func TestV1IngestAndReinfer(t *testing.T) {
 	}
 }
 
-// TestLegacyAliasEquivalence proves the pre-/v1 routes are thin aliases:
-// byte-identical bodies, plus the Deprecation and successor-version Link
-// headers only on the legacy path.
-func TestLegacyAliasEquivalence(t *testing.T) {
+// TestLegacyGoneContract pins the tombstones of the retired pre-/v1 routes:
+// every legacy path answers 410 with the uniform envelope (code "gone"), the
+// /v1 successor in the details, and a successor-version Link header — for
+// any method, since the whole route is gone, not one verb of it.
+func TestLegacyGoneContract(t *testing.T) {
 	srv := httptest.NewServer(deploy.Service(readyStub()))
 	defer srv.Close()
 	c := srv.Client()
 
-	get := func(path string) (*http.Response, string) {
+	cases := []struct {
+		method, path, successor string
+	}{
+		{http.MethodGet, "/location?addr=1", "/v1/locations/{key}"},
+		{http.MethodPost, "/ingest", "/v1/ingest"},
+		{http.MethodPost, "/reinfer", "/v1/reinfer"},
+		{http.MethodGet, "/reinfer", "/v1/reinfer"},
+		{http.MethodGet, "/snapshot", "/v1/snapshot"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("%s %s: status %d, want 410", tc.method, tc.path, resp.StatusCode)
+		}
+		var eb api.ErrorEnvelope
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == nil {
+			t.Fatalf("%s %s: body %q is not an envelope", tc.method, tc.path, body)
+		}
+		if eb.Error.Code != api.CodeGone {
+			t.Fatalf("%s %s: code %q, want %q", tc.method, tc.path, eb.Error.Code, api.CodeGone)
+		}
+		if got := eb.Error.Details["successor"]; got != tc.successor {
+			t.Fatalf("%s %s: successor detail %v, want %q", tc.method, tc.path, got, tc.successor)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, tc.successor) ||
+			!strings.Contains(link, `rel="successor-version"`) {
+			t.Fatalf("%s %s: Link header %q", tc.method, tc.path, link)
+		}
+	}
+
+	// The v1 successors stay clean: no tombstone headers, still serving.
+	resp, err := c.Get(srv.URL + "/v1/locations/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/locations/1 status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("v1 route must not be marked deprecated")
+	}
+}
+
+// TestHealthzAliasEquivalence proves /healthz is a thin probe alias of the
+// typed GET /v1/healthz: identical status and body.
+func TestHealthzAliasEquivalence(t *testing.T) {
+	srv := httptest.NewServer(deploy.Service(readyStub()))
+	defer srv.Close()
+	c := srv.Client()
+
+	get := func(path string) (int, string) {
 		t.Helper()
 		resp, err := c.Get(srv.URL + path)
 		if err != nil {
@@ -297,26 +358,19 @@ func TestLegacyAliasEquivalence(t *testing.T) {
 		}
 		defer resp.Body.Close()
 		b, _ := io.ReadAll(resp.Body)
-		return resp, string(b)
+		return resp.StatusCode, string(b)
 	}
-
-	v1Resp, v1Body := get("/v1/locations/1")
-	legacyResp, legacyBody := get("/location?addr=1")
-	if v1Body != legacyBody {
-		t.Fatalf("alias body drift:\n v1     %s\n legacy %s", v1Body, legacyBody)
+	v1Code, v1Body := get("/v1/healthz")
+	bareCode, bareBody := get("/healthz")
+	if v1Code != http.StatusOK || v1Code != bareCode || v1Body != bareBody {
+		t.Fatalf("healthz alias drift: v1 %d %q vs bare %d %q", v1Code, v1Body, bareCode, bareBody)
 	}
-	if v1Resp.StatusCode != legacyResp.StatusCode {
-		t.Fatalf("alias status drift: %d vs %d", v1Resp.StatusCode, legacyResp.StatusCode)
+	var st api.EngineStatus
+	if err := json.Unmarshal([]byte(v1Body), &st); err != nil {
+		t.Fatalf("/v1/healthz body does not decode as EngineStatus: %v", err)
 	}
-	if legacyResp.Header.Get("Deprecation") != "true" {
-		t.Fatal("legacy route missing Deprecation header")
-	}
-	if link := legacyResp.Header.Get("Link"); !strings.Contains(link, "/v1/locations/{key}") ||
-		!strings.Contains(link, `rel="successor-version"`) {
-		t.Fatalf("legacy route Link header %q", link)
-	}
-	if v1Resp.Header.Get("Deprecation") != "" {
-		t.Fatal("v1 route must not be marked deprecated")
+	if !st.Ready || st.Inferred != 2 {
+		t.Fatalf("typed healthz %+v", st)
 	}
 }
 
@@ -410,7 +464,7 @@ func TestV1MetricsExposition(t *testing.T) {
 	defer srv.Close()
 	c := srv.Client()
 
-	// Drive one v1 hit and one deprecated hit so both families have samples.
+	// Drive one v1 hit and one tombstone hit so both routes have samples.
 	getJSON(t, c, srv.URL+"/v1/locations/1", http.StatusOK, nil)
 	if resp, err := c.Get(srv.URL + "/location?addr=1"); err == nil {
 		resp.Body.Close()
@@ -435,29 +489,25 @@ func TestV1MetricsExposition(t *testing.T) {
 		"dlinfma_http_requests_total",
 		"dlinfma_http_request_duration_seconds",
 		"dlinfma_http_in_flight_requests",
-		"dlinfma_http_deprecated_requests_total",
 	} {
 		if _, ok := fams[want]; !ok {
 			t.Errorf("family %s missing from /v1/metrics", want)
 		}
 	}
-	var v1Hits float64
+	var v1Hits, goneHits float64
 	for _, s := range fams["dlinfma_http_requests_total"].Samples {
 		if s.Labels["route"] == "/v1/locations/{key}" && s.Labels["code"] == "200" {
 			v1Hits = s.Value
+		}
+		if s.Labels["route"] == "/location" && s.Labels["code"] == "410" {
+			goneHits = s.Value
 		}
 	}
 	if v1Hits < 1 {
 		t.Errorf("no counted 200 for /v1/locations/{key}: %+v", fams["dlinfma_http_requests_total"].Samples)
 	}
-	var depr float64
-	for _, s := range fams["dlinfma_http_deprecated_requests_total"].Samples {
-		if s.Labels["route"] == "/location" {
-			depr = s.Value
-		}
-	}
-	if depr < 1 {
-		t.Error("deprecated /location hit not counted")
+	if goneHits < 1 {
+		t.Error("tombstone 410 for /location not counted")
 	}
 }
 

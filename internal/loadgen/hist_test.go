@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileVsSortedReference records a fixed-seed heavy-tailed
+// latency sample and checks every interesting quantile against the exact
+// answer from the sorted slice. The histogram's log-linear buckets promise
+// a bounded relative error of 1/2^subBits; allow double that for boundary
+// rank effects.
+func TestHistogramQuantileVsSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	n := 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		// Lognormal-ish: most requests fast, a long slow tail — the shape
+		// real latency has and the one quantile estimators get wrong.
+		us := 200 * (1 + rng.ExpFloat64()*rng.ExpFloat64()*50)
+		vals[i] = us
+		h.Record(time.Duration(us) * time.Microsecond)
+	}
+	sort.Float64s(vals)
+	snap := h.Snapshot()
+	if snap.Count() != int64(n) {
+		t.Fatalf("count %d, want %d", snap.Count(), n)
+	}
+	tol := 2.0 / subCount
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		rank := int(q * float64(n-1))
+		want := vals[rank]
+		got := float64(snap.Quantile(q).Microseconds())
+		relErr := (got - want) / want
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > tol {
+			t.Errorf("q=%v: got %.0fµs, sorted reference %.0fµs (rel err %.3f > %.3f)",
+				q, got, want, relErr, tol)
+		}
+	}
+}
+
+// TestHistogramExactLinearRegion checks sub-64µs values land exactly.
+func TestHistogramExactLinearRegion(t *testing.T) {
+	h := NewHistogram()
+	for us := 0; us < 2*subCount; us++ {
+		h.Record(time.Duration(us) * time.Microsecond)
+	}
+	snap := h.Snapshot()
+	if got := snap.Quantile(0); got != 0 {
+		t.Errorf("q0 = %v, want 0", got)
+	}
+	if got := snap.Quantile(1); got != time.Duration(2*subCount-1)*time.Microsecond {
+		t.Errorf("q1 = %v, want %dµs", got, 2*subCount-1)
+	}
+	if got := snap.Max(); got != time.Duration(2*subCount-1)*time.Microsecond {
+		t.Errorf("max = %v", got)
+	}
+}
+
+// TestBucketIndexMonotone walks the index across magnitudes: it must be
+// monotone non-decreasing, contiguous, and invert to within the promised
+// relative error.
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for us := int64(0); us < 1<<22; us += 97 {
+		i := bucketIndex(us)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d)=%d < previous %d", us, i, prev)
+		}
+		if i > prev+1 && prev >= 0 && bucketIndex(us-97) == prev {
+			// Jumps over a bucket are fine only if no value maps into it;
+			// with a stride of 97µs below 4s every bucket is wider than the
+			// stride past the linear region, so just check inversion.
+			_ = i
+		}
+		prev = i
+		back := bucketValue(i)
+		diff := float64(back-us) / float64(us+1)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1.0/subCount {
+			t.Fatalf("bucketValue(bucketIndex(%d))=%d off by %.3f", us, back, diff)
+		}
+	}
+}
+
+// TestHistogramSubDelta checks interval deltas: the difference of two
+// snapshots sees only the observations recorded in between.
+func TestHistogramSubDelta(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+	s1 := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Record(10 * time.Millisecond)
+	}
+	d := h.Snapshot().Sub(s1)
+	if d.Count() != 50 {
+		t.Fatalf("delta count %d, want 50", d.Count())
+	}
+	if q := d.Quantile(0.5); q < 9*time.Millisecond || q > 11*time.Millisecond {
+		t.Fatalf("delta median %v, want ~10ms", q)
+	}
+	// Nil prev is the full snapshot.
+	if full := h.Snapshot().Sub(nil); full.Count() != 150 {
+		t.Fatalf("nil-prev delta count %d, want 150", full.Count())
+	}
+}

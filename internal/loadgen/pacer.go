@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Schedule produces the arrival offsets of an open-loop workload: the i-th
+// call to Next answers when the i-th request must start, measured from the
+// beginning of the run. The schedule is fixed up front by the rate alone —
+// response latency never feeds back into it, which is exactly what
+// distinguishes open-loop from closed-loop load and keeps coordinated
+// omission out of the measurements.
+type Schedule struct {
+	rate    float64 // arrivals per second
+	poisson bool
+	rng     *rand.Rand
+	n       int64   // arrivals handed out (uniform)
+	at      float64 // seconds of the last handed-out arrival (poisson)
+}
+
+// NewUniformSchedule paces arrivals at exact 1/rate intervals.
+func NewUniformSchedule(rate float64) *Schedule {
+	return &Schedule{rate: rate}
+}
+
+// NewPoissonSchedule paces arrivals as a Poisson process with the given mean
+// rate: exponential inter-arrival gaps, the bursty shape real open traffic
+// has. The seed makes a run reproducible.
+func NewPoissonSchedule(rate float64, seed int64) *Schedule {
+	return &Schedule{rate: rate, poisson: true, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the offset of the next arrival from the start of the run.
+func (s *Schedule) Next() time.Duration {
+	if s.poisson {
+		s.at += s.rng.ExpFloat64() / s.rate
+		return time.Duration(s.at * float64(time.Second))
+	}
+	off := float64(s.n) / s.rate
+	s.n++
+	return time.Duration(off * float64(time.Second))
+}
+
+// OpenLoopOptions tunes one open-loop run.
+type OpenLoopOptions struct {
+	// MaxInFlight bounds concurrently executing operations. When an arrival
+	// fires with no slot free, the operation is not skipped-and-forgotten —
+	// it counts as Dropped, which the caller must treat as an error: offered
+	// load the system failed to absorb. Zero means 16384.
+	MaxInFlight int
+}
+
+// OpenLoopResult summarizes the launch side of a run. Operation outcomes
+// (latency, status) are whatever the ops themselves recorded.
+type OpenLoopResult struct {
+	// Launched counts operations actually started.
+	Launched int64
+	// Dropped counts arrivals refused because MaxInFlight was exhausted.
+	Dropped int64
+	// Elapsed is the wall time from first scheduled arrival to the return of
+	// the last launched operation.
+	Elapsed time.Duration
+}
+
+// RunOpenLoop fires operations on the schedule for the given duration and
+// waits for in-flight ones to finish. Each arrival is launched at its
+// absolute scheduled instant: if the loop falls behind (GC pause, scheduler
+// delay), the backlog fires immediately in a catch-up burst rather than
+// silently stretching the schedule — late arrivals are real offered load.
+// next is called on the pacing goroutine at each arrival (so it may use
+// unsynchronized state) and returns the operation to execute; the operation
+// runs on its own goroutine, so one slow response never delays the next
+// arrival.
+func RunOpenLoop(ctx context.Context, sched *Schedule, d time.Duration, opts OpenLoopOptions, next func() func(context.Context)) OpenLoopResult {
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 16384
+	}
+	slots := make(chan struct{}, maxInFlight)
+	var (
+		wg    sync.WaitGroup
+		res   OpenLoopResult
+		start = time.Now()
+	)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		off := sched.Next()
+		if off >= d {
+			break
+		}
+		wait := time.Until(start.Add(off))
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				res.Elapsed = time.Since(start)
+				return res
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		select {
+		case slots <- struct{}{}:
+			res.Launched++
+			op := next()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				op(ctx)
+			}()
+		default:
+			res.Dropped++
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// arrivalsIn answers how many arrivals a rate produces in a duration —
+// handy for sizing expectations in tests and reports.
+func arrivalsIn(rate float64, d time.Duration) int64 {
+	return int64(math.Ceil(rate * d.Seconds()))
+}

@@ -1,0 +1,177 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestUniformScheduleExact checks uniform arrival offsets are exactly i/rate
+// — the schedule is a pure function of the rate, decided before any request
+// runs.
+func TestUniformScheduleExact(t *testing.T) {
+	s := NewUniformSchedule(200)
+	for i := 0; i < 1000; i++ {
+		want := time.Duration(float64(i) / 200 * float64(time.Second))
+		if got := s.Next(); got != want {
+			t.Fatalf("arrival %d at %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestPoissonScheduleMeanRate checks a seeded Poisson schedule is
+// reproducible and its mean inter-arrival gap converges to 1/rate.
+func TestPoissonScheduleMeanRate(t *testing.T) {
+	const rate, n = 500.0, 20000
+	a := NewPoissonSchedule(rate, 7)
+	b := NewPoissonSchedule(rate, 7)
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		ga, gb := a.Next(), b.Next()
+		if ga != gb {
+			t.Fatalf("arrival %d: same seed diverged (%v vs %v)", i, ga, gb)
+		}
+		if ga < last {
+			t.Fatalf("arrival %d at %v before predecessor %v", i, ga, last)
+		}
+		last = ga
+	}
+	mean := last.Seconds() / float64(n)
+	if math.Abs(mean-1/rate)/(1/rate) > 0.05 {
+		t.Fatalf("mean gap %.6fs, want ~%.6fs", mean, 1/rate)
+	}
+}
+
+// TestOpenLoopIndependentOfLatency is the open-loop property itself: with
+// operations that each take far longer than the inter-arrival gap, a
+// closed-loop driver would complete only duration/latency ≈ 3 requests,
+// while the open-loop pacer must keep launching on schedule. This is the
+// difference between measuring the system and measuring the generator's
+// politeness (coordinated omission).
+func TestOpenLoopIndependentOfLatency(t *testing.T) {
+	const (
+		rate    = 100.0
+		dur     = 500 * time.Millisecond
+		opSleep = 150 * time.Millisecond
+	)
+	var started atomic.Int64
+	res := RunOpenLoop(context.Background(), NewUniformSchedule(rate), dur, OpenLoopOptions{},
+		func() func(context.Context) {
+			return func(context.Context) {
+				started.Add(1)
+				time.Sleep(opSleep)
+			}
+		})
+	want := arrivalsIn(rate, dur) // 50
+	closedLoopCeiling := int64(dur/opSleep) + 1
+	if res.Launched <= closedLoopCeiling*2 {
+		t.Fatalf("launched %d ops — latency throttled the arrival schedule (closed-loop would manage ~%d)",
+			res.Launched, closedLoopCeiling)
+	}
+	// Allow generous scheduler slop on a loaded 1-CPU runner, but the bulk
+	// of the schedule must fire.
+	if res.Launched < want*6/10 {
+		t.Fatalf("launched %d of %d scheduled arrivals", res.Launched, want)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d with default in-flight bound", res.Dropped)
+	}
+	if started.Load() != res.Launched {
+		t.Fatalf("started %d != launched %d", started.Load(), res.Launched)
+	}
+	// RunOpenLoop waits for the in-flight tail: elapsed covers the last
+	// op's sleep.
+	if res.Elapsed < dur {
+		t.Fatalf("elapsed %v < stage duration %v", res.Elapsed, dur)
+	}
+}
+
+// TestOpenLoopArrivalSpacing records launch instants and checks the pacer
+// follows the absolute schedule rather than chaining sleeps: arrival i must
+// not drift later as i grows even though each op does work.
+func TestOpenLoopArrivalSpacing(t *testing.T) {
+	const rate = 50.0
+	const dur = 400 * time.Millisecond
+	var mu atomic.Int64
+	start := time.Now()
+	lateness := make(chan time.Duration, 64)
+	res := RunOpenLoop(context.Background(), NewUniformSchedule(rate), dur, OpenLoopOptions{},
+		func() func(context.Context) {
+			i := mu.Add(1) - 1
+			sched := time.Duration(float64(i) / rate * float64(time.Second))
+			late := time.Since(start) - sched
+			select {
+			case lateness <- late:
+			default:
+			}
+			return func(context.Context) { time.Sleep(30 * time.Millisecond) }
+		})
+	close(lateness)
+	if res.Launched == 0 {
+		t.Fatal("nothing launched")
+	}
+	var worst time.Duration
+	for l := range lateness {
+		if l > worst {
+			worst = l
+		}
+	}
+	// Each arrival fires within a loose bound of its absolute slot; chained
+	// relative sleeps would accumulate the 30ms op latency per arrival and
+	// blow far past this.
+	if worst > 100*time.Millisecond {
+		t.Fatalf("worst launch lateness %v — schedule is drifting", worst)
+	}
+}
+
+// TestOpenLoopMaxInFlightDrops chokes the in-flight bound and checks excess
+// arrivals surface as drops instead of blocking the schedule.
+func TestOpenLoopMaxInFlightDrops(t *testing.T) {
+	block := make(chan struct{})
+	// Unblock only after the 200ms schedule has fully fired, so the two
+	// launched ops pin both slots for every subsequent arrival; RunOpenLoop
+	// then drains its in-flight tail and returns.
+	unblock := time.AfterFunc(400*time.Millisecond, func() { close(block) })
+	defer unblock.Stop()
+	res := RunOpenLoop(context.Background(), NewUniformSchedule(200), 200*time.Millisecond,
+		OpenLoopOptions{MaxInFlight: 2},
+		func() func(context.Context) {
+			return func(context.Context) { <-block }
+		})
+	if res.Launched != 2 {
+		t.Fatalf("launched %d, want exactly the in-flight bound 2", res.Launched)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("no drops despite a saturated in-flight bound")
+	}
+}
+
+// TestOpenLoopContextCancel checks cancellation stops the schedule promptly
+// and still waits for in-flight ops.
+func TestOpenLoopContextCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	var finished atomic.Int64
+	go func() {
+		res := RunOpenLoop(ctx, NewUniformSchedule(10), 10*time.Second, OpenLoopOptions{},
+			func() func(context.Context) {
+				return func(context.Context) {
+					time.Sleep(20 * time.Millisecond)
+					finished.Add(1)
+				}
+			})
+		if int64(res.Launched) != finished.Load() {
+			t.Errorf("returned before in-flight ops finished: %d launched, %d done",
+				res.Launched, finished.Load())
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunOpenLoop did not return after cancellation")
+	}
+}

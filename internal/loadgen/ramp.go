@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SLO is the service-level objective a configuration must hold under load.
+// The ramp stops at the first stage that breaks either bound.
+type SLO struct {
+	// P99 bounds the 99th-percentile latency across all endpoints.
+	P99 time.Duration
+	// MaxErrorRate bounds errors/requests (0.01 = 1%).
+	MaxErrorRate float64
+}
+
+// StageResult is the measured outcome of one ramp stage: a fixed arrival
+// rate held for a fixed duration.
+type StageResult struct {
+	// TargetQPS is the offered arrival rate.
+	TargetQPS float64 `json:"target_qps"`
+	// AchievedQPS counts completed operations per second of stage wall time.
+	AchievedQPS float64       `json:"achieved_qps"`
+	Requests    int64         `json:"requests"`
+	Errors      int64         `json:"errors"`
+	Dropped     int64         `json:"dropped"`
+	P50         time.Duration `json:"p50_us"`
+	P95         time.Duration `json:"p95_us"`
+	P99         time.Duration `json:"p99_us"`
+	Max         time.Duration `json:"max_us"`
+}
+
+// ErrorRate returns errors/requests (0 when no requests completed).
+func (r StageResult) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+// StageRunner executes one constant-rate stage and reports what happened.
+// The orchestrator in cmd/swarm backs it with a real open-loop run; tests
+// back it with a synthetic latency model, which is why the ramp controller
+// is a pure function of stage results.
+type StageRunner func(ctx context.Context, rate float64, d time.Duration) (StageResult, error)
+
+// RampConfig shapes the search for the maximum sustainable rate.
+type RampConfig struct {
+	// StartQPS is the first stage's rate. Must be > 0.
+	StartQPS float64
+	// StepQPS is added after each passing stage when Growth <= 1.
+	StepQPS float64
+	// Growth, when > 1, multiplies the rate instead of stepping it —
+	// geometric ramps cover a wide unknown range in few stages.
+	Growth float64
+	// MaxQPS stops the ramp even if the SLO still holds (0: unbounded).
+	MaxQPS float64
+	// StageDuration holds each rate long enough for percentiles to settle.
+	StageDuration time.Duration
+	// SLO is the breach condition.
+	SLO SLO
+	// MinAchievedFraction guards honesty: when the client completes less
+	// than this fraction of the offered rate without the SLO breaking, the
+	// *generator* (or the shared CPU) is the bottleneck, not the server.
+	// The ramp stops and says so instead of reporting a fictitious pass.
+	// Default 0.9.
+	MinAchievedFraction float64
+}
+
+// Breach reasons reported in RampOutcome.
+const (
+	BreachNone      = ""                 // ramp ended at MaxQPS with the SLO intact
+	BreachP99       = "p99"              // latency SLO broke
+	BreachErrors    = "error_rate"       // error-rate SLO broke
+	BreachClientSat = "client_saturated" // generator could not offer more load
+)
+
+// RampOutcome is the controller's verdict.
+type RampOutcome struct {
+	// Stages holds every executed stage in order, breaching stage included.
+	Stages []StageResult `json:"stages"`
+	// MaxSustainableQPS is the highest offered rate whose stage held the
+	// SLO — the capacity number. Zero when even the first stage breached.
+	MaxSustainableQPS float64 `json:"max_sustainable_qps"`
+	// Sustained is the stage behind MaxSustainableQPS, for its percentiles.
+	Sustained *StageResult `json:"sustained,omitempty"`
+	// Breach names what ended the ramp (BreachNone when MaxQPS did).
+	Breach string `json:"breach,omitempty"`
+	// ClientSaturated flags capacity numbers bounded by the generator: the
+	// true server capacity is at least MaxSustainableQPS.
+	ClientSaturated bool `json:"client_saturated,omitempty"`
+}
+
+// Ramp drives stages at increasing rates until the SLO breaks, the client
+// saturates, MaxQPS passes, or ctx is cancelled. Open-loop inside each
+// stage; the controller only looks at completed stage results between
+// stages, so the arrival schedule never adapts to server behavior mid-stage.
+func Ramp(ctx context.Context, cfg RampConfig, run StageRunner) (RampOutcome, error) {
+	var out RampOutcome
+	if cfg.StartQPS <= 0 {
+		return out, fmt.Errorf("loadgen: ramp needs StartQPS > 0")
+	}
+	if cfg.StepQPS <= 0 && cfg.Growth <= 1 {
+		return out, fmt.Errorf("loadgen: ramp needs StepQPS > 0 or Growth > 1")
+	}
+	minAchieved := cfg.MinAchievedFraction
+	if minAchieved <= 0 {
+		minAchieved = 0.9
+	}
+	rate := cfg.StartQPS
+	for {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		res, err := run(ctx, rate, cfg.StageDuration)
+		if err != nil {
+			return out, err
+		}
+		out.Stages = append(out.Stages, res)
+
+		if cfg.SLO.P99 > 0 && res.P99 > cfg.SLO.P99 {
+			out.Breach = BreachP99
+			return out, nil
+		}
+		if cfg.SLO.MaxErrorRate > 0 && res.ErrorRate() > cfg.SLO.MaxErrorRate {
+			out.Breach = BreachErrors
+			return out, nil
+		}
+		// Drops are offered load the client refused to launch; a stage that
+		// drops is not sustaining its nominal rate even if every launched
+		// request succeeded.
+		if res.Dropped > 0 {
+			out.Breach = BreachErrors
+			return out, nil
+		}
+		if res.AchievedQPS < minAchieved*res.TargetQPS {
+			// SLO held but the offered rate never materialized: the
+			// generator is the wall. Credit the achieved rate, honestly
+			// flagged.
+			out.MaxSustainableQPS = res.AchievedQPS
+			out.Sustained = &out.Stages[len(out.Stages)-1]
+			out.Breach = BreachClientSat
+			out.ClientSaturated = true
+			return out, nil
+		}
+		out.MaxSustainableQPS = res.TargetQPS
+		out.Sustained = &out.Stages[len(out.Stages)-1]
+
+		if cfg.Growth > 1 {
+			rate *= cfg.Growth
+		} else {
+			rate += cfg.StepQPS
+		}
+		if cfg.MaxQPS > 0 && rate > cfg.MaxQPS {
+			out.Breach = BreachNone
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// modelRunner fabricates stage results from a queueing-flavored latency
+// model: p99 = base / (1 - rate/capacity), errors past an overload knee.
+// The ramp controller only sees StageResults, so this exercises its full
+// decision logic without a server or a clock.
+func modelRunner(capacity float64, baseP99 time.Duration) StageRunner {
+	return func(_ context.Context, rate float64, _ time.Duration) (StageResult, error) {
+		res := StageResult{TargetQPS: rate, AchievedQPS: rate, Requests: int64(rate * 10)}
+		util := rate / capacity
+		if util >= 1 {
+			res.P99 = 10 * time.Second
+			res.Errors = res.Requests / 2
+			res.AchievedQPS = capacity
+		} else {
+			res.P99 = time.Duration(float64(baseP99) / (1 - util))
+		}
+		res.P50 = res.P99 / 4
+		return res, nil
+	}
+}
+
+// TestRampStopsAtSLOBreach ramps against a model with capacity 1000 and a
+// p99 SLO the model breaks around 80% utilization; the reported sustainable
+// rate must be the last passing stage, not the breaching one.
+func TestRampStopsAtSLOBreach(t *testing.T) {
+	out, err := Ramp(context.Background(), RampConfig{
+		StartQPS:      100,
+		StepQPS:       100,
+		StageDuration: time.Second,
+		SLO:           SLO{P99: 50 * time.Millisecond, MaxErrorRate: 0.01},
+	}, modelRunner(1000, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Breach != BreachP99 {
+		t.Fatalf("breach %q, want p99", out.Breach)
+	}
+	// Model: p99 = 10ms/(1-r/1000) > 50ms once r > 800.
+	if out.MaxSustainableQPS != 800 {
+		t.Fatalf("max sustainable %v, want 800", out.MaxSustainableQPS)
+	}
+	if out.Sustained == nil || out.Sustained.TargetQPS != 800 {
+		t.Fatalf("sustained stage %+v", out.Sustained)
+	}
+	last := out.Stages[len(out.Stages)-1]
+	if last.TargetQPS != 900 {
+		t.Fatalf("breaching stage at %v, want 900", last.TargetQPS)
+	}
+}
+
+// TestRampErrorRateBreach drives the model straight past its overload knee
+// with a giant first step: even the first stage breaching must yield a
+// zero-capacity outcome, not a panic or a stale rate.
+func TestRampErrorRateBreach(t *testing.T) {
+	out, err := Ramp(context.Background(), RampConfig{
+		StartQPS:      2000,
+		StepQPS:       100,
+		StageDuration: time.Second,
+		SLO:           SLO{MaxErrorRate: 0.01},
+	}, modelRunner(1000, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Breach != BreachErrors {
+		t.Fatalf("breach %q, want error_rate", out.Breach)
+	}
+	if out.MaxSustainableQPS != 0 || out.Sustained != nil {
+		t.Fatalf("first-stage breach must report 0 capacity, got %v", out.MaxSustainableQPS)
+	}
+}
+
+// TestRampClientSaturation models a generator that can only push 300 qps:
+// achieved plateaus while the SLO holds, and the controller must stop with
+// the honest client_saturated verdict crediting the achieved rate.
+func TestRampClientSaturation(t *testing.T) {
+	run := func(_ context.Context, rate float64, _ time.Duration) (StageResult, error) {
+		achieved := rate
+		if achieved > 300 {
+			achieved = 300
+		}
+		return StageResult{
+			TargetQPS:   rate,
+			AchievedQPS: achieved,
+			Requests:    int64(achieved * 10),
+			P99:         5 * time.Millisecond,
+		}, nil
+	}
+	out, err := Ramp(context.Background(), RampConfig{
+		StartQPS:      100,
+		StepQPS:       100,
+		StageDuration: time.Second,
+		SLO:           SLO{P99: time.Second, MaxErrorRate: 0.01},
+	}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ClientSaturated || out.Breach != BreachClientSat {
+		t.Fatalf("outcome %+v, want client saturation", out)
+	}
+	if out.MaxSustainableQPS != 300 {
+		t.Fatalf("max sustainable %v, want the achieved 300", out.MaxSustainableQPS)
+	}
+}
+
+// TestRampMaxQPSCap checks a ramp that never breaches ends cleanly at
+// MaxQPS with BreachNone, and geometric growth actually multiplies.
+func TestRampMaxQPSCap(t *testing.T) {
+	var rates []float64
+	run := func(_ context.Context, rate float64, _ time.Duration) (StageResult, error) {
+		rates = append(rates, rate)
+		return StageResult{TargetQPS: rate, AchievedQPS: rate, Requests: 100, P99: time.Millisecond}, nil
+	}
+	out, err := Ramp(context.Background(), RampConfig{
+		StartQPS:      100,
+		Growth:        2,
+		MaxQPS:        1000,
+		StageDuration: time.Second,
+		SLO:           SLO{P99: time.Second},
+	}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Breach != BreachNone {
+		t.Fatalf("breach %q, want none", out.Breach)
+	}
+	want := []float64{100, 200, 400, 800}
+	if len(rates) != len(want) {
+		t.Fatalf("stages at %v, want %v", rates, want)
+	}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("stage %d at %v, want %v", i, rates[i], want[i])
+		}
+	}
+	if out.MaxSustainableQPS != 800 {
+		t.Fatalf("max sustainable %v, want 800", out.MaxSustainableQPS)
+	}
+}
+
+// TestRampDroppedArrivalsBreach: a stage that dropped arrivals cannot pass
+// even if every launched request met the SLO — the offered rate was not
+// actually offered.
+func TestRampDroppedArrivalsBreach(t *testing.T) {
+	run := func(_ context.Context, rate float64, _ time.Duration) (StageResult, error) {
+		return StageResult{TargetQPS: rate, AchievedQPS: rate, Requests: 100, Dropped: 5, P99: time.Millisecond}, nil
+	}
+	out, err := Ramp(context.Background(), RampConfig{
+		StartQPS: 100, StepQPS: 100, StageDuration: time.Second,
+		SLO: SLO{P99: time.Second},
+	}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Breach != BreachErrors || out.MaxSustainableQPS != 0 {
+		t.Fatalf("outcome %+v, want error breach at stage one", out)
+	}
+}
+
+// TestRampRowConversion checks the report row picks up the sustained
+// stage's percentiles.
+func TestRampRowConversion(t *testing.T) {
+	out := RampOutcome{
+		MaxSustainableQPS: 400,
+		Sustained: &StageResult{
+			TargetQPS: 400, Requests: 1000, Errors: 10,
+			P50: 2 * time.Millisecond, P99: 20 * time.Millisecond,
+		},
+		Breach: BreachP99,
+	}
+	row := out.Row("shards=2", 2, 0)
+	if row.Config != "shards=2" || row.Shards != 2 || row.MaxSustainableQPS != 400 {
+		t.Fatalf("row %+v", row)
+	}
+	if row.P50MS != 2 || row.P99MS != 20 || row.ErrorRate != 0.01 {
+		t.Fatalf("row percentiles %+v", row)
+	}
+}

@@ -1,0 +1,65 @@
+package loadgen
+
+import "time"
+
+// CapacityRow is one configuration's capacity verdict — the unit record of
+// BENCH_capacity.json. cmd/swarm emits one per ramp run; cmd/benchjson
+// -capacity collects rows into the committed report and gates regressions
+// on MaxSustainableQPS.
+type CapacityRow struct {
+	// Config labels the deployment shape, e.g. "shards=1", "shards=4",
+	// "cluster=2".
+	Config string `json:"config"`
+	// Shards is the in-process shard count (0 when the target is a cluster
+	// frontend fanning out to remote peers).
+	Shards int `json:"shards,omitempty"`
+	// Peers counts remote cluster peers behind the target (0 in-process).
+	Peers int `json:"peers,omitempty"`
+	// MaxSustainableQPS is the gated capacity metric.
+	MaxSustainableQPS float64 `json:"max_sustainable_qps"`
+	// P50MS/P99MS are the sustained stage's latency percentiles.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// ErrorRate is the sustained stage's errors/requests.
+	ErrorRate float64 `json:"error_rate"`
+	// Breach names what ended the ramp (see the Breach* constants).
+	Breach string `json:"breach,omitempty"`
+	// ClientSaturated marks rows bounded by the load generator, not the
+	// server: true capacity is at least MaxSustainableQPS.
+	ClientSaturated bool `json:"client_saturated,omitempty"`
+	// Stages preserves the full ramp for charting.
+	Stages []StageResult `json:"stages,omitempty"`
+}
+
+// Row converts a ramp outcome into the report record.
+func (o RampOutcome) Row(config string, shards, peers int) CapacityRow {
+	row := CapacityRow{
+		Config:            config,
+		Shards:            shards,
+		Peers:             peers,
+		MaxSustainableQPS: o.MaxSustainableQPS,
+		Breach:            o.Breach,
+		ClientSaturated:   o.ClientSaturated,
+		Stages:            o.Stages,
+	}
+	if o.Sustained != nil {
+		row.P50MS = durToMS(o.Sustained.P50)
+		row.P99MS = durToMS(o.Sustained.P99)
+		row.ErrorRate = o.Sustained.ErrorRate()
+	}
+	return row
+}
+
+// CapacityReport is the BENCH_capacity.json file: environment header plus
+// one row per measured configuration.
+type CapacityReport struct {
+	Goos   string        `json:"goos,omitempty"`
+	Goarch string        `json:"goarch,omitempty"`
+	CPUs   int           `json:"cpus,omitempty"`
+	Rows   []CapacityRow `json:"rows"`
+}
+
+// durToMS renders a duration as fractional milliseconds.
+func durToMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

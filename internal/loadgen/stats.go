@@ -1,0 +1,150 @@
+package loadgen
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint enumerates the fixed set of request kinds the swarm drives. A
+// fixed enum (not a map keyed by route) keeps the hot recording path free of
+// locks and allocation.
+type Endpoint int
+
+const (
+	// EPLookup is GET /v1/locations/{key}.
+	EPLookup Endpoint = iota
+	// EPBatch is POST /v1/locations:batch.
+	EPBatch
+	// EPStream is POST /v1/trajectories:stream (one NDJSON burst per op).
+	EPStream
+	// EPReinfer is POST /v1/reinfer (a background retrain kick).
+	EPReinfer
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{"lookup", "batch", "stream", "reinfer"}
+
+// String returns the short wire name used in reports and the dashboard.
+func (e Endpoint) String() string {
+	if e < 0 || e >= numEndpoints {
+		return "unknown"
+	}
+	return endpointNames[e]
+}
+
+// Endpoints lists every endpoint in display order.
+func Endpoints() []Endpoint {
+	return []Endpoint{EPLookup, EPBatch, EPStream, EPReinfer}
+}
+
+// Stats aggregates outcomes per endpoint: a latency histogram plus success
+// and error counters. All methods are safe for concurrent use.
+type Stats struct {
+	eps [numEndpoints]epStats
+}
+
+type epStats struct {
+	hist Histogram
+	ok   atomic.Int64
+	errs atomic.Int64
+	// lastErr keeps one representative error message for diagnostics.
+	lastErr atomic.Pointer[string]
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats { return &Stats{} }
+
+// Record logs one completed operation. Latency is recorded for successes and
+// failures alike — an error that takes 30s to surface is part of the latency
+// story, not outside it.
+func (s *Stats) Record(ep Endpoint, d time.Duration, err error) {
+	e := &s.eps[ep]
+	e.hist.Record(d)
+	if err == nil {
+		e.ok.Add(1)
+		return
+	}
+	e.errs.Add(1)
+	msg := err.Error()
+	e.lastErr.Store(&msg)
+}
+
+// EndpointSnapshot is the frozen view of one endpoint's counters.
+type EndpointSnapshot struct {
+	Endpoint Endpoint
+	Hist     *HistSnapshot
+	OK       int64
+	Errors   int64
+	LastErr  string
+}
+
+// StatsSnapshot freezes the whole collector at one instant.
+type StatsSnapshot struct {
+	Taken     time.Time
+	Endpoints [numEndpoints]EndpointSnapshot
+}
+
+// Snapshot copies every endpoint's state.
+func (s *Stats) Snapshot() *StatsSnapshot {
+	out := &StatsSnapshot{Taken: time.Now()}
+	for i := range s.eps {
+		e := &s.eps[i]
+		es := EndpointSnapshot{
+			Endpoint: Endpoint(i),
+			Hist:     e.hist.Snapshot(),
+			OK:       e.ok.Load(),
+			Errors:   e.errs.Load(),
+		}
+		if p := e.lastErr.Load(); p != nil {
+			es.LastErr = *p
+		}
+		out.Endpoints[i] = es
+	}
+	return out
+}
+
+// Totals sums requests and errors across endpoints.
+func (s *StatsSnapshot) Totals() (requests, errors int64) {
+	for _, e := range s.Endpoints {
+		requests += e.OK + e.Errors
+		errors += e.Errors
+	}
+	return requests, errors
+}
+
+// Merged returns one histogram snapshot covering every endpoint, for
+// whole-run quantiles.
+func (s *StatsSnapshot) Merged() *HistSnapshot {
+	m := &HistSnapshot{counts: make([]int64, histBuckets)}
+	for _, e := range s.Endpoints {
+		for i, c := range e.Hist.counts {
+			m.counts[i] += c
+		}
+		m.total += e.Hist.total
+		m.sumUS += e.Hist.sumUS
+		if e.Hist.maxUS > m.maxUS {
+			m.maxUS = e.Hist.maxUS
+		}
+	}
+	return m
+}
+
+// Sub returns the per-endpoint delta between two snapshots (prev may be
+// nil), for interval sampling into a timeseries.
+func (s *StatsSnapshot) Sub(prev *StatsSnapshot) *StatsSnapshot {
+	if prev == nil {
+		return s
+	}
+	out := &StatsSnapshot{Taken: s.Taken}
+	for i := range s.Endpoints {
+		cur, old := s.Endpoints[i], prev.Endpoints[i]
+		out.Endpoints[i] = EndpointSnapshot{
+			Endpoint: cur.Endpoint,
+			Hist:     cur.Hist.Sub(old.Hist),
+			OK:       cur.OK - old.OK,
+			Errors:   cur.Errors - old.Errors,
+			LastErr:  cur.LastErr,
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dlinfma/internal/deploy/api"
+)
+
+// fakeServer is a minimal /v1 surface that counts hits per endpoint.
+type fakeServer struct {
+	lookups, batches, streams, reinfers atomic.Int64
+	addresses                           int
+	reinferBusy                         bool
+}
+
+func (f *fakeServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(api.EngineStatus{Ready: true, Addresses: f.addresses})
+	})
+	mux.HandleFunc("GET /v1/locations/{key}", func(w http.ResponseWriter, r *http.Request) {
+		f.lookups.Add(1)
+		_ = json.NewEncoder(w).Encode(api.Location{Addr: 1, X: 1, Y: 2, Source: "address"})
+	})
+	mux.HandleFunc("POST /v1/locations:batch", func(w http.ResponseWriter, r *http.Request) {
+		f.batches.Add(1)
+		var req api.BatchLocationsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Addrs) == 0 {
+			http.Error(w, "bad batch", http.StatusBadRequest)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.BatchLocationsResponse{Found: len(req.Addrs)})
+	})
+	mux.HandleFunc("POST /v1/trajectories:stream", func(w http.ResponseWriter, r *http.Request) {
+		f.streams.Add(1)
+		dec := json.NewDecoder(r.Body)
+		points, ends := 0, 0
+		for dec.More() {
+			var p api.StreamPoint
+			if err := dec.Decode(&p); err != nil {
+				http.Error(w, "bad line", http.StatusBadRequest)
+				return
+			}
+			if p.End {
+				ends++
+			} else {
+				points++
+			}
+		}
+		if points == 0 || ends != 1 {
+			http.Error(w, "burst must carry points and one end marker", http.StatusBadRequest)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.StreamIngestResponse{Points: points, Ends: ends})
+	})
+	mux.HandleFunc("POST /v1/reinfer", func(w http.ResponseWriter, r *http.Request) {
+		f.reinfers.Add(1)
+		if f.reinferBusy {
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: &api.Error{Code: api.CodeReinferInFlight, Message: "running"}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(api.JobStatus{ID: 1, State: api.JobRunning})
+	})
+	return mux
+}
+
+// TestWorkloadMixProportions runs a paced stage against the fake server and
+// checks every endpoint with weight got traffic in roughly the configured
+// ratio, with zero recorded errors.
+func TestWorkloadMixProportions(t *testing.T) {
+	f := &fakeServer{addresses: 500, reinferBusy: true}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	w, err := NewWorkload(WorkloadConfig{
+		Target: srv.URL,
+		Mix:    Mix{Lookup: 60, Batch: 20, Stream: 15, Reinfer: 5},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunStage(context.Background(), w, 400, 500*time.Millisecond, StageOptions{Seed: 3})
+	if res.Requests < 100 {
+		t.Fatalf("only %d requests completed", res.Requests)
+	}
+	if res.Errors != 0 {
+		snap := w.Stats().Snapshot()
+		for _, e := range snap.Endpoints {
+			if e.Errors > 0 {
+				t.Errorf("%s: %d errors, last: %s", e.Endpoint, e.Errors, e.LastErr)
+			}
+		}
+		t.Fatalf("%d errors against a compliant server", res.Errors)
+	}
+	total := float64(f.lookups.Load() + f.batches.Load() + f.streams.Load() + f.reinfers.Load())
+	for _, c := range []struct {
+		name string
+		got  int64
+		frac float64
+	}{
+		{"lookup", f.lookups.Load(), 0.60},
+		{"batch", f.batches.Load(), 0.20},
+		{"stream", f.streams.Load(), 0.15},
+		{"reinfer", f.reinfers.Load(), 0.05},
+	} {
+		gotFrac := float64(c.got) / total
+		if gotFrac < c.frac/2 || gotFrac > c.frac*2 {
+			t.Errorf("%s got %.0f%% of traffic, configured %.0f%%", c.name, gotFrac*100, c.frac*100)
+		}
+	}
+	// A busy reinfer answers 409, which is the documented contract, not an
+	// error — checked above via res.Errors == 0 with reinferBusy set.
+}
+
+// TestWorkloadLearnsUniverseFromHealthz checks the address universe comes
+// from the typed health payload: every sampled lookup key must fall inside
+// [0, Addresses).
+func TestWorkloadLearnsUniverseFromHealthz(t *testing.T) {
+	const universe = 37
+	var bad atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(api.EngineStatus{Ready: true, Addresses: universe})
+	})
+	mux.HandleFunc("GET /v1/locations/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		var n int
+		if _, err := jsonNumber(key, &n); err != nil || n < 0 || n >= universe {
+			bad.Add(1)
+		}
+		_ = json.NewEncoder(w).Encode(api.Location{})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	w, err := NewWorkload(WorkloadConfig{Target: srv.URL, Mix: Mix{Lookup: 1}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		w.Next()(context.Background())
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d lookups outside the advertised universe of %d", bad.Load(), universe)
+	}
+}
+
+// jsonNumber parses a decimal string (helper keeping the test free of
+// strconv noise in assertions).
+func jsonNumber(s string, n *int) (int, error) {
+	err := json.Unmarshal([]byte(s), n)
+	return *n, err
+}
+
+// TestWorkloadHealthTyped checks Health decodes the typed EngineStatus.
+func TestWorkloadHealthTyped(t *testing.T) {
+	f := &fakeServer{addresses: 12}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+	w, err := NewWorkload(WorkloadConfig{Target: srv.URL, Mix: DefaultMix(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Addresses != 12 {
+		t.Fatalf("typed health %+v", st)
+	}
+}
+
+// TestWorkloadErrorClassification checks 5xx and non-contract statuses are
+// errors while contract statuses are not.
+func TestWorkloadErrorClassification(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(api.EngineStatus{Ready: true, Addresses: 10})
+	})
+	mux.HandleFunc("GET /v1/locations/{key}", func(w http.ResponseWriter, r *http.Request) {
+		switch r.PathValue("key") {
+		case "0":
+			w.WriteHeader(http.StatusNotFound) // contract: miss, not error
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	w, err := NewWorkload(WorkloadConfig{Target: srv.URL, Mix: Mix{Lookup: 1}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.do(context.Background(), opArgs{ep: EPLookup, addr: 0})
+	w.do(context.Background(), opArgs{ep: EPLookup, addr: 5})
+	snap := w.Stats().Snapshot()
+	e := snap.Endpoints[EPLookup]
+	if e.OK != 1 || e.Errors != 1 {
+		t.Fatalf("ok=%d errs=%d, want 1/1 (404 is contract, 500 is error)", e.OK, e.Errors)
+	}
+	if !strings.Contains(e.LastErr, "500") {
+		t.Fatalf("last error %q should name the status", e.LastErr)
+	}
+}

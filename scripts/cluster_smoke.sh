@@ -26,8 +26,8 @@ start_peer() { # port logfile -> pid on stdout
 
 wait_listener() { # port name logfile
   for _ in $(seq 1 100); do
-    # A cold peer answers 503 on /healthz; any response means it is up.
-    if curl -sS -o /dev/null "http://127.0.0.1:$1/healthz" 2>/dev/null; then
+    # A cold peer answers 503 on /v1/healthz; any response means it is up.
+    if curl -sS -o /dev/null "http://127.0.0.1:$1/v1/healthz" 2>/dev/null; then
       return
     fi
     sleep 0.1
@@ -51,7 +51,7 @@ wait_listener "$PEER_B_PORT" "peer B" "$TMP/peer_b.log"
 FRONT_PID=$!
 disown "$FRONT_PID"
 for _ in $(seq 1 600); do
-  if curl -fsS "http://127.0.0.1:$FRONT_PORT/healthz" >"$TMP/health.json" 2>/dev/null; then
+  if curl -fsS "http://127.0.0.1:$FRONT_PORT/v1/healthz" >"$TMP/health.json" 2>/dev/null; then
     break
   fi
   sleep 0.5
@@ -64,7 +64,7 @@ fi
 
 # Replicated writes: both peers must hold the full (identical, non-empty)
 # trip universe after the frontend's startup ingest.
-trips_of() { curl -fsS "http://127.0.0.1:$1/healthz" | sed -E 's/.*"trips":([0-9]+).*/\1/'; }
+trips_of() { curl -fsS "http://127.0.0.1:$1/v1/healthz" | sed -E 's/.*"trips":([0-9]+).*/\1/'; }
 TRIPS_A="$(trips_of "$PEER_A_PORT")"
 TRIPS_B="$(trips_of "$PEER_B_PORT")"
 if [ -z "$TRIPS_A" ] || [ "$TRIPS_A" = "0" ] || [ "$TRIPS_A" != "$TRIPS_B" ]; then
@@ -111,7 +111,7 @@ if ! diff -u "$TMP/before.txt" "$TMP/after.txt" >&2; then
   echo "cluster smoke: answers changed after killing peer A" >&2
   exit 1
 fi
-if ! curl -fsS "http://127.0.0.1:$FRONT_PORT/healthz" | grep -q '"ready":true'; then
+if ! curl -fsS "http://127.0.0.1:$FRONT_PORT/v1/healthz" | grep -q '"ready":true'; then
   echo "cluster smoke: frontend lost readiness after a single-peer failure" >&2
   exit 1
 fi

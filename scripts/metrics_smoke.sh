@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Boots a dlinfma server with no dataset (instant cold start), drives a few
-# requests through the v1 and legacy surfaces, then scrapes /v1/metrics with
+# requests through the /v1 surface (plus a retired legacy alias, which must
+# answer 410), then scrapes /v1/metrics with
 # metricscheck: the build fails if the exposition doesn't parse or a required
 # family is missing. Also sends one traced request (synthetic traceparent +
 # X-Request-ID) and asserts the correlation headers echo back and the trace
@@ -20,21 +21,26 @@ SERVER_PID=$!
 
 # Wait for the listener (cold start with -data "" is immediate, but be safe).
 for _ in $(seq 1 50); do
-  if curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+  if curl -fsS "http://127.0.0.1:$PORT/v1/healthz" >/dev/null 2>&1; then
     break
   fi
-  if curl -sS -o /dev/null "http://127.0.0.1:$PORT/healthz" 2>/dev/null; then
+  if curl -sS -o /dev/null "http://127.0.0.1:$PORT/v1/healthz" 2>/dev/null; then
     break # 503 from a cold engine still means the listener is up
   fi
   sleep 0.1
 done
 
-# Drive traffic: v1 query (503/404 paths count too), batch, legacy alias,
-# health, an unmatched route — enough to populate every HTTP family.
+# Drive traffic: v1 query (503/404 paths count too), batch, tombstoned
+# legacy alias, health, an unmatched route — enough to populate every HTTP
+# family.
 curl -sS -o /dev/null "http://127.0.0.1:$PORT/v1/locations/1" || true
 curl -sS -o /dev/null -X POST -d '{"addrs":[1,2,3]}' "http://127.0.0.1:$PORT/v1/locations:batch" || true
-curl -sS -o /dev/null "http://127.0.0.1:$PORT/location?addr=1" || true
-curl -sS -o /dev/null "http://127.0.0.1:$PORT/healthz" || true
+GONE_CODE="$(curl -sS -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/location?addr=1")"
+if [ "$GONE_CODE" != "410" ]; then
+  echo "metrics smoke: retired /location answered $GONE_CODE, want 410" >&2
+  exit 1
+fi
+curl -sS -o /dev/null "http://127.0.0.1:$PORT/v1/healthz" || true
 curl -sS -o /dev/null "http://127.0.0.1:$PORT/no/such/route" || true
 
 # Traced request: the server must echo the correlation id, continue the

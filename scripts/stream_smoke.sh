@@ -21,9 +21,9 @@ start_server() {
   SERVER_PID=$!
   disown "$SERVER_PID" # keep bash from reporting the deliberate SIGKILL
   for _ in $(seq 1 50); do
-    # A cold engine answers 503 on /healthz; any response means the
+    # A cold engine answers 503 on /v1/healthz; any response means the
     # listener is up.
-    if curl -sS -o /dev/null "http://127.0.0.1:$PORT/healthz" 2>/dev/null; then
+    if curl -sS -o /dev/null "http://127.0.0.1:$PORT/v1/healthz" 2>/dev/null; then
       return
     fi
     sleep 0.1
@@ -56,7 +56,7 @@ if ! grep -q '"points":23' <<<"$ACK" || ! grep -q '"ends":2' <<<"$ACK"; then
   exit 1
 fi
 
-BEFORE="$(curl -sS "http://127.0.0.1:$PORT/healthz")"
+BEFORE="$(curl -sS "http://127.0.0.1:$PORT/v1/healthz")"
 if ! grep -q '"pending_trips":2' <<<"$BEFORE" || ! grep -q '"open_streams":1' <<<"$BEFORE"; then
   echo "stream smoke: pre-kill status wrong: $BEFORE" >&2
   exit 1
@@ -73,7 +73,7 @@ if ! grep -q "replayed 25 WAL records" "$BIN_DIR/server2.log"; then
   cat "$BIN_DIR/server2.log" >&2
   exit 1
 fi
-AFTER="$(curl -sS "http://127.0.0.1:$PORT/healthz")"
+AFTER="$(curl -sS "http://127.0.0.1:$PORT/v1/healthz")"
 if ! grep -q '"pending_trips":2' <<<"$AFTER" || ! grep -q '"open_streams":1' <<<"$AFTER"; then
   echo "stream smoke: acked state lost across the crash: $AFTER" >&2
   exit 1
@@ -85,7 +85,7 @@ if ! grep -q '"ends":1' <<<"$CLOSE"; then
   echo "stream smoke: close after recovery failed: $CLOSE" >&2
   exit 1
 fi
-FINAL="$(curl -sS "http://127.0.0.1:$PORT/healthz")"
+FINAL="$(curl -sS "http://127.0.0.1:$PORT/v1/healthz")"
 # open_streams is omitempty: absence means zero.
 if ! grep -q '"pending_trips":3' <<<"$FINAL" || grep -q '"open_streams"' <<<"$FINAL"; then
   echo "stream smoke: post-recovery close not reflected: $FINAL" >&2

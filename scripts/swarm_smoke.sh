@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the load-generation swarm: boots a server on the tiny
+# dataset, drives a short fixed-rate open-loop swarm against it and asserts
+# the run completed with zero errors and zero dropped arrivals, then runs a
+# two-stage mini-ramp and asserts benchjson -capacity turns the verdict into
+# a populated capacity report. Run via `make smoke-swarm`.
+set -euo pipefail
+
+PORT="${PORT:-18290}"
+RATE="${RATE:-40}"
+DURATION="${DURATION:-3s}"
+TMP="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/dlinfma" ./cmd/dlinfma
+go build -o "$TMP/swarm" ./cmd/swarm
+go build -o "$TMP/benchjson" ./cmd/benchjson
+
+"$TMP/dlinfma" generate -profile tiny -out "$TMP/data.json.gz" >/dev/null
+"$TMP/dlinfma" serve -data "$TMP/data.json.gz" -listen "127.0.0.1:$PORT" >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Fixed-rate leg: the swarm itself waits for /v1/healthz readiness.
+if ! "$TMP/swarm" -target "http://127.0.0.1:$PORT" -rate "$RATE" -duration "$DURATION" \
+  -mix 'lookup=80,batch=10,stream=10' -wait 60s >"$TMP/fixed.json" 2>"$TMP/fixed.log"; then
+  echo "swarm smoke: fixed-rate run failed" >&2
+  cat "$TMP/fixed.log" "$TMP/server.log" >&2
+  exit 1
+fi
+REQS="$(grep -o '"requests": [0-9]*' "$TMP/fixed.json" | head -1 | grep -o '[0-9]*')"
+ERRS="$(grep -o '"errors": [0-9]*' "$TMP/fixed.json" | head -1 | grep -o '[0-9]*')"
+DROPS="$(grep -o '"dropped": [0-9]*' "$TMP/fixed.json" | head -1 | grep -o '[0-9]*')"
+if [ -z "$REQS" ] || [ "$REQS" -eq 0 ]; then
+  echo "swarm smoke: no requests completed: $(cat "$TMP/fixed.json")" >&2
+  exit 1
+fi
+if [ "$ERRS" != "0" ] || [ "$DROPS" != "0" ]; then
+  echo "swarm smoke: fixed-rate run had errors=$ERRS dropped=$DROPS" >&2
+  cat "$TMP/fixed.json" >&2
+  exit 1
+fi
+
+# Ramp leg: two tiny stages capped by -ramp-max are enough to prove the
+# orchestrator and the capacity report plumbing end to end.
+if ! "$TMP/swarm" -target "http://127.0.0.1:$PORT" \
+  -ramp-start "$RATE" -ramp-growth 1.5 -ramp-max "$RATE" -stage 2s \
+  -config smoke -shards 1 -mix 'lookup=90,batch=10' >"$TMP/row.json" 2>"$TMP/ramp.log"; then
+  echo "swarm smoke: ramp run failed" >&2
+  cat "$TMP/ramp.log" "$TMP/server.log" >&2
+  exit 1
+fi
+"$TMP/benchjson" -capacity -out "$TMP/capacity.json" <"$TMP/row.json"
+if ! grep -q '"config": "smoke"' "$TMP/capacity.json"; then
+  echo "swarm smoke: capacity report missing the smoke row" >&2
+  cat "$TMP/capacity.json" >&2
+  exit 1
+fi
+QPS="$(grep -o '"max_sustainable_qps": [0-9.]*' "$TMP/capacity.json" | head -1 | grep -o '[0-9.]*$')"
+if [ -z "$QPS" ] || [ "${QPS%%.*}" -eq 0 ]; then
+  echo "swarm smoke: capacity report has no sustainable rate: $(cat "$TMP/capacity.json")" >&2
+  cat "$TMP/ramp.log" >&2
+  exit 1
+fi
+
+echo "swarm smoke: OK ($REQS requests, 0 errors, capacity row at $QPS qps)"
