@@ -8,7 +8,7 @@
 GO ?= go
 COVER_FLOOR ?= 75
 
-.PHONY: build test race vet cover bench bench-all bench-read bench-regress bench-capacity smoke-metrics smoke-stream smoke-cluster smoke-swarm
+.PHONY: build test race vet cover bench bench-all bench-read bench-regress bench-capacity smoke-metrics smoke-stream smoke-cluster smoke-swarm smoke-quality
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,12 @@ smoke-cluster:
 # capacity report.
 smoke-swarm:
 	bash scripts/swarm_smoke.sh
+
+# Boot a server on the tiny dataset, run two re-inferences, and assert the
+# model-quality surface end to end: /v1/debug/swaps churn reports plus the
+# churn/confidence/data-quality metric families in /v1/metrics.
+smoke-quality:
+	bash scripts/quality_smoke.sh
 
 # Aggregate statement coverage with a floor (override: make cover COVER_FLOOR=60).
 cover:

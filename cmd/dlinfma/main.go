@@ -145,11 +145,13 @@ func shardFlags(fs *flag.FlagSet) (shards, precision *int) {
 // or N regional shards behind a geohash router. Both satisfy engine.Runtime,
 // so every subcommand drives them identically. log and tracer may be nil
 // (batch subcommands report through stdout and don't trace).
-func newEngine(workers, shards, precision, maxPending int, log *obs.Logger, tracer *trace.Tracer) (engine.Runtime, error) {
+func newEngine(workers, shards, precision, maxPending, swapHistory int, lowConf float64, log *obs.Logger, tracer *trace.Tracer) (engine.Runtime, error) {
 	cfg := engineConfig(workers)
 	cfg.Logger = log
 	cfg.Tracer = tracer
 	cfg.MaxPendingTrips = maxPending
+	cfg.SwapHistory = swapHistory
+	cfg.LowConfidence = lowConf
 	if shards <= 1 {
 		return engine.New(cfg), nil
 	}
@@ -164,7 +166,7 @@ func newEngine(workers, shards, precision, maxPending int, log *obs.Logger, trac
 // and runs one full re-inference — the same path the serve subcommand's
 // background jobs take, so batch and online runs cannot drift apart.
 func runPipeline(ctx context.Context, ds *model.Dataset, workers, shards, precision int) (engine.Runtime, error) {
-	e, err := newEngine(workers, shards, precision, 0, nil, nil)
+	e, err := newEngine(workers, shards, precision, 0, 0, 0, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +279,10 @@ func cmdServe(ctx context.Context, args []string) error {
 		"with -peers: distinct peers serving each shard (owner + replicas); writes go to all, reads fail over in ring order")
 	peerTimeout := fs.Duration("peer-timeout", cluster.DefaultTimeout, "with -peers: per-call timeout of one peer RPC")
 	peerRetries := fs.Int("peer-retries", 1, "with -peers: extra retry rounds over a shard's replica list after the first pass")
+	swapHistory := fs.Int("swap-history", 0,
+		"hot-swap churn reports kept per engine shard behind GET /v1/debug/swaps (0 = default 32)")
+	lowConfidence := fs.Float64("low-confidence", 0,
+		"top-1 probability below which a re-inferred address counts as low-confidence in churn reports and metrics (0 = default 0.5)")
 	shards, precision := shardFlags(fs)
 	fs.Parse(args)
 
@@ -318,6 +324,8 @@ func cmdServe(ctx context.Context, args []string) error {
 		cfg := engineConfig(*workers)
 		cfg.Logger = log.With("component", "engine")
 		cfg.Tracer = tracer
+		cfg.SwapHistory = *swapHistory
+		cfg.LowConfidence = *lowConfidence
 		backends, ring, berr := cluster.NewFrontendBackends(r, cluster.FrontendOptions{
 			Peers:       peerList,
 			Replication: *replication,
@@ -331,10 +339,22 @@ func cmdServe(ctx context.Context, args []string) error {
 		if e, err = engine.NewShardedBackends(cfg, r, backends); err != nil {
 			return err
 		}
+		// The frontend's own registry has no model quality (its shards live in
+		// the peers), so re-export each peer's quality families under
+		// dlinfma_peer_* with a peer label.
+		qp, qerr := cluster.StartQualityPoller(cluster.QualityOptions{
+			Peers:   peerList,
+			Timeout: *peerTimeout,
+			Logger:  log.With("component", "cluster_quality"),
+		})
+		if qerr != nil {
+			return qerr
+		}
+		defer qp.Stop()
 		fmt.Printf("cluster frontend: %d shards over %d peers (replication %d)\n",
 			r.N(), ring.NumPeers(), *replication)
 	} else {
-		if e, err = newEngine(*workers, *shards, *precision, *maxPending, log.With("component", "engine"), tracer); err != nil {
+		if e, err = newEngine(*workers, *shards, *precision, *maxPending, *swapHistory, *lowConfidence, log.With("component", "engine"), tracer); err != nil {
 			return err
 		}
 	}
@@ -409,7 +429,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	fmt.Printf("serving %d inferred locations on %s (GET /v1/locations/{key}, POST /v1/locations:batch, POST /v1/ingest, POST /v1/trajectories:stream, POST /v1/reinfer, GET /v1/snapshot, GET /v1/metrics)\n",
 		st.Inferred, *listen)
 	if *debugListen != "" {
-		dsrv := deploy.NewServer(*debugListen, deploy.DebugHandler(tracer))
+		sw, _ := e.(deploy.SwapReporter)
+		dsrv := deploy.NewServer(*debugListen, deploy.DebugHandler(tracer, sw))
 		go func() {
 			if derr := deploy.Serve(ctx, dsrv); derr != nil {
 				log.Error("debug listener failed", "addr", *debugListen, "err", derr)

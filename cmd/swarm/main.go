@@ -41,7 +41,7 @@ func main() {
 		config   = flag.String("config", "", "configuration label for the capacity row, e.g. shards=2")
 		shards   = flag.Int("shards", 0, "in-process shard count of the target (report metadata)")
 		peers    = flag.Int("peers", 0, "remote cluster peer count of the target (report metadata)")
-		mix      = flag.String("mix", "lookup=80,batch=10,stream=10", "endpoint weights, name=weight comma-separated (lookup, batch, stream, reinfer)")
+		mix      = flag.String("mix", "lookup=80,batch=10,stream=10", "endpoint weights, name=weight comma-separated (lookup, batch, stream, reinfer), or a preset: default, read-heavy, ingest-heavy")
 		seed     = flag.Int64("seed", 1, "seed for address sampling, bodies, and Poisson arrivals")
 		poisson  = flag.Bool("poisson", false, "Poisson arrivals instead of uniform pacing")
 		inFlight = flag.Int("max-in-flight", 0, "bound on concurrent requests (0: default)")
@@ -125,8 +125,8 @@ func main() {
 			setRate(r)
 			fmt.Fprintf(os.Stderr, "swarm: stage %d at %.0f qps for %s\n", stageN, r, d)
 			res := loadgen.RunStage(ctx, w, r, d, opts)
-			fmt.Fprintf(os.Stderr, "swarm:   achieved %.0f qps, p99 %s, errors %d, dropped %d\n",
-				res.AchievedQPS, res.P99, res.Errors, res.Dropped)
+			fmt.Fprintf(os.Stderr, "swarm:   achieved %.0f qps, p99 %s, errors %d, backpressure %d, dropped %d\n",
+				res.AchievedQPS, res.P99, res.Errors, res.Backpressure, res.Dropped)
 			return res, nil
 		})
 		if err != nil {
@@ -165,12 +165,16 @@ type fixedReport struct {
 }
 
 type endpointSummary struct {
-	Endpoint string  `json:"endpoint"`
-	Requests int64   `json:"requests"`
-	Errors   int64   `json:"errors"`
-	P50MS    float64 `json:"p50_ms"`
-	P99MS    float64 `json:"p99_ms"`
-	LastErr  string  `json:"last_error,omitempty"`
+	Endpoint string `json:"endpoint"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// Backpressure counts 429 answers — the server shedding load by design,
+	// reported separately so an ingest-heavy run's flow control is visible
+	// without polluting the error rate.
+	Backpressure int64   `json:"backpressure,omitempty"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	LastErr      string  `json:"last_error,omitempty"`
 }
 
 func endpointSummaries(stats *loadgen.Stats) []endpointSummary {
@@ -178,16 +182,17 @@ func endpointSummaries(stats *loadgen.Stats) []endpointSummary {
 	var out []endpointSummary
 	for _, ep := range loadgen.Endpoints() {
 		e := snap.Endpoints[ep]
-		if e.OK+e.Errors == 0 {
+		if e.OK+e.Errors+e.Backpressure == 0 {
 			continue
 		}
 		out = append(out, endpointSummary{
-			Endpoint: ep.String(),
-			Requests: e.OK + e.Errors,
-			Errors:   e.Errors,
-			P50MS:    float64(e.Hist.Quantile(0.50)) / 1e6,
-			P99MS:    float64(e.Hist.Quantile(0.99)) / 1e6,
-			LastErr:  e.LastErr,
+			Endpoint:     ep.String(),
+			Requests:     e.OK + e.Errors + e.Backpressure,
+			Errors:       e.Errors,
+			Backpressure: e.Backpressure,
+			P50MS:        float64(e.Hist.Quantile(0.50)) / 1e6,
+			P99MS:        float64(e.Hist.Quantile(0.99)) / 1e6,
+			LastErr:      e.LastErr,
 		})
 	}
 	return out
@@ -227,8 +232,12 @@ func waitReady(ctx context.Context, target string, m loadgen.Mix, seed int64, ba
 	}
 }
 
-// parseMix reads "lookup=80,batch=10,stream=10,reinfer=0".
+// parseMix reads "lookup=80,batch=10,stream=10,reinfer=0" or a named preset
+// (default, read-heavy, ingest-heavy).
 func parseMix(s string) (loadgen.Mix, error) {
+	if m, ok := loadgen.MixPreset(strings.TrimSpace(s)); ok {
+		return m, nil
+	}
 	var m loadgen.Mix
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)

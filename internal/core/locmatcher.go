@@ -483,6 +483,7 @@ func (m *LocMatcher) Probabilities(s *Sample) []float64 {
 // inferWorkers() goroutines and returns the distributions in sample order.
 // Cancelling ctx stops the fan-out between samples and returns ctx.Err().
 func (m *LocMatcher) ProbabilitiesAll(ctx context.Context, samples []*Sample) ([][]float64, error) {
+	defer obs.StartSpanCtx(ctx, "predict", stagePredict).End()
 	out := make([][]float64, len(samples))
 	err := nn.ParallelForCtx(ctx, m.inferWorkers(), len(samples), func(i int) {
 		out[i] = m.Probabilities(samples[i])

@@ -7,6 +7,11 @@ import (
 	"dlinfma/internal/traj"
 )
 
+// StaysPerTripBuckets are the upper edges of the stays-per-trip histogram.
+// A delivery trip yields a handful of stays (one per stop); zero is the
+// interesting edge (trip too short or too noisy to anchor any).
+var StaysPerTripBuckets = []float64{0, 1, 2, 3, 5, 8, 13, 21, 50}
+
 // Pipeline-stage metrics. One histogram family carries every stage's
 // latency; granularity differs by stage and is part of the contract:
 // noise_filter and stay_detect observe per trip (the parallel fan-out's unit
@@ -26,6 +31,14 @@ var (
 
 	stayPointsTotal = obs.Default.Counter("dlinfma_pipeline_stay_points_total",
 		"Stay points extracted from trajectories.")
+	noisePoints = obs.Default.CounterVec("dlinfma_pipeline_noise_points_total",
+		"GPS fixes through the noise filter by result; dropped/accepted is the data-quality drop rate.",
+		"result")
+	noiseAccepted = noisePoints.With("accepted")
+	noiseDropped  = noisePoints.With("dropped")
+	staysPerTrip  = obs.Default.Histogram("dlinfma_pipeline_stays_per_trip",
+		"Stay points detected per trip. A mass at zero means trajectories too short or too noisy to anchor a stay.",
+		StaysPerTripBuckets)
 	poolLocationsGauge = obs.Default.Gauge("dlinfma_pipeline_pool_locations",
 		"Candidate locations in the most recently built pool.")
 	candidatesTotal = obs.Default.Counter("dlinfma_pipeline_candidates_total",
@@ -50,5 +63,18 @@ func extractStayPoints(tr traj.Trajectory, cfg Config) []traj.StayPoint {
 	stageNoise.Observe(t1.Sub(t0).Seconds())
 	stageStayDetect.Observe(t2.Sub(t1).Seconds())
 	stayPointsTotal.Add(int64(len(sps)))
+	noiseAccepted.Add(int64(len(filtered)))
+	noiseDropped.Add(int64(len(tr) - len(filtered)))
+	staysPerTrip.Observe(float64(len(sps)))
 	return sps
+}
+
+// RecordTripQuality feeds one streamed trip's data-quality counts into the
+// same pipeline families the batch extractor populates, so drop rate and
+// stays-per-trip read identically whichever ingest path a trip took. traj
+// stays dependency-free; the serving engine calls this when it closes a trip.
+func RecordTripQuality(accepted, dropped, stays int) {
+	noiseAccepted.Add(int64(accepted))
+	noiseDropped.Add(int64(dropped))
+	staysPerTrip.Observe(float64(stays))
 }

@@ -256,3 +256,45 @@ type TraceResponse struct {
 	DroppedSpans int          `json:"dropped_spans,omitempty"`
 	Spans        []*TraceSpan `json:"spans"`
 }
+
+// SwapDistanceBucket is one bucket of a swap report's distance-moved
+// histogram: the count of moved addresses whose displacement is at most
+// LEMeters (the last bucket's bound is +Inf, rendered as 0 with Inf true).
+type SwapDistanceBucket struct {
+	LEMeters float64 `json:"le_meters,omitempty"`
+	Inf      bool    `json:"inf,omitempty"`
+	Count    int64   `json:"count"`
+}
+
+// SwapReport is one hot-swap churn report in GET /v1/debug/swaps: the diff
+// of the outgoing serving store against the incoming one, computed at
+// publish time. Seq numbers swaps per shard, starting at 1.
+type SwapReport struct {
+	Seq   int64     `json:"seq"`
+	Shard string    `json:"shard"`
+	Time  time.Time `json:"time"`
+	// Kind is "reinfer" for a retrain swap, "restore" for a snapshot load.
+	Kind   string `json:"kind"`
+	Before int    `json:"before"`
+	After  int    `json:"after"`
+	// Added/Dropped/Moved/Retained partition the address diff; ChurnRatio is
+	// moved/(moved+retained).
+	Added           int64                `json:"added"`
+	Dropped         int64                `json:"dropped"`
+	Moved           int64                `json:"moved"`
+	Retained        int64                `json:"retained"`
+	ChurnRatio      float64              `json:"churn_ratio"`
+	MeanMovedMeters float64              `json:"mean_moved_meters,omitempty"`
+	MaxMovedMeters  float64              `json:"max_moved_meters,omitempty"`
+	MovedDistance   []SwapDistanceBucket `json:"moved_distance,omitempty"`
+	// LowConfidence counts incoming address-level answers below the engine's
+	// low-confidence threshold.
+	LowConfidence int64 `json:"low_confidence"`
+}
+
+// SwapsResponse answers GET /v1/debug/swaps, newest first (across shards,
+// interleaved by time in the sharded engine).
+type SwapsResponse struct {
+	Swaps []SwapReport `json:"swaps"`
+	Count int          `json:"count"`
+}

@@ -1,0 +1,119 @@
+package deploy
+
+import "dlinfma/internal/geo"
+
+// ChurnDistanceBounds are the upper edges, in meters, of the distance-moved
+// histogram a hot-swap churn diff produces. Delivery-location moves under a
+// meter or two are re-inference jitter; tens of meters are a different
+// building; hundreds are the mis-annotation-scale corrections the paper is
+// about. The final implicit bucket is +Inf.
+var ChurnDistanceBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// Churn summarizes how the served answers changed across one hot-swap: the
+// diff of the outgoing FrozenStore against the incoming one. A swap that
+// moves a large fraction of addresses is exactly the mis-annotation-discovery
+// signal the system exists to produce — and the one an operator most needs to
+// see when it happens unexpectedly.
+type Churn struct {
+	// Before and After count answerable addresses in each store.
+	Before int
+	After  int
+	// Added counts addresses answerable only after the swap; Dropped only
+	// before. Moved counts addresses answered in both whose location
+	// changed; Retained those whose location is identical.
+	Added    int64
+	Dropped  int64
+	Moved    int64
+	Retained int64
+	// MovedDist buckets the moved distances (meters) by ChurnDistanceBounds;
+	// the last slot counts moves past the largest bound.
+	MovedDist []int64
+	// MeanMovedMeters and MaxMovedMeters summarize the moved distances.
+	MeanMovedMeters float64
+	MaxMovedMeters  float64
+	// LowConfidence counts incoming address-level answers whose confidence
+	// stamp sits below the threshold the diff was computed with (0 when no
+	// threshold was supplied).
+	LowConfidence int64
+}
+
+// Ratio returns moved/(moved+retained) — the fraction of stable addresses
+// whose answer changed. 0 when nothing was answerable in both stores.
+func (c *Churn) Ratio() float64 {
+	den := c.Moved + c.Retained
+	if den == 0 {
+		return 0
+	}
+	return float64(c.Moved) / float64(den)
+}
+
+// DiffFrozen computes the churn of swapping old out for new. Either store
+// may be nil (a cold boot has no outgoing store: everything counts as
+// Added). lowConf, when > 0, also counts incoming answers below that
+// confidence; onMove, when non-nil, is called with each moved distance in
+// meters (the engine feeds its distance histogram through it). The diff
+// walks both answer maps once — O(|old|+|new|) — and runs off the serving
+// path, after the swap has already published.
+func DiffFrozen(old, new *FrozenStore, lowConf float64, onMove func(meters float64)) *Churn {
+	c := &Churn{
+		Before:    old.Len(),
+		After:     new.Len(),
+		MovedDist: make([]int64, len(ChurnDistanceBounds)+1),
+	}
+	var sumMoved float64
+	if new != nil {
+		for addr, na := range new.answers {
+			if lowConf > 0 && na.Src == SourceAddress && na.Conf > 0 && float64(na.Conf) < lowConf {
+				c.LowConfidence++
+			}
+			if old == nil {
+				c.Added++
+				continue
+			}
+			oa, ok := old.answers[addr]
+			if !ok {
+				c.Added++
+				continue
+			}
+			if oa.Loc == na.Loc {
+				c.Retained++
+				continue
+			}
+			c.Moved++
+			d := geo.Dist(oa.Loc, na.Loc)
+			sumMoved += d
+			if d > c.MaxMovedMeters {
+				c.MaxMovedMeters = d
+			}
+			c.MovedDist[churnBucket(d)]++
+			if onMove != nil {
+				onMove(d)
+			}
+		}
+	}
+	if old != nil {
+		for addr := range old.answers {
+			if new == nil {
+				c.Dropped++
+				continue
+			}
+			if _, ok := new.answers[addr]; !ok {
+				c.Dropped++
+			}
+		}
+	}
+	if c.Moved > 0 {
+		c.MeanMovedMeters = sumMoved / float64(c.Moved)
+	}
+	return c
+}
+
+// churnBucket maps a moved distance to its ChurnDistanceBounds slot.
+func churnBucket(d float64) int {
+	for i, b := range ChurnDistanceBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return len(ChurnDistanceBounds)
+}

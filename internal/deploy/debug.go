@@ -20,11 +20,12 @@ import (
 //	GET /metrics                Prometheus text exposition (same as /v1/metrics)
 //	GET /debug/traces           recent request traces (same as /v1/debug/traces)
 //	GET /debug/traces/{id}      one trace's span tree
+//	GET /debug/swaps            recent hot-swap churn reports (same as /v1/debug/swaps)
 //
 // tr backs the trace endpoints; nil (tracing off) makes them answer empty /
 // not found rather than 404 on the route, so probing the listener still
-// works.
-func DebugHandler(tr *trace.Tracer) http.Handler {
+// works. sw backs /debug/swaps the same way: nil answers an empty list.
+func DebugHandler(tr *trace.Tracer, sw SwapReporter) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -34,5 +35,6 @@ func DebugHandler(tr *trace.Tracer) http.Handler {
 	mux.HandleFunc("/metrics", metricsExposition)
 	mux.HandleFunc("/debug/traces", traceListHandler(tr))
 	mux.HandleFunc("/debug/traces/{id}", traceGetHandler(tr))
+	mux.HandleFunc("/debug/swaps", swapListHandler(sw))
 	return mux
 }

@@ -5,11 +5,14 @@ import (
 	"dlinfma/internal/model"
 )
 
-// FrozenAnswer is one precomputed query answer: the delivery location plus
-// the fallback level that produced it.
+// FrozenAnswer is one precomputed query answer: the delivery location, the
+// fallback level that produced it, and — for address-level answers — the
+// model's top-1 probability behind the inference. Conf is 0 when unknown
+// (fallback answers, legacy snapshots).
 type FrozenAnswer struct {
-	Loc geo.Point
-	Src Source
+	Loc  geo.Point
+	Src  Source
+	Conf float32
 }
 
 // FrozenStore is the read-only serving form of a Store: the full
@@ -42,7 +45,7 @@ func (s *Store) Freeze() *FrozenStore {
 			return
 		}
 		if loc, ok := s.byAddress[addr]; ok {
-			f.answers[addr] = FrozenAnswer{Loc: loc, Src: SourceAddress}
+			f.answers[addr] = FrozenAnswer{Loc: loc, Src: SourceAddress, Conf: s.conf[addr]}
 			return
 		}
 		if bld, ok := s.buildings[addr]; ok {
@@ -79,6 +82,20 @@ func (f *FrozenStore) Query(addr model.AddressID) (geo.Point, Source) {
 		return geo.Point{}, SourceNone
 	}
 	return a.Loc, a.Src
+}
+
+// Lookup returns the full precomputed answer (location, source, confidence)
+// for an address. Nil-safe and allocation-free, like Query — the serving
+// path uses it when it also needs the confidence stamp.
+func (f *FrozenStore) Lookup(addr model.AddressID) (FrozenAnswer, bool) {
+	if f == nil {
+		return FrozenAnswer{Src: SourceNone}, false
+	}
+	a, ok := f.answers[addr]
+	if !ok {
+		return FrozenAnswer{Src: SourceNone}, false
+	}
+	return a, true
 }
 
 // QueryBuilding answers at building granularity from the frozen majority.

@@ -22,9 +22,11 @@ var (
 	httpRequests = obs.Default.CounterVec("dlinfma_http_requests_total",
 		"HTTP requests by route pattern, method, and status code.",
 		"route", "method", "code")
-	httpDuration = obs.Default.HistogramVec("dlinfma_http_request_duration_seconds",
-		"HTTP request latency by route pattern.",
-		obs.RequestLatencyBuckets, "route")
+	// Log-linear HDR buckets: the read path answers in single-digit
+	// microseconds, where fixed bounds collapse p50 and p99 into one bucket.
+	httpDuration = obs.Default.HDRHistogramVec("dlinfma_http_request_duration_seconds",
+		"HTTP request latency by route pattern (log-linear HDR buckets).",
+		"route")
 	httpInFlight = obs.Default.Gauge("dlinfma_http_in_flight_requests",
 		"Requests currently being handled.")
 )

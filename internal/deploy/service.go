@@ -175,6 +175,8 @@ func NewService(e Engine, opts Options) http.Handler {
 	handle("/v1/metrics", "/v1/metrics", methodsOnly(metricsExposition, http.MethodGet))
 	handle("/v1/debug/traces", "/v1/debug/traces", methodsOnly(traceListHandler(s.tracer), http.MethodGet))
 	handle("/v1/debug/traces/{id}", "/v1/debug/traces/{id}", methodsOnly(traceGetHandler(s.tracer), http.MethodGet))
+	sw, _ := e.(SwapReporter)
+	handle("/v1/debug/swaps", "/v1/debug/swaps", methodsOnly(swapListHandler(sw), http.MethodGet))
 	handle("/v1/healthz", "/v1/healthz", methodsOnly(s.handleHealthz, http.MethodGet))
 	handle("/healthz", "/healthz", methodsOnly(s.handleHealthz, http.MethodGet))
 

@@ -70,6 +70,9 @@ type Store struct {
 	// maintains the argmax incrementally instead of rescanning every vote —
 	// bulk re-inference writes stay O(1) per address.
 	bldBestN map[model.BuildingID]int
+	// conf holds the model's top-1 probability for each address-level entry.
+	// Zero means "unknown" (legacy snapshots, building/geocode fallbacks).
+	conf map[model.AddressID]float32
 }
 
 // NewStore returns an empty store.
@@ -81,7 +84,17 @@ func NewStore() *Store {
 		buildings: make(map[model.AddressID]model.BuildingID),
 		bldVotes:  make(map[model.BuildingID]map[geo.Point]int),
 		bldBestN:  make(map[model.BuildingID]int),
+		conf:      make(map[model.AddressID]float32),
 	}
+}
+
+// SetConfidence records the model's top-1 probability behind an address's
+// inferred location. Freeze stamps it into the served answer so the read
+// path can flag low-confidence serving without touching the matcher.
+func (s *Store) SetConfidence(addr model.AddressID, conf float32) {
+	s.mu.Lock()
+	s.conf[addr] = conf
+	s.mu.Unlock()
 }
 
 // RegisterAddress records an address's building and geocode (the fallback

@@ -514,7 +514,7 @@ func TestV1MetricsExposition(t *testing.T) {
 // TestDebugHandler checks the separate debug surface: the pprof index and a
 // parsing /metrics.
 func TestDebugHandler(t *testing.T) {
-	srv := httptest.NewServer(deploy.DebugHandler(nil))
+	srv := httptest.NewServer(deploy.DebugHandler(nil, nil))
 	defer srv.Close()
 	c := srv.Client()
 

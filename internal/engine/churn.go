@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dlinfma/internal/deploy"
+	"dlinfma/internal/deploy/api"
+	"dlinfma/internal/obs"
+)
+
+// Model-quality metrics: how much the served answers changed at each
+// hot-swap, how confident the matcher is in what it serves, and how often
+// the read path answers from a low-confidence address. All families carry a
+// shard label ("global" for an unsharded engine) so a sharded process shows
+// per-shard churn without scrape-side aggregation.
+var (
+	reinferChurnRatio = obs.Default.GaugeVec("dlinfma_reinfer_churn_ratio",
+		"Fraction of addresses answerable before and after the last hot-swap whose location moved.",
+		"shard")
+	reinferMovedDistance = obs.Default.HistogramVec("dlinfma_reinfer_moved_distance_meters",
+		"Distance a served address location moved across a hot-swap, in meters.",
+		deploy.ChurnDistanceBounds, "shard")
+	reinferConfidence = obs.Default.HistogramVec("dlinfma_reinfer_confidence",
+		"Top-1 probability of each address-level inference produced by a re-inference.",
+		confidenceBounds, "shard")
+	lowConfAddresses = obs.Default.GaugeVec("dlinfma_serving_low_confidence_addresses",
+		"Address-level answers in the served store whose top-1 probability sits below the low-confidence threshold.",
+		"shard")
+	lowConfQueries = obs.Default.Counter("dlinfma_engine_low_confidence_queries_total",
+		"Serving queries answered from an address whose inference confidence sits below the threshold.")
+)
+
+// confidenceBounds bucket a probability in [0,1]; dense near 1 where a
+// well-trained matcher should live.
+var confidenceBounds = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}
+
+// defaultSwapHistory is the ring size when Config.SwapHistory is unset.
+const defaultSwapHistory = 32
+
+// defaultLowConfidence is the threshold when Config.LowConfidence is unset.
+const defaultLowConfidence = 0.5
+
+// swapKind values recorded in SwapReport.Kind.
+const (
+	swapKindReinfer = "reinfer"
+	swapKindRestore = "restore"
+)
+
+// swapRing keeps the last N hot-swap churn reports, newest first on read.
+type swapRing struct {
+	mu   sync.Mutex
+	cap  int
+	seq  int64
+	reps []api.SwapReport // oldest..newest, len <= cap
+}
+
+func newSwapRing(capacity int) *swapRing {
+	if capacity <= 0 {
+		capacity = defaultSwapHistory
+	}
+	return &swapRing{cap: capacity}
+}
+
+// push appends a report, assigning its per-engine sequence number, and
+// evicts the oldest past capacity.
+func (r *swapRing) push(rep api.SwapReport) api.SwapReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	rep.Seq = r.seq
+	r.reps = append(r.reps, rep)
+	if len(r.reps) > r.cap {
+		copy(r.reps, r.reps[len(r.reps)-r.cap:])
+		r.reps = r.reps[:r.cap]
+	}
+	return rep
+}
+
+// list returns up to limit reports, newest first (limit <= 0: all).
+func (r *swapRing) list(limit int) []api.SwapReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.reps)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]api.SwapReport, 0, n)
+	for i := len(r.reps) - 1; i >= len(r.reps)-n; i-- {
+		out = append(out, r.reps[i])
+	}
+	return out
+}
+
+// churnReport diffs the outgoing frozen store against the incoming one,
+// records the churn metrics under the engine's shard label, and pushes a
+// report onto the swap ring. Runs after the swap published — the serving
+// path never waits on the diff.
+func (e *Engine) churnReport(old, incoming *deploy.FrozenStore, kind string) {
+	movedHist := reinferMovedDistance.With(e.shardLabel)
+	c := deploy.DiffFrozen(old, incoming, float64(e.lowConf), func(meters float64) {
+		movedHist.Observe(meters)
+	})
+	reinferChurnRatio.With(e.shardLabel).Set(c.Ratio())
+	lowConfAddresses.With(e.shardLabel).Set(float64(c.LowConfidence))
+
+	rep := api.SwapReport{
+		Shard:           e.shardLabel,
+		Time:            time.Now().UTC(),
+		Kind:            kind,
+		Before:          c.Before,
+		After:           c.After,
+		Added:           c.Added,
+		Dropped:         c.Dropped,
+		Moved:           c.Moved,
+		Retained:        c.Retained,
+		ChurnRatio:      c.Ratio(),
+		MeanMovedMeters: c.MeanMovedMeters,
+		MaxMovedMeters:  c.MaxMovedMeters,
+		LowConfidence:   c.LowConfidence,
+	}
+	if c.Moved > 0 {
+		rep.MovedDistance = make([]api.SwapDistanceBucket, 0, len(c.MovedDist))
+		for i, n := range c.MovedDist {
+			if n == 0 {
+				continue
+			}
+			b := api.SwapDistanceBucket{Count: n}
+			if i < len(deploy.ChurnDistanceBounds) {
+				b.LEMeters = deploy.ChurnDistanceBounds[i]
+			} else {
+				b.Inf = true
+			}
+			rep.MovedDistance = append(rep.MovedDistance, b)
+		}
+	}
+	rep = e.swaps.push(rep)
+	e.log.Info("hot-swap churn",
+		"shard", e.shardLabel, "kind", kind, "seq", rep.Seq,
+		"before", rep.Before, "after", rep.After,
+		"added", rep.Added, "dropped", rep.Dropped, "moved", rep.Moved,
+		"churn_ratio", rep.ChurnRatio, "low_confidence", rep.LowConfidence)
+}
+
+// SwapReports returns up to limit hot-swap churn reports, newest first
+// (limit <= 0: everything retained). It implements deploy.SwapReporter.
+func (e *Engine) SwapReports(limit int) []api.SwapReport {
+	return e.swaps.list(limit)
+}
+
+// SwapReports aggregates the in-process shards' rings, interleaved newest
+// first. Remote shard backends report through their own process's
+// /v1/debug/swaps (and the frontend's peer metric re-export); a pure
+// frontend answers an empty list.
+func (s *ShardedEngine) SwapReports(limit int) []api.SwapReport {
+	var out []api.SwapReport
+	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
+		out = append(out, sh.swaps.list(0)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.After(out[j].Time) })
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	return out
+}

@@ -53,6 +53,13 @@ type Config struct {
 	// ValFraction is the share of labelled samples held out for early
 	// stopping during re-inference training (0 trains on everything).
 	ValFraction float64
+	// SwapHistory sizes the ring of hot-swap churn reports kept for
+	// GET /v1/debug/swaps (0 = 32).
+	SwapHistory int
+	// LowConfidence is the top-1 probability below which an address-level
+	// answer counts as low-confidence in the churn report, the
+	// low-confidence-address gauge, and the serving-query counter (0 = 0.5).
+	LowConfidence float64
 	// Logger receives lifecycle events (ingest, re-inference, snapshot,
 	// hot-swap). nil logs nothing — every obs.Logger method is nil-safe.
 	Logger *obs.Logger
@@ -137,20 +144,37 @@ type Engine struct {
 	// jobWG tracks the background goroutine itself so Close can join it:
 	// cancellation alone would let a snapshot save race a mid-swap state.
 	jobWG sync.WaitGroup
+
+	// shardLabel tags this engine's quality metrics and swap reports:
+	// "global" standalone, the shard index when owned by a ShardedEngine
+	// (set before any ingest or serving starts).
+	shardLabel string
+	// lowConf is the resolved Config.LowConfidence threshold the read path
+	// compares answer confidence against.
+	lowConf float32
+	// swaps rings the last Config.SwapHistory hot-swap churn reports.
+	swaps *swapRing
 }
 
 // New returns an empty engine. Close it to cancel background work.
 func New(cfg Config) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
+	lowConf := cfg.LowConfidence
+	if lowConf <= 0 {
+		lowConf = defaultLowConfidence
+	}
 	return &Engine{
-		cfg:      cfg,
-		log:      cfg.Logger,
-		rootCtx:  ctx,
-		cancel:   cancel,
-		builder:  core.NewIncrementalPoolBuilder(cfg.Core),
-		addrSeen: make(map[model.AddressID]bool),
-		truth:    make(map[model.AddressID]geo.Point),
-		ss:       newStreamSet(cfg.Stream, cfg.Core),
+		cfg:        cfg,
+		log:        cfg.Logger,
+		rootCtx:    ctx,
+		cancel:     cancel,
+		builder:    core.NewIncrementalPoolBuilder(cfg.Core),
+		addrSeen:   make(map[model.AddressID]bool),
+		truth:      make(map[model.AddressID]geo.Point),
+		ss:         newStreamSet(cfg.Stream, cfg.Core),
+		shardLabel: "global",
+		lowConf:    float32(lowConf),
+		swaps:      newSwapRing(cfg.SwapHistory),
 	}
 }
 
@@ -379,22 +403,32 @@ func (e *Engine) reinfer(ctx context.Context) error {
 	if _, err := matcher.Fit(ctx, labelled[nVal:], labelled[:nVal]); err != nil {
 		return err
 	}
-	preds, err := matcher.PredictAll(ctx, samples)
+	// The full probability distributions, not just argmax indices: the top-1
+	// probability is the confidence stamp behind each served answer. The
+	// local argmax below replicates Predict exactly (nil distribution for a
+	// candidate-less sample, strict > tie-breaking toward the lower index),
+	// so predictions are bit-identical to the PredictAll path.
+	probs, err := matcher.ProbabilitiesAll(ctx, samples)
 	if err != nil {
 		return err
 	}
-
+	confHist := reinferConfidence.With(e.shardLabel)
 	store := deploy.NewStore()
 	store.LoadDataset(ds)
 	locs := make(map[model.AddressID]geo.Point, len(samples))
 	for i, s := range samples {
-		loc := s.PredictedLocation(preds[i])
+		pred, conf := argmaxProb(probs[i])
+		loc := s.PredictedLocation(pred)
 		store.Put(s.Addr, loc)
+		if pred >= 0 {
+			store.SetConfidence(s.Addr, float32(conf))
+			confHist.Observe(conf)
+		}
 		locs[s.Addr] = loc
 	}
 
 	_, swapSp := trace.Start(ctx, "engine.hot_swap")
-	e.publish(&state{pipe: pipe, matcher: matcher, store: store, locs: locs})
+	e.publish(&state{pipe: pipe, matcher: matcher, store: store, locs: locs}, swapKindReinfer)
 	e.stateMu.Lock()
 	e.reinfers++
 	e.stateMu.Unlock()
@@ -415,6 +449,22 @@ func (e *Engine) reinfer(ctx context.Context) error {
 	}
 	e.mu.Unlock()
 	return nil
+}
+
+// argmaxProb reduces one candidate distribution to (predicted index, top-1
+// probability): -1 for a candidate-less sample (nil distribution), otherwise
+// the strict-> argmax — the same inference rule as LocMatcher.Predict.
+func argmaxProb(probs []float64) (int, float64) {
+	if len(probs) == 0 {
+		return -1, 0
+	}
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best, probs[best]
 }
 
 // addPendingLocked grows the pending-trip backlog, stamping the backlog's
@@ -486,13 +536,18 @@ func (e *Engine) ReinferStatus() (deploy.JobStatus, bool) {
 // is frozen off-lock first, then the state pointer and the frozen read path
 // flip together. Readers racing the swap see either the old chain or the new
 // one in full, never a mix — a FrozenStore is immutable once published.
-func (e *Engine) publish(st *state) {
+// After the swap, the outgoing frozen store is diffed against the incoming
+// one into a churn report (kind: reinfer or restore) — off the serving path,
+// which has already moved on.
+func (e *Engine) publish(st *state, kind string) {
 	frozen := st.store.Freeze()
 	e.stateMu.Lock()
 	e.st = st
 	e.stateMu.Unlock()
+	old := e.frozen.Load()
 	e.frozen.Store(frozen)
 	hotSwaps.Inc()
+	e.churnReport(old, frozen, kind)
 }
 
 // Query answers from the currently served frozen store: one atomic pointer
@@ -500,9 +555,12 @@ func (e *Engine) publish(st *state) {
 // SourceNone before the first completed re-inference or snapshot restore —
 // queries never wait on retraining.
 func (e *Engine) Query(addr model.AddressID) (geo.Point, deploy.Source) {
-	p, src := e.frozen.Load().Query(addr)
-	countQuery(src)
-	return p, src
+	a, _ := e.frozen.Load().Lookup(addr)
+	countQuery(a.Src)
+	if a.Conf > 0 && a.Conf < e.lowConf {
+		lowConfQueries.Inc()
+	}
+	return a.Loc, a.Src
 }
 
 // QueryBatch answers every key of addrs into out (input order preserved),
@@ -534,6 +592,7 @@ func (e *Engine) QueryBatchIdx(ctx context.Context, addrs []model.AddressID, idx
 func (e *Engine) queryBatchIdx(ctx context.Context, addrs []model.AddressID, idx []int32, out []deploy.BatchAnswer) error {
 	f := e.frozen.Load()
 	var tally [deploy.SourceNone + 1]int64
+	var lowConf int64
 	n := len(addrs)
 	if idx != nil {
 		n = len(idx)
@@ -541,6 +600,7 @@ func (e *Engine) queryBatchIdx(ctx context.Context, addrs []model.AddressID, idx
 	for base := 0; base < n; base += queryBatchChunk {
 		if err := ctx.Err(); err != nil {
 			flushQueryTally(&tally)
+			lowConfQueries.Add(lowConf)
 			return err
 		}
 		end := base + queryBatchChunk
@@ -549,17 +609,26 @@ func (e *Engine) queryBatchIdx(ctx context.Context, addrs []model.AddressID, idx
 		}
 		if idx == nil {
 			for i := base; i < end; i++ {
-				out[i].Loc, out[i].Src = f.Query(addrs[i])
-				tally[out[i].Src]++
+				a, _ := f.Lookup(addrs[i])
+				out[i].Loc, out[i].Src = a.Loc, a.Src
+				tally[a.Src]++
+				if a.Conf > 0 && a.Conf < e.lowConf {
+					lowConf++
+				}
 			}
 		} else {
 			for _, i := range idx[base:end] {
-				out[i].Loc, out[i].Src = f.Query(addrs[i])
-				tally[out[i].Src]++
+				a, _ := f.Lookup(addrs[i])
+				out[i].Loc, out[i].Src = a.Loc, a.Src
+				tally[a.Src]++
+				if a.Conf > 0 && a.Conf < e.lowConf {
+					lowConf++
+				}
 			}
 		}
 	}
 	flushQueryTally(&tally)
+	lowConfQueries.Add(lowConf)
 	return nil
 }
 

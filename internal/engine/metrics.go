@@ -17,9 +17,8 @@ var (
 	ingestWindows = obs.Default.Counter("dlinfma_engine_ingest_windows_total",
 		"Non-empty trip windows merged into the candidate pool.")
 
-	reinferDuration = obs.Default.Histogram("dlinfma_engine_reinfer_duration_seconds",
-		"Wall time of one full re-inference (pool finalize, featurize, train, predict, swap).",
-		obs.JobDurationBuckets)
+	reinferDuration = obs.Default.HDRHistogram("dlinfma_engine_reinfer_duration_seconds",
+		"Wall time of one full re-inference (pool finalize, featurize, train, predict, swap); log-linear HDR buckets.")
 	reinferOutcome = obs.Default.CounterVec("dlinfma_engine_reinfer_total",
 		"Re-inference attempts by outcome. Cancellation (shutdown) is not a failure.",
 		"outcome")
@@ -41,6 +40,12 @@ var (
 		"Couriers with an open trajectory stream (points accepted, trip not yet closed).")
 	backpressureRejects = obs.Default.Counter("dlinfma_engine_backpressure_rejections_total",
 		"Ingest operations rejected because the pending-trip backlog hit MaxPendingTrips.")
+
+	ingestShardTrips = obs.Default.GaugeVec("dlinfma_engine_ingest_shard_trips",
+		"Cumulative trips routed to each shard of a sharded engine.",
+		"shard")
+	ingestSkew = obs.Default.Gauge("dlinfma_engine_ingest_skew",
+		"Max/mean ratio of cumulative per-shard ingested trips (1 = perfectly balanced).")
 
 	autoReinferTriggers = obs.Default.CounterVec("dlinfma_engine_auto_reinfer_triggers_total",
 		"Re-inferences fired by the auto-reinfer monitor, by tripping condition (backlog size vs backlog age).",

@@ -88,6 +88,12 @@ type ShardedEngine struct {
 	// routeCounters pre-resolves one routed-query counter per shard so the
 	// query path adds one atomic op, not a label lookup.
 	routeCounters []*obs.Counter
+
+	// shardTrips (under mu) accumulates per-shard routed trip counts;
+	// tripGauges/skewGauge publish them plus the max/mean ingest-skew ratio
+	// so a hot geographic shard is visible before it becomes a slow reinfer.
+	shardTrips []int64
+	tripGauges []*obs.Gauge
 }
 
 // NewSharded returns an empty sharded engine with r.N() shards, each a full
@@ -106,6 +112,8 @@ func NewSharded(cfg Config, r *shard.Router) *ShardedEngine {
 	}
 	s.ss = newStreamSet(cfg.Stream, cfg.Core)
 	s.routeCounters = make([]*obs.Counter, r.N())
+	s.shardTrips = make([]int64, r.N())
+	s.tripGauges = make([]*obs.Gauge, r.N())
 	for i := range s.shards {
 		shardCfg := cfg
 		shardCfg.Logger = cfg.Logger.With("shard", i)
@@ -113,8 +121,12 @@ func NewSharded(cfg Config, r *shard.Router) *ShardedEngine {
 		// shards must never double-reject their owner's deliveries.
 		shardCfg.MaxPendingTrips = 0
 		s.shards[i] = New(shardCfg)
+		// Quality metrics and swap reports carry the shard index, not the
+		// standalone "global" label.
+		s.shards[i].shardLabel = strconv.Itoa(i)
 		s.backends[i] = s.shards[i]
 		s.routeCounters[i] = shardRoutedQueries.With(strconv.Itoa(i))
+		s.tripGauges[i] = ingestShardTrips.With(strconv.Itoa(i))
 	}
 	return s
 }
@@ -156,8 +168,11 @@ func NewShardedBackends(cfg Config, r *shard.Router, backends []cluster.ShardBac
 	}
 	s.ss = newStreamSet(cfg.Stream, cfg.Core)
 	s.routeCounters = make([]*obs.Counter, r.N())
+	s.shardTrips = make([]int64, r.N())
+	s.tripGauges = make([]*obs.Gauge, r.N())
 	for i := range s.routeCounters {
 		s.routeCounters[i] = shardRoutedQueries.With(strconv.Itoa(i))
+		s.tripGauges[i] = ingestShardTrips.With(strconv.Itoa(i))
 	}
 	return s, nil
 }
@@ -237,6 +252,9 @@ func (s *ShardedEngine) ingest(ctx context.Context, trips []model.Trip, addrs []
 	if added > 0 {
 		s.publishRoutesLocked()
 	}
+	if len(trips) > 0 {
+		s.recordIngestSkewLocked(parts)
+	}
 	s.mu.Unlock()
 
 	for i, p := range parts {
@@ -259,6 +277,27 @@ func (s *ShardedEngine) ingest(ctx context.Context, trips []model.Trip, addrs []
 		}
 	}
 	return nil
+}
+
+// recordIngestSkewLocked folds one routed window into the cumulative
+// per-shard trip counts and republishes the skew gauge: max over mean of the
+// per-shard totals (1 = perfectly balanced, len(shards) = everything on one
+// shard). Callers hold mu.
+func (s *ShardedEngine) recordIngestSkewLocked(parts []core.WindowPartition) {
+	var total int64
+	var max int64
+	for i, p := range parts {
+		s.shardTrips[i] += int64(len(p.Trips))
+		s.tripGauges[i].Set(float64(s.shardTrips[i]))
+		total += s.shardTrips[i]
+		if s.shardTrips[i] > max {
+			max = s.shardTrips[i]
+		}
+	}
+	if total > 0 {
+		mean := float64(total) / float64(len(s.shardTrips))
+		ingestSkew.Set(float64(max) / mean)
+	}
 }
 
 // IngestDataset feeds a whole dataset through Ingest in PoolWindowSeconds

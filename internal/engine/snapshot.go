@@ -136,7 +136,7 @@ func (e *Engine) RestoreSnapshot(r io.Reader) (err error) {
 	}
 	e.mu.Unlock()
 
-	e.publish(&state{matcher: matcher, store: store, locs: locs})
+	e.publish(&state{matcher: matcher, store: store, locs: locs}, swapKindRestore)
 	e.log.Info("snapshot restored",
 		"dataset", sn.Name, "addresses", len(sn.Addresses), "locations", len(locs))
 	return nil

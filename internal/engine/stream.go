@@ -164,8 +164,10 @@ func (ss *streamSet) minOpenSeq() (min uint64, ok bool) {
 func (ss *streamSet) finish(cs *courierStream, reason *obs.Counter) *streamedTrip {
 	delete(ss.streams, cs.courier)
 	openStreamsGauge.Set(float64(len(ss.streams)))
+	accepted := cs.ex.Accepted() // Flush resets the trip's counter
 	cs.stays = append(cs.stays, cs.ex.Flush()...)
 	reason.Inc()
+	core.RecordTripQuality(accepted, len(cs.pts)-accepted, len(cs.stays))
 	return &streamedTrip{
 		trip: model.Trip{
 			Courier: cs.courier,

@@ -6,161 +6,19 @@
 // find the maximum sustainable throughput of a configuration.
 package loadgen
 
-import (
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "dlinfma/internal/obs"
 
-// The histogram is HdrHistogram-shaped: values bucket into power-of-two
-// major buckets, each split into 2^subBits linear sub-buckets, giving a
-// bounded relative error of 1/2^subBits (~3%) at every magnitude with a
-// fixed, small footprint. Values are recorded in microseconds, so the same
-// layout spans 1µs RTTs and multi-second stalls.
-const (
-	subBits  = 5
-	subCount = 1 << subBits
-	// histBuckets covers every uint64 microsecond value: the maximum major
-	// exponent is 64-subBits, and each contributes subCount buckets on top
-	// of the doubled-width linear region at the bottom.
-	histBuckets = (64-subBits)*subCount + 2*subCount
-)
-
-// bucketIndex maps a non-negative microsecond value to its bucket. Values
-// below 2*subCount land exactly (linear region); larger values keep the top
-// subBits+1 significant bits.
-func bucketIndex(us int64) int {
-	u := uint64(us)
-	if u < 2*subCount {
-		return int(u)
-	}
-	exp := bits.Len64(u) - subBits - 1
-	return exp*subCount + int(u>>exp)
-}
-
-// bucketValue is the inverse: a representative (midpoint) microsecond value
-// for bucket i, used when reading quantiles back out.
-func bucketValue(i int) int64 {
-	if i < 2*subCount {
-		return int64(i)
-	}
-	exp := i/subCount - 1
-	m := uint64(i - exp*subCount)
-	return int64(m<<exp | 1<<(exp-1))
-}
-
-// Histogram is a fixed-size, lock-free latency histogram. Record is safe for
-// any number of concurrent writers; Snapshot gives a point-in-time copy for
-// readers. The zero value is not usable — call NewHistogram.
-type Histogram struct {
-	counts [histBuckets]atomic.Int64
-	total  atomic.Int64
-	sum    atomic.Int64 // microseconds, for Mean
-	max    atomic.Int64 // microseconds
-}
-
-// NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
-
-// Record adds one observation. Negative durations clamp to zero.
-func (h *Histogram) Record(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	h.counts[bucketIndex(us)].Add(1)
-	h.total.Add(1)
-	h.sum.Add(us)
-	for {
-		cur := h.max.Load()
-		if us <= cur || h.max.CompareAndSwap(cur, us) {
-			return
-		}
-	}
-}
+// Histogram is the shared log-linear HDR histogram from internal/obs, which
+// this package originated: the server now records its own request latencies
+// into the same layout, so client- and server-side quantiles are directly
+// comparable. Record is safe for any number of concurrent writers; Snapshot
+// gives a point-in-time copy for readers. The zero value of the aliased
+// struct is usable, but call NewHistogram for symmetry with the obs side.
+type Histogram = obs.HDRHistogram
 
 // HistSnapshot is a point-in-time copy of a histogram, safe to read at
 // leisure while writers keep recording into the source.
-type HistSnapshot struct {
-	counts []int64
-	total  int64
-	sumUS  int64
-	maxUS  int64
-}
+type HistSnapshot = obs.HDRSnapshot
 
-// Snapshot copies the current counts. Concurrent Records may straddle the
-// copy; the snapshot is consistent enough for monitoring (each observation
-// appears at most once).
-func (h *Histogram) Snapshot() *HistSnapshot {
-	s := &HistSnapshot{counts: make([]int64, histBuckets)}
-	for i := range h.counts {
-		s.counts[i] = h.counts[i].Load()
-		s.total += s.counts[i]
-	}
-	s.sumUS = h.sum.Load()
-	s.maxUS = h.max.Load()
-	return s
-}
-
-// Count returns the number of recorded observations.
-func (s *HistSnapshot) Count() int64 { return s.total }
-
-// Mean returns the arithmetic mean of the recorded durations.
-func (s *HistSnapshot) Mean() time.Duration {
-	if s.total == 0 {
-		return 0
-	}
-	return time.Duration(s.sumUS/s.total) * time.Microsecond
-}
-
-// Max returns the largest recorded duration (exact, not bucketed).
-func (s *HistSnapshot) Max() time.Duration {
-	return time.Duration(s.maxUS) * time.Microsecond
-}
-
-// Quantile returns the value at quantile q in [0,1], with the histogram's
-// bounded relative error. An empty snapshot answers 0.
-func (s *HistSnapshot) Quantile(q float64) time.Duration {
-	if s.total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	// rank is the 1-based index of the sought observation in sorted order.
-	rank := int64(q*float64(s.total-1)) + 1
-	var seen int64
-	for i, c := range s.counts {
-		seen += c
-		if seen >= rank {
-			return time.Duration(bucketValue(i)) * time.Microsecond
-		}
-	}
-	return s.Max()
-}
-
-// Sub returns the delta snapshot s minus prev — the observations recorded
-// between the two snapshots, for per-interval timeseries sampling. prev may
-// be nil (treated as empty). Max carries s's max (maxima don't subtract).
-func (s *HistSnapshot) Sub(prev *HistSnapshot) *HistSnapshot {
-	if prev == nil {
-		return s
-	}
-	d := &HistSnapshot{counts: make([]int64, histBuckets), maxUS: s.maxUS}
-	for i := range s.counts {
-		c := s.counts[i] - prev.counts[i]
-		if c < 0 {
-			c = 0
-		}
-		d.counts[i] = c
-		d.total += c
-	}
-	d.sumUS = s.sumUS - prev.sumUS
-	if d.sumUS < 0 {
-		d.sumUS = 0
-	}
-	return d
-}
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return obs.NewHDRHistogram() }

@@ -21,14 +21,18 @@ type StageResult struct {
 	// TargetQPS is the offered arrival rate.
 	TargetQPS float64 `json:"target_qps"`
 	// AchievedQPS counts completed operations per second of stage wall time.
-	AchievedQPS float64       `json:"achieved_qps"`
-	Requests    int64         `json:"requests"`
-	Errors      int64         `json:"errors"`
-	Dropped     int64         `json:"dropped"`
-	P50         time.Duration `json:"p50_us"`
-	P95         time.Duration `json:"p95_us"`
-	P99         time.Duration `json:"p99_us"`
-	Max         time.Duration `json:"max_us"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	// Backpressure counts 429 rejections — the server shedding load by
+	// design. Excluded from ErrorRate: a saturated ingest path that says so
+	// is meeting its contract, not breaking it.
+	Backpressure int64         `json:"backpressure,omitempty"`
+	Dropped      int64         `json:"dropped"`
+	P50          time.Duration `json:"p50_us"`
+	P95          time.Duration `json:"p95_us"`
+	P99          time.Duration `json:"p99_us"`
+	Max          time.Duration `json:"max_us"`
 }
 
 // ErrorRate returns errors/requests (0 when no requests completed).

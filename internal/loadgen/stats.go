@@ -3,6 +3,8 @@ package loadgen
 import (
 	"sync/atomic"
 	"time"
+
+	"dlinfma/internal/obs"
 )
 
 // Endpoint enumerates the fixed set of request kinds the swarm drives. A
@@ -47,6 +49,10 @@ type epStats struct {
 	hist Histogram
 	ok   atomic.Int64
 	errs atomic.Int64
+	// bp counts backpressure rejections (HTTP 429): the server shedding load
+	// by design, not a failure — kept out of the error rate so an SLO ramp
+	// reports "saturated" rather than "broken".
+	bp atomic.Int64
 	// lastErr keeps one representative error message for diagnostics.
 	lastErr atomic.Pointer[string]
 }
@@ -69,13 +75,23 @@ func (s *Stats) Record(ep Endpoint, d time.Duration, err error) {
 	e.lastErr.Store(&msg)
 }
 
+// RecordBackpressure logs one operation the server rejected with 429. The
+// latency still counts (the rejection round-trip is real load), but the op is
+// neither a success nor an error.
+func (s *Stats) RecordBackpressure(ep Endpoint, d time.Duration) {
+	e := &s.eps[ep]
+	e.hist.Record(d)
+	e.bp.Add(1)
+}
+
 // EndpointSnapshot is the frozen view of one endpoint's counters.
 type EndpointSnapshot struct {
-	Endpoint Endpoint
-	Hist     *HistSnapshot
-	OK       int64
-	Errors   int64
-	LastErr  string
+	Endpoint     Endpoint
+	Hist         *HistSnapshot
+	OK           int64
+	Errors       int64
+	Backpressure int64
+	LastErr      string
 }
 
 // StatsSnapshot freezes the whole collector at one instant.
@@ -90,10 +106,11 @@ func (s *Stats) Snapshot() *StatsSnapshot {
 	for i := range s.eps {
 		e := &s.eps[i]
 		es := EndpointSnapshot{
-			Endpoint: Endpoint(i),
-			Hist:     e.hist.Snapshot(),
-			OK:       e.ok.Load(),
-			Errors:   e.errs.Load(),
+			Endpoint:     Endpoint(i),
+			Hist:         e.hist.Snapshot(),
+			OK:           e.ok.Load(),
+			Errors:       e.errs.Load(),
+			Backpressure: e.bp.Load(),
 		}
 		if p := e.lastErr.Load(); p != nil {
 			es.LastErr = *p
@@ -103,28 +120,24 @@ func (s *Stats) Snapshot() *StatsSnapshot {
 	return out
 }
 
-// Totals sums requests and errors across endpoints.
-func (s *StatsSnapshot) Totals() (requests, errors int64) {
+// Totals sums requests, errors, and backpressure rejections across
+// endpoints. Requests includes all three outcomes — a 429 round-trip is a
+// completed request.
+func (s *StatsSnapshot) Totals() (requests, errors, backpressure int64) {
 	for _, e := range s.Endpoints {
-		requests += e.OK + e.Errors
+		requests += e.OK + e.Errors + e.Backpressure
 		errors += e.Errors
+		backpressure += e.Backpressure
 	}
-	return requests, errors
+	return requests, errors, backpressure
 }
 
 // Merged returns one histogram snapshot covering every endpoint, for
 // whole-run quantiles.
 func (s *StatsSnapshot) Merged() *HistSnapshot {
-	m := &HistSnapshot{counts: make([]int64, histBuckets)}
+	m := obs.NewHDRSnapshot()
 	for _, e := range s.Endpoints {
-		for i, c := range e.Hist.counts {
-			m.counts[i] += c
-		}
-		m.total += e.Hist.total
-		m.sumUS += e.Hist.sumUS
-		if e.Hist.maxUS > m.maxUS {
-			m.maxUS = e.Hist.maxUS
-		}
+		m.Merge(e.Hist)
 	}
 	return m
 }
@@ -139,11 +152,12 @@ func (s *StatsSnapshot) Sub(prev *StatsSnapshot) *StatsSnapshot {
 	for i := range s.Endpoints {
 		cur, old := s.Endpoints[i], prev.Endpoints[i]
 		out.Endpoints[i] = EndpointSnapshot{
-			Endpoint: cur.Endpoint,
-			Hist:     cur.Hist.Sub(old.Hist),
-			OK:       cur.OK - old.OK,
-			Errors:   cur.Errors - old.Errors,
-			LastErr:  cur.LastErr,
+			Endpoint:     cur.Endpoint,
+			Hist:         cur.Hist.Sub(old.Hist),
+			OK:           cur.OK - old.OK,
+			Errors:       cur.Errors - old.Errors,
+			Backpressure: cur.Backpressure - old.Backpressure,
+			LastErr:      cur.LastErr,
 		}
 	}
 	return out

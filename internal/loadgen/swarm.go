@@ -33,16 +33,17 @@ func RunStage(ctx context.Context, w *Workload, rate float64, d time.Duration, o
 	res := RunOpenLoop(ctx, sched, d, OpenLoopOptions{MaxInFlight: opts.MaxInFlight}, w.Next)
 	delta := w.stats.Snapshot().Sub(before)
 	merged := delta.Merged()
-	reqs, errs := delta.Totals()
+	reqs, errs, bp := delta.Totals()
 	out := StageResult{
-		TargetQPS: rate,
-		Requests:  reqs,
-		Errors:    errs,
-		Dropped:   res.Dropped,
-		P50:       merged.Quantile(0.50),
-		P95:       merged.Quantile(0.95),
-		P99:       merged.Quantile(0.99),
-		Max:       merged.Max(),
+		TargetQPS:    rate,
+		Requests:     reqs,
+		Errors:       errs,
+		Backpressure: bp,
+		Dropped:      res.Dropped,
+		P50:          merged.Quantile(0.50),
+		P95:          merged.Quantile(0.95),
+		P99:          merged.Quantile(0.99),
+		Max:          merged.Max(),
 	}
 	if res.Elapsed > 0 {
 		out.AchievedQPS = float64(reqs) / res.Elapsed.Seconds()

@@ -16,9 +16,11 @@ type SeriesPoint struct {
 	TargetQPS float64 `json:"target_qps"`
 	// AchievedQPS counts completed operations (any outcome) per second.
 	AchievedQPS float64 `json:"achieved_qps"`
-	P50         time.Duration `json:"p50_us"`
-	P99         time.Duration `json:"p99_us"`
-	Errors      int64         `json:"errors"`
+	P50    time.Duration `json:"p50_us"`
+	P99    time.Duration `json:"p99_us"`
+	Errors int64         `json:"errors"`
+	// Backpressure counts 429 rejections in the interval (not errors).
+	Backpressure int64 `json:"backpressure,omitempty"`
 }
 
 // Timeseries accumulates interval samples. Safe for one sampler and many
@@ -69,14 +71,15 @@ func Sample(ctx context.Context, stats *Stats, ts *Timeseries, interval time.Dur
 		delta := cur.Sub(prev)
 		prev = cur
 		merged := delta.Merged()
-		reqs, errs := delta.Totals()
+		reqs, errs, bp := delta.Totals()
 		p := SeriesPoint{
-			Offset:      time.Since(start),
-			TargetQPS:   target(),
-			AchievedQPS: float64(reqs) / interval.Seconds(),
-			P50:         merged.Quantile(0.50),
-			P99:         merged.Quantile(0.99),
-			Errors:      errs,
+			Offset:       time.Since(start),
+			TargetQPS:    target(),
+			AchievedQPS:  float64(reqs) / interval.Seconds(),
+			P50:          merged.Quantile(0.50),
+			P99:          merged.Quantile(0.99),
+			Errors:       errs,
+			Backpressure: bp,
 		}
 		ts.Append(p)
 		if onSample != nil {

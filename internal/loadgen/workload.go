@@ -36,6 +36,25 @@ type Mix struct {
 // retrainer, not the serving path).
 func DefaultMix() Mix { return Mix{Lookup: 80, Batch: 10, Stream: 10} }
 
+// IngestHeavyMix is the write-dominant shape for exercising the streaming
+// path: mostly trajectory bursts with a thin read mix to keep the serving
+// path honest. Ramped hard enough it drives the engine into
+// -max-pending-trips backpressure, which the collector records as 429
+// rejections rather than errors.
+func IngestHeavyMix() Mix { return Mix{Lookup: 10, Batch: 5, Stream: 85} }
+
+// MixPreset resolves a named preset ("default", "ingest-heavy"). The second
+// return is false for unknown names.
+func MixPreset(name string) (Mix, bool) {
+	switch name {
+	case "default", "read-heavy":
+		return DefaultMix(), true
+	case "ingest-heavy":
+		return IngestHeavyMix(), true
+	}
+	return Mix{}, false
+}
+
 // Total returns the weight sum.
 func (m Mix) Total() int { return m.Lookup + m.Batch + m.Stream + m.Reinfer }
 
@@ -273,8 +292,9 @@ func (w *Workload) Next() func(context.Context) {
 // do executes one operation and records latency + outcome. Expected
 // non-2xx statuses per endpoint: a lookup 404 (key not in the served store)
 // and a reinfer 409 (job already running) are correct server behavior under
-// this workload, so they count as success; everything else — 5xx, 429
-// backpressure, transport errors, timeouts — is an error.
+// this workload, so they count as success; a 429 is the server shedding load
+// by design and records as backpressure; everything else — 5xx, transport
+// errors, timeouts — is an error.
 func (w *Workload) do(ctx context.Context, args opArgs) {
 	var (
 		req *http.Request
@@ -310,9 +330,12 @@ func (w *Workload) do(ctx context.Context, args opArgs) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	d := time.Since(start)
-	if okStatus(args.ep, resp.StatusCode) {
+	switch {
+	case okStatus(args.ep, resp.StatusCode):
 		w.stats.Record(args.ep, d, nil)
-	} else {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		w.stats.RecordBackpressure(args.ep, d)
+	default:
 		w.stats.Record(args.ep, d, fmt.Errorf("%s: status %d", args.ep, resp.StatusCode))
 	}
 }

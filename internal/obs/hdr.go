@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HDRHistogram is an HdrHistogram-shaped log-linear latency histogram: values
+// bucket into power-of-two major buckets, each split into 2^hdrSubBits linear
+// sub-buckets, giving a bounded relative error of 1/2^hdrSubBits (~3%) at
+// every magnitude with a fixed, small footprint. Values are recorded in
+// microseconds, so the same layout resolves 1µs RTTs and multi-second stalls —
+// the fixed-bucket Histogram cannot answer a meaningful p99 on a
+// sub-millisecond read path, this type can.
+//
+// Record/Observe are lock-free (two atomic adds plus a CAS max) and safe from
+// any number of goroutines. The zero value is usable but not registered; use
+// Registry.HDRHistogram for an exposed metric or NewHDRHistogram for a
+// standalone collector (the load generator does the latter).
+const (
+	hdrSubBits  = 5
+	hdrSubCount = 1 << hdrSubBits
+	// hdrBuckets covers every uint64 microsecond value: the maximum major
+	// exponent is 64-hdrSubBits, and each contributes hdrSubCount buckets on
+	// top of the doubled-width linear region at the bottom.
+	hdrBuckets = (64-hdrSubBits)*hdrSubCount + 2*hdrSubCount
+)
+
+// hdrIndex maps a non-negative microsecond value to its bucket. Values below
+// 2*hdrSubCount land exactly (linear region); larger values keep the top
+// hdrSubBits+1 significant bits.
+func hdrIndex(us int64) int {
+	u := uint64(us)
+	if u < 2*hdrSubCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - hdrSubBits - 1
+	return exp*hdrSubCount + int(u>>exp)
+}
+
+// hdrValue is the inverse: a representative (midpoint) microsecond value for
+// bucket i, used when reading quantiles back out.
+func hdrValue(i int) int64 {
+	if i < 2*hdrSubCount {
+		return int64(i)
+	}
+	exp := i/hdrSubCount - 1
+	m := uint64(i - exp*hdrSubCount)
+	return int64(m<<exp | 1<<(exp-1))
+}
+
+// hdrUpperUS is the largest microsecond value that lands in bucket i — the
+// inclusive upper bound used as the cumulative `le` edge in the exposition.
+func hdrUpperUS(i int) int64 {
+	if i < 2*hdrSubCount {
+		return int64(i)
+	}
+	exp := i/hdrSubCount - 1
+	m := uint64(i - exp*hdrSubCount)
+	if bits.Len64(m+1)+exp > 63 {
+		// The top buckets' bounds overflow int64 microseconds; clamp. No
+		// recordable duration lands past MaxInt64 µs anyway.
+		return math.MaxInt64
+	}
+	return int64((m+1)<<exp) - 1
+}
+
+// HDRHistogram is the concurrent collector. See the package comment above the
+// bucket constants for the layout.
+type HDRHistogram struct {
+	name   string
+	labels string // pre-rendered {k="v",...} or "" (vec children)
+	counts [hdrBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64 // microseconds, for Mean/Sum
+	max    atomic.Int64 // microseconds, exact
+}
+
+// NewHDRHistogram returns an empty standalone (unregistered) histogram.
+func NewHDRHistogram() *HDRHistogram { return &HDRHistogram{} }
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *HDRHistogram) Record(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.counts[hdrIndex(us)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Observe records one value in seconds — the same contract as
+// Histogram.Observe, so an HDRHistogram drops into any Observer slot
+// (obs.StartSpan in particular).
+func (h *HDRHistogram) Observe(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		seconds = 0
+	}
+	h.Record(time.Duration(seconds * float64(time.Second)))
+}
+
+// Count returns the number of recorded observations.
+func (h *HDRHistogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of observations in seconds.
+func (h *HDRHistogram) Sum() float64 { return float64(h.sum.Load()) / 1e6 }
+
+// HDRSnapshot is a point-in-time copy of an HDRHistogram, safe to read at
+// leisure while writers keep recording into the source.
+type HDRSnapshot struct {
+	counts []int64
+	total  int64
+	sumUS  int64
+	maxUS  int64
+}
+
+// NewHDRSnapshot returns an empty snapshot, ready to Merge into.
+func NewHDRSnapshot() *HDRSnapshot {
+	return &HDRSnapshot{counts: make([]int64, hdrBuckets)}
+}
+
+// Snapshot copies the current counts. Concurrent Records may straddle the
+// copy; the snapshot is consistent enough for monitoring (each observation
+// appears at most once).
+func (h *HDRHistogram) Snapshot() *HDRSnapshot {
+	s := NewHDRSnapshot()
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+		s.total += s.counts[i]
+	}
+	s.sumUS = h.sum.Load()
+	s.maxUS = h.max.Load()
+	return s
+}
+
+// Count returns the number of recorded observations.
+func (s *HDRSnapshot) Count() int64 { return s.total }
+
+// Mean returns the arithmetic mean of the recorded durations.
+func (s *HDRSnapshot) Mean() time.Duration {
+	if s.total == 0 {
+		return 0
+	}
+	return time.Duration(s.sumUS/s.total) * time.Microsecond
+}
+
+// Max returns the largest recorded duration (exact, not bucketed).
+func (s *HDRSnapshot) Max() time.Duration {
+	return time.Duration(s.maxUS) * time.Microsecond
+}
+
+// Quantile returns the value at quantile q in [0,1], with the histogram's
+// bounded relative error. An empty snapshot answers 0.
+func (s *HDRSnapshot) Quantile(q float64) time.Duration {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the sought observation in sorted order.
+	rank := int64(q*float64(s.total-1)) + 1
+	var seen int64
+	for i, c := range s.counts {
+		seen += c
+		if seen >= rank {
+			return time.Duration(hdrValue(i)) * time.Microsecond
+		}
+	}
+	return s.Max()
+}
+
+// Sub returns the delta snapshot s minus prev — the observations recorded
+// between the two snapshots, for per-interval timeseries sampling. prev may
+// be nil (treated as empty). Max carries s's max (maxima don't subtract).
+func (s *HDRSnapshot) Sub(prev *HDRSnapshot) *HDRSnapshot {
+	if prev == nil {
+		return s
+	}
+	d := NewHDRSnapshot()
+	d.maxUS = s.maxUS
+	for i := range s.counts {
+		c := s.counts[i] - prev.counts[i]
+		if c < 0 {
+			c = 0
+		}
+		d.counts[i] = c
+		d.total += c
+	}
+	d.sumUS = s.sumUS - prev.sumUS
+	if d.sumUS < 0 {
+		d.sumUS = 0
+	}
+	return d
+}
+
+// Merge adds other's observations into s, for cross-endpoint whole-run
+// quantiles. A nil other is a no-op.
+func (s *HDRSnapshot) Merge(other *HDRSnapshot) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		s.counts[i] += c
+	}
+	s.total += other.total
+	s.sumUS += other.sumUS
+	if other.maxUS > s.maxUS {
+		s.maxUS = other.maxUS
+	}
+}
+
+// exposeHDR renders an HDRHistogram as a standard Prometheus histogram with
+// sparse cumulative buckets: one `le` edge per non-empty bucket (upper bound
+// converted to seconds) plus +Inf. Sparse cumulative buckets are valid
+// exposition — quantile estimation only needs the edges that hold data — and
+// keep the ~2k-bucket layout from bloating the scrape.
+func exposeHDR(w *bufio.Writer, h *HDRHistogram) {
+	cum := int64(0)
+	for i := 0; i < hdrBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := formatFloat(float64(hdrUpperUS(i)) / 1e6)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, mergeLabels(h.labels, `le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, mergeLabels(h.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.name, h.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.name, h.labels, h.total.Load())
+}
+
+// HDRHistogram registers and returns a new unlabelled log-linear histogram.
+// It exposes as TYPE histogram, indistinguishable to a scraper from the
+// fixed-bucket kind apart from its data-driven bucket edges.
+func (r *Registry) HDRHistogram(name, help string) *HDRHistogram {
+	h := &HDRHistogram{name: name}
+	r.register(name, &singleMetric{name: name, help: help, typ: "histogram", m: h})
+	return h
+}
+
+// HDRHistogramVec is a log-linear histogram family with a fixed label-key set.
+type HDRHistogramVec struct {
+	v *vec
+}
+
+// HDRHistogramVec registers a labelled log-linear histogram family.
+func (r *Registry) HDRHistogramVec(name, help string, keys ...string) *HDRHistogramVec {
+	hv := &HDRHistogramVec{
+		v: &vec{name: name, help: help, typ: "histogram", keys: keys, children: make(map[string]metricChild)},
+	}
+	r.register(name, hv.v)
+	return hv
+}
+
+// With returns (creating if needed) the child histogram for the label values.
+func (h *HDRHistogramVec) With(values ...string) *HDRHistogram {
+	return h.v.child(values, func(labels string) any {
+		return &HDRHistogram{name: h.v.name, labels: labels}
+	}).(*HDRHistogram)
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestHDRIndexMonotone walks the bucket index across magnitudes: it must be
+// monotone non-decreasing and invert to within the promised relative error.
+func TestHDRIndexMonotone(t *testing.T) {
+	prev := -1
+	for us := int64(0); us < 1<<22; us += 97 {
+		i := hdrIndex(us)
+		if i < prev {
+			t.Fatalf("hdrIndex(%d)=%d < previous %d", us, i, prev)
+		}
+		prev = i
+		back := hdrValue(i)
+		diff := float64(back-us) / float64(us+1)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1.0/hdrSubCount {
+			t.Fatalf("hdrValue(hdrIndex(%d))=%d off by %.3f", us, back, diff)
+		}
+	}
+}
+
+// TestHDRUpperBound checks the exposition bucket edge: hdrUpperUS(i) is the
+// largest value landing in bucket i — one step below where bucket i+1 starts.
+func TestHDRUpperBound(t *testing.T) {
+	for i := 0; i < hdrBuckets-1; i++ {
+		up := hdrUpperUS(i)
+		if up == 1<<63-1 {
+			// Reached the clamped top region (bounds past MaxInt64 µs —
+			// ~292k-year latencies no Record call can produce).
+			break
+		}
+		if got := hdrIndex(up); got != i {
+			t.Fatalf("hdrIndex(hdrUpperUS(%d)=%d) = %d, want %d", i, up, got, i)
+		}
+		if next := hdrUpperUS(i + 1); next <= up {
+			t.Fatalf("hdrUpperUS not strictly increasing at %d: %d then %d", i, up, next)
+		}
+		if got := hdrIndex(up + 1); got != i+1 {
+			t.Fatalf("hdrIndex(%d) = %d, want next bucket %d", up+1, got, i+1)
+		}
+	}
+}
+
+// TestHDRQuantileVsSortedReference checks quantiles against the exact answer
+// from a sorted reference sample, within the layout's promised relative
+// error (doubled for boundary rank effects).
+func TestHDRQuantileVsSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHDRHistogram()
+	n := 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		us := 150 * (1 + rng.ExpFloat64()*rng.ExpFloat64()*80)
+		vals[i] = us
+		h.Record(time.Duration(us) * time.Microsecond)
+	}
+	sort.Float64s(vals)
+	snap := h.Snapshot()
+	tol := 2.0 / hdrSubCount
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		want := vals[int(q*float64(n-1))]
+		got := float64(snap.Quantile(q).Microseconds())
+		relErr := (got - want) / want
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > tol {
+			t.Errorf("q=%v: got %.0fµs, want %.0fµs (rel err %.3f > %.3f)", q, got, want, relErr, tol)
+		}
+	}
+}
+
+// TestHDRExpositionRoundTrip registers an HDR histogram (plain and vec),
+// records a spread of values, and checks that WritePrometheus output parses
+// back through ParseExposition with the right family type, a monotone
+// non-decreasing cumulative bucket sequence over strictly increasing le
+// edges, and consistent _count/_sum/+Inf samples.
+func TestHDRExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.HDRHistogram("test_hdr_seconds", "hdr exposition round-trip")
+	hv := reg.HDRHistogramVec("test_hdr_vec_seconds", "labelled hdr family", "shard")
+	rng := rand.New(rand.NewSource(11))
+	var sum float64
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int63n(3_000_000)) * time.Microsecond
+		h.Record(d)
+		sum += d.Seconds()
+		hv.With(strconv.Itoa(i % 3)).Record(d)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{"test_hdr_seconds", "test_hdr_vec_seconds"} {
+		fam := fams[name]
+		if fam == nil {
+			t.Fatalf("family %s missing", name)
+		}
+		if fam.Type != "histogram" {
+			t.Fatalf("family %s type %q, want histogram", name, fam.Type)
+		}
+	}
+
+	// Validate cumulative-bucket shape per label set.
+	type series struct {
+		les    []float64
+		counts []float64
+		inf    float64
+		count  float64
+		sum    float64
+	}
+	byShard := map[string]*series{}
+	get := func(sh string) *series {
+		s := byShard[sh]
+		if s == nil {
+			s = &series{}
+			byShard[sh] = s
+		}
+		return s
+	}
+	for _, sm := range fams["test_hdr_seconds"].Samples {
+		s := get("")
+		switch sm.Name {
+		case "test_hdr_seconds_bucket":
+			if sm.Labels["le"] == "+Inf" {
+				s.inf = sm.Value
+				continue
+			}
+			le, err := strconv.ParseFloat(sm.Labels["le"], 64)
+			if err != nil {
+				t.Fatalf("unparseable le %q: %v", sm.Labels["le"], err)
+			}
+			s.les = append(s.les, le)
+			s.counts = append(s.counts, sm.Value)
+		case "test_hdr_seconds_count":
+			s.count = sm.Value
+		case "test_hdr_seconds_sum":
+			s.sum = sm.Value
+		}
+	}
+	s := get("")
+	if len(s.les) == 0 {
+		t.Fatal("no finite buckets exposed")
+	}
+	for i := 1; i < len(s.les); i++ {
+		if s.les[i] <= s.les[i-1] {
+			t.Fatalf("le edges not strictly increasing: %v then %v", s.les[i-1], s.les[i])
+		}
+		if s.counts[i] < s.counts[i-1] {
+			t.Fatalf("cumulative counts decreasing: %v then %v at le=%v", s.counts[i-1], s.counts[i], s.les[i])
+		}
+	}
+	if s.inf != 5000 || s.count != 5000 {
+		t.Fatalf("+Inf=%v count=%v, want 5000", s.inf, s.count)
+	}
+	if s.counts[len(s.counts)-1] > s.inf {
+		t.Fatalf("last finite bucket %v exceeds +Inf %v", s.counts[len(s.counts)-1], s.inf)
+	}
+	// Sum is recorded in whole microseconds; allow that much slack.
+	if diff := s.sum - sum; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("sum %v, want ~%v", s.sum, sum)
+	}
+
+	// Vec children: every shard label present, each summing to its share.
+	var vecTotal float64
+	for _, sm := range fams["test_hdr_vec_seconds"].Samples {
+		if sm.Name == "test_hdr_vec_seconds_count" {
+			vecTotal += sm.Value
+			if sm.Labels["shard"] == "" {
+				t.Fatalf("vec sample missing shard label: %+v", sm)
+			}
+		}
+	}
+	if vecTotal != 5000 {
+		t.Fatalf("vec counts sum %v, want 5000", vecTotal)
+	}
+}
+
+// TestHDRSnapshotMerge checks Merge: counts, sums, and maxima combine.
+func TestHDRSnapshotMerge(t *testing.T) {
+	a, b := NewHDRHistogram(), NewHDRHistogram()
+	for i := 0; i < 10; i++ {
+		a.Record(time.Millisecond)
+		b.Record(100 * time.Millisecond)
+	}
+	m := NewHDRSnapshot()
+	m.Merge(a.Snapshot())
+	m.Merge(b.Snapshot())
+	m.Merge(nil)
+	if m.Count() != 20 {
+		t.Fatalf("merged count %d, want 20", m.Count())
+	}
+	if m.Max() != 100*time.Millisecond {
+		t.Fatalf("merged max %v, want 100ms", m.Max())
+	}
+	if q := m.Quantile(0.25); q < 900*time.Microsecond || q > 1100*time.Microsecond {
+		t.Fatalf("merged q25 %v, want ~1ms", q)
+	}
+}
+
+// TestHDRObserveSeconds checks the Observer-compat entry point records
+// seconds, so an HDRHistogram drops into obs.StartSpan.
+func TestHDRObserveSeconds(t *testing.T) {
+	h := NewHDRHistogram()
+	h.Observe(0.005)
+	h.Observe(-1) // clamps to zero, still counts
+	s := h.Snapshot()
+	if s.Count() != 2 {
+		t.Fatalf("count %d, want 2", s.Count())
+	}
+	if s.Max() != 5*time.Millisecond {
+		t.Fatalf("max %v, want 5ms", s.Max())
+	}
+	sp := StartSpan("stage", h)
+	if sp.End() < 0 {
+		t.Fatal("span duration negative")
+	}
+	if h.Count() != 3 {
+		t.Fatalf("span did not observe: count %d", h.Count())
+	}
+}

@@ -92,6 +92,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return bw.Flush()
 }
 
+// Observer is anything that can record a single observation in seconds —
+// both histogram kinds implement it, so span timings and instrumented stages
+// accept either without caring about bucket layout.
+type Observer interface {
+	Observe(v float64)
+}
+
+// funcMetric adapts a callback into the registry's metric interface, for
+// components that render their own exposition text (the cluster frontend
+// re-exporting peer quality metrics, for example).
+type funcMetric func(w io.Writer)
+
+func (f funcMetric) expose(w *bufio.Writer) { f(w) }
+
+// Exposer registers fn to append raw exposition text on every scrape. The
+// callback owns its families end to end (HELP/TYPE lines included) and must
+// not collide with names registered through the typed constructors — name is
+// reserved in the registry to catch exactly that.
+func (r *Registry) Exposer(name string, fn func(w io.Writer)) {
+	r.register(name, funcMetric(fn))
+}
+
 // Counter is a monotonically increasing integer metric.
 type Counter struct {
 	name   string
@@ -222,6 +244,8 @@ func (s *singleMetric) expose(w *bufio.Writer) {
 		fmt.Fprintf(w, "%s %s\n", s.name, formatFloat(m.Value()))
 	case *Histogram:
 		exposeHistogram(w, m)
+	case *HDRHistogram:
+		exposeHDR(w, m)
 	}
 }
 
@@ -343,6 +367,8 @@ func (v *vec) expose(w *bufio.Writer) {
 			fmt.Fprintf(w, "%s%s %s\n", v.name, c.labels, formatFloat(m.Value()))
 		case *Histogram:
 			exposeHistogram(w, m)
+		case *HDRHistogram:
+			exposeHDR(w, m)
 		}
 	}
 }

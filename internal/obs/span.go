@@ -20,12 +20,12 @@ import (
 type Span struct {
 	name  string
 	start time.Time
-	hist  *Histogram
+	hist  Observer
 }
 
 // StartSpan starts a span that will observe its duration, in seconds, into
-// hist (nil hist: timing only).
-func StartSpan(name string, hist *Histogram) Span {
+// hist (nil hist: timing only). Either histogram kind satisfies Observer.
+func StartSpan(name string, hist Observer) Span {
 	return Span{name: name, start: time.Now(), hist: hist}
 }
 
@@ -64,7 +64,7 @@ type SpanCtx struct {
 // carries an active trace span, records a child span of the same name in the
 // trace. With no active trace the trace side is a nil-span no-op and the
 // call degrades to StartSpan.
-func StartSpanCtx(ctx context.Context, name string, hist *Histogram) SpanCtx {
+func StartSpanCtx(ctx context.Context, name string, hist Observer) SpanCtx {
 	tctx, tsp := trace.Start(ctx, name)
 	return SpanCtx{Span: StartSpan(name, hist), ctx: tctx, tsp: tsp}
 }

@@ -37,6 +37,10 @@ type StreamExtractor struct {
 
 	// emitted is the reusable return slice of Push/Flush.
 	emitted []StayPoint
+
+	// accepted counts noise-accepted fixes for the current trip (reset by
+	// Flush); with the pushed count it gives the per-trip noise drop rate.
+	accepted int
 }
 
 // NewStreamExtractor returns an extractor with the given noise-filter and
@@ -106,8 +110,14 @@ func (x *StreamExtractor) Flush() []StayPoint {
 	x.buf = x.buf[:0]
 	x.head = 0
 	x.brk = -1
+	x.accepted = 0
 	return x.emitted
 }
+
+// Accepted reports how many fixes of the current open trip passed the noise
+// filter (Flush resets it with the rest of the trip state). Callers that
+// also count the fixes they pushed get the trip's noise drop rate for free.
+func (x *StreamExtractor) Accepted() int { return x.accepted }
 
 // PendingPoints reports how many accepted fixes are buffered in the open
 // detection window (diagnostics; bounded by the courier's dwell length).
@@ -115,6 +125,7 @@ func (x *StreamExtractor) PendingPoints() int { return len(x.buf) - x.head }
 
 // accept feeds one noise-accepted fix to the incremental detector.
 func (x *StreamExtractor) accept(p GPSPoint) {
+	x.accepted++
 	x.buf = append(x.buf, p)
 	if n := len(x.buf) - x.head; x.brk == -1 && n >= 2 {
 		if geo.Dist(x.buf[x.head].P, p.P) > x.sp.DMax {
